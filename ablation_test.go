@@ -1,0 +1,202 @@
+package bg3_test
+
+// Ablation benchmarks for the design choices DESIGN.md §3 calls out:
+// forest splitting on/off, GC policy, group-commit window, and replica
+// cache size. Each reports the quantity the choice trades off.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	bg3 "bg3"
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/forest"
+	"bg3/internal/gc"
+	"bg3/internal/replication"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// BenchmarkAblationForestSplit compares hot-owner write throughput with the
+// forest enabled vs a single shared tree, under contended concurrent
+// writers (the §3.2.1 design choice).
+func BenchmarkAblationForestSplit(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		threshold int
+	}{{"single-tree", 0}, {"forest", 64}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st := storage.Open(&storage.Options{ExtentSize: 1 << 20})
+			m := bwtree.NewMapping(0, false)
+			fo, err := forest.New(m, st, forest.Config{
+				Tree:           bwtree.Config{MaxPageEntries: 64},
+				SplitThreshold: mode.threshold,
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const workers = 8
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					zipf := rand.NewZipf(rng, 1.2, 1, 1023)
+					key := make([]byte, 8)
+					for i := 0; i < per; i++ {
+						owner := forest.OwnerID(zipf.Uint64()*workers + uint64(w))
+						for j := range key {
+							key[j] = byte(i >> (8 * j))
+						}
+						if err := fo.Put(owner, key, key); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(fo.Stats().Trees), "trees")
+		})
+	}
+}
+
+// BenchmarkAblationGCPolicy compares the write amplification of the three
+// reclamation policies under identical churn (the §3.3 design choice).
+func BenchmarkAblationGCPolicy(b *testing.B) {
+	for _, p := range []gc.Policy{gc.FIFO{}, gc.DirtyRatio{}, gc.WorkloadAware{MinRate: 0.8}} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := storage.Open(&storage.Options{ExtentSize: 16 << 10})
+				locs := map[uint64]storage.Loc{}
+				payload := make([]byte, 512)
+				for k := 0; k < 2048; k++ {
+					loc, err := st.Append(storage.StreamBase, uint64(k), payload)
+					if err != nil {
+						b.Fatal(err)
+					}
+					locs[uint64(k)] = loc
+				}
+				r := gc.NewReclaimer(st, storage.StreamBase, p, func(tag uint64, old, new storage.Loc) bool {
+					if locs[tag] != old {
+						return false
+					}
+					locs[tag] = new
+					return true
+				})
+				rng := rand.New(rand.NewSource(1))
+				for round := 0; round < 16; round++ {
+					for k := 0; k < 256; k++ {
+						tag := uint64(rng.Intn(1024)) // hot half churns
+						st.Invalidate(locs[tag])
+						loc, err := st.Append(storage.StreamBase, tag, payload)
+						if err != nil {
+							b.Fatal(err)
+						}
+						locs[tag] = loc
+					}
+					if _, err := r.RunOnce(4); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(r.Stats().BytesMoved)/(1<<20), "MB-moved")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCommitWindow sweeps the group-commit window: larger
+// windows batch more records per storage round trip (fewer, bigger
+// appends) at the cost of per-write latency.
+func BenchmarkAblationCommitWindow(b *testing.B) {
+	for _, window := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond} {
+		b.Run(fmt.Sprintf("window-%v", window), func(b *testing.B) {
+			st := storage.Open(&storage.Options{
+				ExtentSize:   1 << 20,
+				WriteLatency: time.Millisecond,
+			})
+			w := wal.NewWriter(st)
+			l := replication.NewGroupCommitLogger(w, window, 0)
+			defer l.Stop()
+			const writers = 32
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/writers + 1
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := l.Log(&wal.Record{Type: wal.RecordPut, Key: []byte("k")}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			batches, records := l.BatchStats()
+			if batches > 0 {
+				b.ReportMetric(float64(records)/float64(batches), "records/batch")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReplicaCache sweeps the RO page-cache size against a
+// fixed working set: the miss rate (storage reads per query) is the price
+// of memory frugality on follower nodes.
+func BenchmarkAblationReplicaCache(b *testing.B) {
+	for _, cache := range []int{8, 64, 0 /* unlimited */} {
+		name := fmt.Sprint(cache)
+		if cache == 0 {
+			name = "unlimited"
+		}
+		b.Run("cache-"+name, func(b *testing.B) {
+			st := storage.Open(&storage.Options{ExtentSize: 1 << 20})
+			rw, err := replication.NewRWNode(st, replication.RWOptions{
+				Engine: core.Options{Tree: bwtree.Config{MaxPageEntries: 64}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rw.Stop()
+			const sources = 512
+			for i := 0; i < 16_384; i++ {
+				if err := rw.AddEdge(bg3.Edge{
+					Src: bg3.VertexID(i % sources), Dst: bg3.VertexID(i), Type: bg3.ETypeFollow,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rw.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			ro := replication.NewRONode(st, time.Millisecond, cache)
+			defer ro.Stop()
+			if !ro.WaitVisible(rw.LastLSN(), 10*time.Second) {
+				b.Fatal("replica lagging")
+			}
+			rng := rand.New(rand.NewSource(3))
+			st.ResetIOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := bg3.VertexID(rng.Intn(sources))
+				if err := ro.Replica().Neighbors(src, bg3.ETypeFollow, 16,
+					func(bg3.VertexID, bg3.Properties) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(st.Stats().ReadOps)/float64(b.N), "storage-reads/query")
+		})
+	}
+}

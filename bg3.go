@@ -1,0 +1,301 @@
+// Package bg3 is a from-scratch reproduction of BG3 (ByteGraph 3.0), the
+// cost-effective and I/O-efficient graph database described in "BG3: A
+// Cost Effective and I/O Efficient Graph Database in ByteDance"
+// (SIGMOD-Companion 2024).
+//
+// A DB stores a property graph — typed vertices and directed, typed edges,
+// both carrying binary property lists — on an append-only shared storage
+// substrate through a forest of read-optimized Bw-trees:
+//
+//	db, err := bg3.Open(&bg3.Options{ForestSplitThreshold: 1000})
+//	...
+//	db.AddEdge(bg3.Edge{Src: user, Dst: video, Type: bg3.ETypeLike})
+//	db.Neighbors(user, bg3.ETypeLike, 0, func(dst bg3.VertexID, _ bg3.Properties) bool {
+//	    ...
+//	    return true
+//	})
+//
+// Opening the database with Options.Replicated enables the paper's
+// I/O-efficient leader-follower synchronization: every write is
+// group-committed to a write-ahead log on the shared store, and read-only
+// replicas attached with DB.OpenReplica tail that log, providing strongly
+// consistent reads that scale out (§3.4).
+package bg3
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/pattern"
+	"bg3/internal/replication"
+	"bg3/internal/storage"
+)
+
+// Re-exported graph model types; see the graph package for details.
+type (
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// VertexType partitions vertices (user, video, ...).
+	VertexType = graph.VertexType
+	// EdgeType partitions a vertex's adjacency lists. Type 0xFFFF is
+	// reserved.
+	EdgeType = graph.EdgeType
+	// Vertex is a typed vertex with properties.
+	Vertex = graph.Vertex
+	// Edge is a typed directed edge with properties.
+	Edge = graph.Edge
+	// Property is one named property value.
+	Property = graph.Property
+	// Properties is an ordered property list.
+	Properties = graph.Properties
+	// Store is the engine-neutral graph API.
+	Store = graph.Store
+)
+
+// Convenience type constants mirroring the example workloads.
+const (
+	VTypeUser  = graph.VTypeUser
+	VTypeVideo = graph.VTypeVideo
+
+	ETypeFollow   = graph.ETypeFollow
+	ETypeLike     = graph.ETypeLike
+	ETypeTransfer = graph.ETypeTransfer
+)
+
+// ErrNotReplicated is returned by OpenReplica on a DB opened without
+// Options.Replicated.
+var ErrNotReplicated = errors.New("bg3: database opened without replication")
+
+// DB is a BG3 database handle (the read-write node in replicated mode).
+// All methods are safe for concurrent use.
+type DB struct {
+	opts   Options
+	store  *storage.Store
+	engine *core.Engine        // non-replicated mode
+	rw     *replication.RWNode // replicated mode
+
+	mu       sync.Mutex // guards replicas
+	replicas []*Replica
+
+	snapStop chan struct{}
+	snapDone chan struct{}
+}
+
+var _ graph.Store = (*DB)(nil)
+
+// Open creates a new in-process BG3 database. A nil opts uses defaults.
+func Open(opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	db := &DB{opts: o}
+	if o.Replicated {
+		fi := o.FlushInterval
+		if fi <= 0 {
+			fi = 50 * time.Millisecond
+		}
+		so := o.storageOptions()
+		// Replicas keep reading old page versions until a checkpoint ships
+		// relocated locations, so reclaimed extents must linger past a few
+		// flush + poll cycles before their memory is released.
+		so.ReclaimGrace = time.Second + 8*fi
+		db.store = storage.Open(so)
+		co := o.coreOptions()
+		co.Storage = nil
+		rw, err := replication.NewRWNode(db.store, replication.RWOptions{
+			Engine:         co,
+			CommitWindow:   o.CommitWindow,
+			MaxBatch:       0,
+			FlushInterval:  fi,
+			FlushThreshold: o.FlushThreshold,
+		})
+		if err != nil {
+			db.store.Close()
+			return nil, err
+		}
+		db.rw = rw
+		db.engine = rw.Engine()
+		if o.SnapshotInterval > 0 {
+			db.snapStop = make(chan struct{})
+			db.snapDone = make(chan struct{})
+			go db.snapshotLoop(o.SnapshotInterval)
+		}
+		return db, nil
+	}
+	engine, err := core.New(o.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	db.engine = engine
+	db.store = engine.Store()
+	return db, nil
+}
+
+// snapshotLoop periodically snapshots the durable state and trims the WAL.
+func (db *DB) snapshotLoop(interval time.Duration) {
+	defer close(db.snapDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.snapStop:
+			return
+		case <-ticker.C:
+			// Errors mean the store is closing; keep ticking until stopped.
+			if _, err := db.rw.WriteSnapshot(); err == nil {
+				db.rw.TrimWAL()
+			}
+		}
+	}
+}
+
+// Close stops background work and releases the database.
+func (db *DB) Close() {
+	if db.snapStop != nil {
+		close(db.snapStop)
+		<-db.snapDone
+		db.snapStop = nil
+	}
+	db.mu.Lock()
+	replicas := db.replicas
+	db.replicas = nil
+	db.mu.Unlock()
+	for _, r := range replicas {
+		r.Stop()
+	}
+	if db.rw != nil {
+		db.rw.Stop()
+		db.store.Close()
+		return
+	}
+	db.engine.Close()
+}
+
+// writeStore returns the graph.Store handling writes (the RW node in
+// replicated mode, so the apply barrier and WAL are engaged).
+func (db *DB) writeStore() graph.Store {
+	if db.rw != nil {
+		return db.rw
+	}
+	return db.engine
+}
+
+// AddVertex upserts a vertex.
+func (db *DB) AddVertex(v Vertex) error { return db.writeStore().AddVertex(v) }
+
+// GetVertex fetches a vertex.
+func (db *DB) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return db.engine.GetVertex(id, typ)
+}
+
+// AddEdge upserts a directed edge.
+func (db *DB) AddEdge(e Edge) error { return db.writeStore().AddEdge(e) }
+
+// GetEdge fetches one edge.
+func (db *DB) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return db.engine.GetEdge(src, typ, dst)
+}
+
+// DeleteEdge removes one edge.
+func (db *DB) DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error {
+	return db.writeStore().DeleteEdge(src, typ, dst)
+}
+
+// Neighbors streams src's out-neighbors of the given edge type in
+// destination order until fn returns false or limit edges are delivered
+// (limit <= 0: unlimited).
+func (db *DB) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return db.engine.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns src's out-degree for the given edge type.
+func (db *DB) Degree(src VertexID, typ EdgeType) (int, error) {
+	return db.engine.Degree(src, typ)
+}
+
+// KHop expands hops levels of out-neighbors from start, returning the set
+// of vertices reached (excluding start). perVertexLimit bounds per-vertex
+// fan-out (<= 0: unlimited).
+func (db *DB) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	return graph.KHop(db.engine, start, typ, hops, perVertexLimit)
+}
+
+// Pattern is a small query graph for MatchPattern; see pattern.Pattern.
+type Pattern = pattern.Pattern
+
+// PatternEdge is one pattern edge between pattern-vertex indices.
+type PatternEdge = pattern.PEdge
+
+// MatchPattern finds up to maxMatches embeddings of p anchored at the
+// seed vertices.
+func (db *DB) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
+	return pattern.Match(db.engine, p, seeds, maxMatches)
+}
+
+// FindCycles returns simple cycles through start of length 2..maxLen —
+// the risk-control loop detection.
+func (db *DB) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
+	return pattern.FindCycles(db.engine, start, typ, maxLen, maxCycles)
+}
+
+// RunGC triggers one synchronous space-reclamation cycle (batch extents
+// per data stream) and returns the bytes moved.
+func (db *DB) RunGC(batch int) (int64, error) { return db.engine.RunGC(batch) }
+
+// Checkpoint flushes dirty pages and publishes a WAL checkpoint
+// (replicated mode). In non-replicated mode it is a no-op.
+func (db *DB) Checkpoint() error {
+	if db.rw == nil {
+		return nil
+	}
+	return db.rw.Checkpoint()
+}
+
+// Stats summarizes the database's I/O and space accounting.
+type Stats struct {
+	// Storage is the shared store's I/O accounting.
+	StorageReadOps   int64
+	StorageWriteOps  int64
+	BytesRead        int64
+	BytesWritten     int64
+	GCBytesMoved     int64
+	ExtentsReclaimed int64
+	ExtentsExpired   int64
+	LiveBytes        int64
+	TotalBytes       int64
+
+	// Forest shape.
+	Trees      int
+	Owners     int
+	InitKeys   int
+	Migrations int
+
+	// Memory estimate of mapping table + page caches.
+	MemoryBytes int64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	ss := db.store.Stats()
+	fs := db.engine.Forest().Stats()
+	return Stats{
+		StorageReadOps:   ss.ReadOps,
+		StorageWriteOps:  ss.WriteOps,
+		BytesRead:        ss.BytesRead,
+		BytesWritten:     ss.BytesWritten,
+		GCBytesMoved:     ss.GCBytesMoved,
+		ExtentsReclaimed: ss.ExtentsReclaimed,
+		ExtentsExpired:   ss.ExtentsExpired,
+		LiveBytes:        ss.LiveBytes,
+		TotalBytes:       ss.TotalBytes,
+		Trees:            fs.Trees,
+		Owners:           fs.Owners,
+		InitKeys:         fs.InitKeys,
+		Migrations:       fs.Migrations,
+		MemoryBytes:      fs.MemoryBytes,
+	}
+}

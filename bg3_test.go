@@ -1,0 +1,361 @@
+package bg3
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openDB(t *testing.T, opts *Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := openDB(t, nil)
+	if err := db.AddVertex(Vertex{ID: 1, Type: VTypeUser}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.GetVertex(1, VTypeUser); !ok {
+		t.Fatal("vertex lost")
+	}
+}
+
+func TestPublicGraphAPI(t *testing.T) {
+	db := openDB(t, &Options{ForestSplitThreshold: 100})
+	if err := db.AddVertex(Vertex{ID: 1, Type: VTypeUser,
+		Props: Properties{{Name: "name", Value: []byte("alice")}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(100 + i), Type: ETypeLike,
+			Props: Properties{{Name: "ts", Value: []byte(fmt.Sprint(i))}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if deg, _ := db.Degree(1, ETypeLike); deg != 50 {
+		t.Fatalf("degree = %d", deg)
+	}
+	e, ok, _ := db.GetEdge(1, ETypeLike, 110)
+	if !ok {
+		t.Fatal("edge missing")
+	}
+	if ts, _ := e.Props.Get("ts"); string(ts) != "10" {
+		t.Fatalf("edge props = %+v", e.Props)
+	}
+	if err := db.DeleteEdge(1, ETypeLike, 110); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := db.Degree(1, ETypeLike); deg != 49 {
+		t.Fatalf("degree after delete = %d", deg)
+	}
+	n := 0
+	if err := db.Neighbors(1, ETypeLike, 10, func(VertexID, Properties) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("limited neighbors = %d", n)
+	}
+}
+
+func TestKHopAndPatterns(t *testing.T) {
+	db := openDB(t, nil)
+	for _, e := range []Edge{
+		{Src: 1, Dst: 2, Type: ETypeTransfer},
+		{Src: 2, Dst: 3, Type: ETypeTransfer},
+		{Src: 3, Dst: 1, Type: ETypeTransfer},
+	} {
+		if err := db.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reached, err := db.KHop(1, ETypeTransfer, 2, 0)
+	if err != nil || len(reached) != 2 {
+		t.Fatalf("khop = %v %v", reached, err)
+	}
+	cycles, err := db.FindCycles(1, ETypeTransfer, 3, 0)
+	if err != nil || len(cycles) != 1 {
+		t.Fatalf("cycles = %v %v", cycles, err)
+	}
+	matches, err := db.MatchPattern(Pattern{N: 2, Edges: []PatternEdge{{From: 0, To: 1, Type: ETypeTransfer}}},
+		[]VertexID{1}, 0)
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("matches = %v %v", matches, err)
+	}
+}
+
+func TestReplicationAPI(t *testing.T) {
+	db := openDB(t, &Options{
+		Replicated:          true,
+		FlushInterval:       5 * time.Millisecond,
+		ReplicaPollInterval: time.Millisecond,
+	})
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(i + 100), Type: ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if deg, err := rep.Degree(1, ETypeFollow); err != nil || deg != 100 {
+		t.Fatalf("replica degree = %d %v", deg, err)
+	}
+	if _, ok, _ := rep.GetEdge(1, ETypeFollow, 142); !ok {
+		t.Fatal("replica missing edge")
+	}
+	reached, err := rep.KHop(1, ETypeFollow, 1, 0)
+	if err != nil || len(reached) != 100 {
+		t.Fatalf("replica khop = %d %v", len(reached), err)
+	}
+}
+
+func TestOpenReplicaRequiresReplication(t *testing.T) {
+	db := openDB(t, nil)
+	if _, err := db.OpenReplica(); err != ErrNotReplicated {
+		t.Fatalf("err = %v, want ErrNotReplicated", err)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	db := openDB(t, &Options{ForestSplitThreshold: 10})
+	for i := 0; i < 50; i++ {
+		if err := db.AddEdge(Edge{Src: 7, Dst: VertexID(i), Type: ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.Stats()
+	if s.StorageWriteOps == 0 || s.BytesWritten == 0 {
+		t.Fatalf("stats missing write accounting: %+v", s)
+	}
+	if s.Trees < 2 {
+		t.Fatalf("trees = %d, want the hot vertex split out", s.Trees)
+	}
+	if s.MemoryBytes == 0 {
+		t.Fatal("memory estimate is zero")
+	}
+}
+
+func TestTTLViaPublicAPI(t *testing.T) {
+	db := openDB(t, &Options{TTL: time.Millisecond, ExtentSize: 1 << 10, MaxPageEntries: 16})
+	for i := 0; i < 100; i++ {
+		if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(i), Type: ETypeTransfer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := db.RunGC(8); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().ExtentsExpired == 0 {
+		t.Fatal("TTL expiry never happened")
+	}
+}
+
+func TestCheckpointNoopWithoutReplication(t *testing.T) {
+	db := openDB(t, nil)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotAndTrimPublicAPI(t *testing.T) {
+	db := openDB(t, &Options{Replicated: true, ReplicaPollInterval: time.Millisecond})
+	for i := 0; i < 300; i++ {
+		if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(i + 10), Type: ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	db.TrimWAL() // may or may not free extents depending on sizes
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if deg, err := rep.Degree(1, ETypeFollow); err != nil || deg != 300 {
+		t.Fatalf("replica degree = %d %v, want 300", deg, err)
+	}
+}
+
+func TestSnapshotRequiresReplication(t *testing.T) {
+	db := openDB(t, nil)
+	if err := db.WriteSnapshot(); err != ErrNotReplicated {
+		t.Fatalf("err = %v, want ErrNotReplicated", err)
+	}
+	if db.TrimWAL() != 0 {
+		t.Fatal("TrimWAL on non-replicated DB freed extents")
+	}
+}
+
+func TestAutoSnapshotLoop(t *testing.T) {
+	db := openDB(t, &Options{
+		Replicated:          true,
+		SnapshotInterval:    10 * time.Millisecond,
+		ReplicaPollInterval: time.Millisecond,
+	})
+	for i := 0; i < 200; i++ {
+		if err := db.AddEdge(Edge{Src: 2, Dst: VertexID(i), Type: ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(40 * time.Millisecond) // a few snapshot ticks
+	rep, err := db.OpenReplica()      // bootstraps from the latest snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if deg, err := rep.Degree(2, ETypeLike); err != nil || deg != 200 {
+		t.Fatalf("degree = %d %v", deg, err)
+	}
+}
+
+func TestClusterDB(t *testing.T) {
+	c, err := OpenCluster(3, &Options{ReplicaPollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Shards() != 3 {
+		t.Fatalf("shards = %d", c.Shards())
+	}
+	for i := 0; i < 90; i++ {
+		if err := c.AddEdge(Edge{Src: VertexID(i % 9), Dst: VertexID(100 + i), Type: ETypeTransfer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddVertex(Vertex{ID: 4, Type: VTypeUser}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.GetVertex(4, VTypeUser); !ok {
+		t.Fatal("vertex lost")
+	}
+	view, err := c.OpenReadView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for src := 0; src < 9; src++ {
+		d, err := view.Degree(VertexID(src), ETypeTransfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	if total != 90 {
+		t.Fatalf("view total = %d", total)
+	}
+	// Cross-shard traversal and pattern matching on followers.
+	if err := c.AddEdge(Edge{Src: 200, Dst: 201, Type: ETypeTransfer}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(Edge{Src: 201, Dst: 200, Type: ETypeTransfer}); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := view.FindCycles(200, ETypeTransfer, 3, 0)
+	if err != nil || len(cycles) != 1 {
+		t.Fatalf("cycles = %v %v", cycles, err)
+	}
+	if _, err := view.KHop(200, ETypeTransfer, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCOnReplicatedDBKeepsReplicasConsistent(t *testing.T) {
+	db := openDB(t, &Options{
+		Replicated:          true,
+		ExtentSize:          4 << 10,
+		MaxPageEntries:      16,
+		ConsolidateNum:      3,
+		FlushInterval:       5 * time.Millisecond,
+		ReplicaPollInterval: time.Millisecond,
+	})
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy overwrites build garbage; each round flushes (checkpoint),
+	// reclaims, and then verifies the replica still reads a consistent
+	// view through the relocations.
+	for round := 0; round < 15; round++ {
+		for i := 0; i < 40; i++ {
+			if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(i), Type: ETypeLike,
+				Props: Properties{{Name: "r", Value: []byte{byte(round)}}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.RunGC(8); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil { // ships GC relocations
+			t.Fatal(err)
+		}
+		if err := rep.Sync(); err != nil {
+			t.Fatalf("round %d: replica sync: %v", round, err)
+		}
+		if deg, err := rep.Degree(1, ETypeLike); err != nil || deg != 40 {
+			t.Fatalf("round %d: replica degree = %d %v", round, deg, err)
+		}
+	}
+	if db.Stats().ExtentsReclaimed == 0 {
+		t.Fatal("GC never reclaimed an extent; the test exercised nothing")
+	}
+}
+
+func TestConcurrentOpenReplica(t *testing.T) {
+	db := openDB(t, &Options{Replicated: true, ReplicaPollInterval: time.Millisecond})
+	if err := db.AddEdge(Edge{Src: 1, Dst: 2, Type: ETypeFollow}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	reps := make([]*Replica, 8)
+	for i := range reps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := db.OpenReplica()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reps[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range reps {
+		if r == nil {
+			t.Fatalf("replica %d missing", i)
+		}
+		if err := r.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := r.GetEdge(1, ETypeFollow, 2); !ok {
+			t.Fatalf("replica %d missing edge", i)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package bg3
+
+import (
+	"sync"
+	"time"
+
+	"bg3/internal/graph"
+	"bg3/internal/pattern"
+	"bg3/internal/replication"
+)
+
+// ClusterDB is a multi-RW BG3 deployment (§3.1): writes are distributed
+// across distinct RW nodes by hashing the source vertex, each shard owns
+// its own shared-storage volume and WAL. Attach ReadView instances to
+// scale strongly consistent reads across follower nodes.
+type ClusterDB struct {
+	opts    Options
+	cluster *replication.Cluster
+
+	mu    sync.Mutex // guards views
+	views []*ReadView
+}
+
+var _ Store = (*ClusterDB)(nil)
+
+// OpenCluster creates a BG3 cluster with the given number of RW shards.
+// A nil opts uses defaults; the Replicated field is implied.
+func OpenCluster(shards int, opts *Options) (*ClusterDB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	fi := o.FlushInterval
+	if fi <= 0 {
+		fi = 50 * time.Millisecond
+	}
+	co := o.coreOptions()
+	co.Storage = nil
+	c, err := replication.NewCluster(shards, o.storageOptions(), replication.RWOptions{
+		Engine:         co,
+		CommitWindow:   o.CommitWindow,
+		FlushInterval:  fi,
+		FlushThreshold: o.FlushThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterDB{opts: o, cluster: c}, nil
+}
+
+// Close stops every shard and attached read view.
+func (c *ClusterDB) Close() {
+	c.mu.Lock()
+	views := c.views
+	c.views = nil
+	c.mu.Unlock()
+	for _, v := range views {
+		v.Stop()
+	}
+	c.cluster.Stop()
+}
+
+// Shards returns the number of RW nodes.
+func (c *ClusterDB) Shards() int { return c.cluster.Shards() }
+
+// AddVertex upserts a vertex on its owning shard.
+func (c *ClusterDB) AddVertex(v Vertex) error { return c.cluster.AddVertex(v) }
+
+// GetVertex fetches a vertex from its owning shard.
+func (c *ClusterDB) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return c.cluster.GetVertex(id, typ)
+}
+
+// AddEdge upserts an edge on the shard owning its source vertex.
+func (c *ClusterDB) AddEdge(e Edge) error { return c.cluster.AddEdge(e) }
+
+// GetEdge fetches one edge.
+func (c *ClusterDB) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return c.cluster.GetEdge(src, typ, dst)
+}
+
+// DeleteEdge removes one edge.
+func (c *ClusterDB) DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error {
+	return c.cluster.DeleteEdge(src, typ, dst)
+}
+
+// Neighbors streams src's out-neighbors from its owning shard.
+func (c *ClusterDB) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return c.cluster.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns src's out-degree.
+func (c *ClusterDB) Degree(src VertexID, typ EdgeType) (int, error) {
+	return c.cluster.Degree(src, typ)
+}
+
+// KHop expands multi-hop neighborhoods across shards.
+func (c *ClusterDB) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	return graph.KHop(c.cluster, start, typ, hops, perVertexLimit)
+}
+
+// Checkpoint flushes and checkpoints every shard.
+func (c *ClusterDB) Checkpoint() error { return c.cluster.Checkpoint() }
+
+// ReadView is a strongly consistent, read-only view of a ClusterDB: one
+// follower per shard, reads routed by the cluster's hash.
+type ReadView struct {
+	view *replication.ReadView
+}
+
+// OpenReadView attaches one follower node per shard.
+func (c *ClusterDB) OpenReadView() (*ReadView, error) {
+	interval := c.opts.ReplicaPollInterval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	v, err := c.cluster.OpenReadView(interval, c.opts.ReplicaCacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	rv := &ReadView{view: v}
+	c.mu.Lock()
+	c.views = append(c.views, rv)
+	c.mu.Unlock()
+	return rv, nil
+}
+
+// Stop detaches the view's followers.
+func (v *ReadView) Stop() { v.view.Stop() }
+
+// Sync drains every shard's WAL so subsequent reads observe everything
+// acknowledged so far.
+func (v *ReadView) Sync() error { return v.view.Sync() }
+
+// GetVertex fetches a vertex.
+func (v *ReadView) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return v.view.GetVertex(id, typ)
+}
+
+// GetEdge fetches one edge.
+func (v *ReadView) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return v.view.GetEdge(src, typ, dst)
+}
+
+// Neighbors streams out-neighbors.
+func (v *ReadView) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return v.view.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns out-degree.
+func (v *ReadView) Degree(src VertexID, typ EdgeType) (int, error) {
+	return v.view.Degree(src, typ)
+}
+
+// KHop expands multi-hop neighborhoods on the followers.
+func (v *ReadView) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	return graph.KHop(v.view.AsStore(), start, typ, hops, perVertexLimit)
+}
+
+// MatchPattern runs subgraph matching on the followers.
+func (v *ReadView) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
+	return pattern.Match(v.view.AsStore(), p, seeds, maxMatches)
+}
+
+// FindCycles runs loop detection on the followers.
+func (v *ReadView) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
+	return pattern.FindCycles(v.view.AsStore(), start, typ, maxLen, maxCycles)
+}

@@ -1,0 +1,71 @@
+// Command bg3-bench runs the reproduction experiments for every table and
+// figure in BG3's evaluation (§4) and prints paper-style tables.
+//
+// Usage:
+//
+//	bg3-bench [-scale small|medium|large] [-exp all|fig8v|fig8h|fig9|fig10|fig11|table2|fig12|fig13|fig14|cost]
+//
+// See DESIGN.md §2 for the experiment-to-paper mapping and EXPERIMENTS.md
+// for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bg3/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "experiment scale: small, medium, or large")
+	expFlag := flag.String("exp", "all", "experiment to run: all, fig8v, fig8h, fig9, fig10, fig11, table2, fig12, fig13, fig14, cost")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "small":
+		scale = experiments.Small
+	case "medium":
+		scale = experiments.Medium
+	case "large":
+		scale = experiments.Large
+	default:
+		fmt.Fprintf(os.Stderr, "bg3-bench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	runners := map[string]func(){
+		"fig8v":  func() { experiments.Fig8Vertical(scale, nil, os.Stdout) },
+		"fig8h":  func() { experiments.Fig8Horizontal(scale, nil, os.Stdout) },
+		"fig9":   func() { experiments.Fig9ReadAmplification(scale, os.Stdout) },
+		"fig10":  func() { experiments.Fig10WriteBandwidth(scale, os.Stdout) },
+		"fig11":  func() { experiments.Fig11ForestScaling(scale, nil, os.Stdout) },
+		"table2": func() { experiments.Table2SpaceReclamation(scale, os.Stdout) },
+		"fig12":  func() { experiments.Fig12Recall(scale, nil, os.Stdout) },
+		"fig13":  func() { experiments.Fig13SyncLatency(scale, nil, os.Stdout) },
+		"fig14":  func() { experiments.Fig14ROScaling(scale, nil, os.Stdout) },
+		"cost":   func() { experiments.StorageCost(scale, os.Stdout) },
+	}
+	// Deterministic run order for -exp all.
+	order := []string{"fig8v", "fig8h", "cost", "fig9", "fig10", "fig11", "table2", "fig12", "fig13", "fig14"}
+
+	name := strings.ToLower(*expFlag)
+	if name == "all" {
+		start := time.Now()
+		fmt.Printf("BG3 reproduction suite — scale=%s\n", scale)
+		for _, n := range order {
+			runners[n]()
+		}
+		fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Second))
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bg3-bench: unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	bg3 "bg3"
+)
+
+func newDB(t *testing.T) *bg3.DB {
+	t.Helper()
+	db, err := bg3.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func run(t *testing.T, db *bg3.DB, line string) error {
+	t.Helper()
+	return dispatch(db, strings.Fields(line))
+}
+
+func TestDispatchAddAndGet(t *testing.T) {
+	db := newDB(t)
+	for _, cmd := range []string{
+		"addv 1 user",
+		"addv 2 video",
+		"adde 1 2 like ts=123",
+		"adde 1 3 like",
+		"get 1 2 like",
+		"neighbors 1 like",
+		"neighbors 1 like 1",
+		"degree 1 like",
+		"khop 1 like 2",
+		"gc 2",
+		"stats",
+	} {
+		if err := run(t, db, cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if deg, _ := db.Degree(1, bg3.ETypeLike); deg != 2 {
+		t.Fatalf("degree = %d, want 2", deg)
+	}
+	if err := run(t, db, "dele 1 2 like"); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := db.Degree(1, bg3.ETypeLike); deg != 1 {
+		t.Fatalf("degree after dele = %d", deg)
+	}
+}
+
+func TestDispatchCycles(t *testing.T) {
+	db := newDB(t)
+	for _, cmd := range []string{
+		"adde 1 2 transfer",
+		"adde 2 1 transfer",
+		"cycles 1 transfer 3",
+	} {
+		if err := run(t, db, cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+}
+
+func TestDispatchNumericEdgeType(t *testing.T) {
+	db := newDB(t)
+	if err := run(t, db, "adde 1 2 7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.GetEdge(1, bg3.EdgeType(7), 2); !ok {
+		t.Fatal("numeric edge type not stored")
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	db := newDB(t)
+	bad := []string{
+		"addv",                // missing args
+		"addv 1 alien",        // unknown vertex type
+		"adde 1 2",            // missing type
+		"adde 1 2 nosuchtype", // unknown edge type
+		"adde 1 2 like ts",    // malformed property
+		"neighbors 1",         // missing type
+		"frobnicate",          // unknown command
+	}
+	for _, cmd := range bad {
+		if err := run(t, db, cmd); err == nil {
+			t.Fatalf("%q succeeded, want error", cmd)
+		}
+	}
+	if err := run(t, db, "help"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t, db, "quit"); err != errQuit {
+		t.Fatalf("quit = %v, want errQuit", err)
+	}
+}

@@ -1,0 +1,92 @@
+// Command bg3-loadgen drives one of the Table 1 workloads against an
+// in-process BG3 instance and reports throughput — a quick soak/smoke tool
+// for the engine.
+//
+//	bg3-loadgen -workload follow -vertices 50000 -preload 200000 -workers 8 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	bg3 "bg3"
+	"bg3/internal/bytegraph"
+	"bg3/internal/graph"
+	"bg3/internal/neptunesim"
+	"bg3/internal/workload"
+)
+
+func main() {
+	engineFlag := flag.String("engine", "bg3", "engine: bg3, bytegraph, or neptune")
+	workloadFlag := flag.String("workload", "follow", "workload: follow, risk, or recommend")
+	vertices := flag.Int("vertices", 20_000, "vertex universe size")
+	preload := flag.Int("preload", 100_000, "edges preloaded before measurement")
+	workers := flag.Int("workers", 8, "concurrent client goroutines")
+	duration := flag.Duration("duration", 3*time.Second, "measurement duration")
+	split := flag.Int("forest-split", 512, "forest per-owner split threshold (0 disables)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var gen workload.Generator
+	var etype bg3.EdgeType
+	switch strings.ToLower(*workloadFlag) {
+	case "follow":
+		gen = workload.NewDouyinFollow(*vertices, *seed)
+		etype = bg3.ETypeFollow
+	case "risk":
+		gen = workload.NewRiskControl(*vertices, *seed)
+		etype = bg3.ETypeTransfer
+	case "recommend":
+		gen = workload.NewRecommendation(*vertices, *seed)
+		etype = bg3.ETypeFollow
+	default:
+		fmt.Fprintf(os.Stderr, "bg3-loadgen: unknown workload %q\n", *workloadFlag)
+		os.Exit(2)
+	}
+
+	var store graph.Store
+	var db *bg3.DB
+	switch strings.ToLower(*engineFlag) {
+	case "bg3":
+		var err error
+		db, err = bg3.Open(&bg3.Options{ForestSplitThreshold: *split})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bg3-loadgen:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		store = db
+	case "bytegraph":
+		store = bytegraph.New(bytegraph.Config{})
+	case "neptune":
+		store = neptunesim.New(neptunesim.Config{})
+	default:
+		fmt.Fprintf(os.Stderr, "bg3-loadgen: unknown engine %q\n", *engineFlag)
+		os.Exit(2)
+	}
+
+	fmt.Printf("preloading %d edges over %d vertices...\n", *preload, *vertices)
+	start := time.Now()
+	if err := workload.Preload(store, workload.PreloadSpec{
+		Vertices: *vertices, Edges: *preload, Type: etype, Seed: *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bg3-loadgen: preload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("preload done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("running %s with %d workers for %v...\n", gen.Name(), *workers, *duration)
+	res := workload.RunFor(store, gen, *workers, *duration, *seed+100)
+	fmt.Printf("ops=%d errors=%d elapsed=%v throughput=%.0f ops/s p50=%v p99=%v\n",
+		res.Ops, res.Errors, res.Duration.Round(time.Millisecond), res.Throughput,
+		res.LatencyP50, res.LatencyP99)
+
+	if db != nil {
+		s := db.Stats()
+		fmt.Printf("storage: %d reads / %d writes, %.1f MB written, %d trees, %d migrations\n",
+			s.StorageReadOps, s.StorageWriteOps, float64(s.BytesWritten)/(1<<20), s.Trees, s.Migrations)
+	}
+}

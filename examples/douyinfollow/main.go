@@ -1,0 +1,97 @@
+// Douyin-follow example: the paper's flagship serving workload (Table 1) —
+// a follow graph with power-law popularity, 99% one-hop reads and 1% edge
+// inserts. Demonstrates the Bw-tree forest in action: popular creators
+// cross the split threshold and migrate to dedicated Bw-trees, diluting
+// write conflicts (§3.2.1).
+//
+//	go run ./examples/douyinfollow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	bg3 "bg3"
+)
+
+const (
+	users          = 20_000
+	preloadFollows = 150_000
+	splitThreshold = 256
+)
+
+func main() {
+	db, err := bg3.Open(&bg3.Options{
+		// Creators whose follower list outgrows the threshold get a
+		// dedicated Bw-tree.
+		ForestSplitThreshold: splitThreshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Build the follow graph: "follower follows creator", with creator
+	// popularity drawn from a power law — a handful of celebrities collect
+	// most follows, exactly the skew the forest design targets. Edges are
+	// stored under the *creator* (fan-out list of followers), mirroring
+	// the paper's "enumerate all followers of a particular user" query.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.3, 1, users-1)
+	fmt.Printf("ingesting %d follow records...\n", preloadFollows)
+	start := time.Now()
+	for i := 0; i < preloadFollows; i++ {
+		creator := bg3.VertexID(zipf.Uint64())
+		follower := bg3.VertexID(rng.Intn(users))
+		if err := db.AddEdge(bg3.Edge{
+			Src: creator, Dst: follower, Type: bg3.ETypeFollow,
+			Props: bg3.Properties{{Name: "ts", Value: []byte(fmt.Sprint(i))}},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("ingest done in %v (%.0f inserts/s)\n",
+		time.Since(start).Round(time.Millisecond),
+		preloadFollows/time.Since(start).Seconds())
+
+	// The forest after ingest: hot creators live in their own trees.
+	s := db.Stats()
+	fmt.Printf("forest: %d Bw-trees (%d owners seen, %d migrations, %d keys left in INIT)\n",
+		s.Trees, s.Owners, s.Migrations, s.InitKeys)
+
+	// Celebrity lookups: follower counts of the hottest creators.
+	fmt.Println("top creators by follower count:")
+	for id := bg3.VertexID(0); id < 5; id++ {
+		deg, err := db.Degree(id, bg3.ETypeFollow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  creator %d: %d followers\n", id, deg)
+	}
+
+	// The serving mix: 99% "list followers (first page)" / 1% insert.
+	const serveOps = 50_000
+	fmt.Printf("serving %d operations (99%% read / 1%% write)...\n", serveOps)
+	start = time.Now()
+	reads, writes := 0, 0
+	for i := 0; i < serveOps; i++ {
+		if rng.Intn(100) == 0 {
+			creator := bg3.VertexID(zipf.Uint64())
+			if err := db.AddEdge(bg3.Edge{Src: creator, Dst: bg3.VertexID(rng.Intn(users)), Type: bg3.ETypeFollow}); err != nil {
+				log.Fatal(err)
+			}
+			writes++
+		} else {
+			creator := bg3.VertexID(zipf.Uint64())
+			if err := db.Neighbors(creator, bg3.ETypeFollow, 20, func(bg3.VertexID, bg3.Properties) bool { return true }); err != nil {
+				log.Fatal(err)
+			}
+			reads++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("served %d reads + %d writes in %v (%.0f ops/s)\n",
+		reads, writes, elapsed.Round(time.Millisecond), serveOps/elapsed.Seconds())
+}

@@ -1,0 +1,75 @@
+// Quickstart: open a BG3 database, write a small social graph, and read it
+// back — the minimal end-to-end use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bg3 "bg3"
+)
+
+func main() {
+	// An in-process BG3 instance with defaults: read-optimized Bw-trees on
+	// append-only storage, workload-aware GC, no replication.
+	db, err := bg3.Open(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Vertices carry typed property lists.
+	users := []string{"alice", "bob", "carol"}
+	for i, name := range users {
+		if err := db.AddVertex(bg3.Vertex{
+			ID:    bg3.VertexID(i + 1),
+			Type:  bg3.VTypeUser,
+			Props: bg3.Properties{{Name: "name", Value: []byte(name)}},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Directed, typed edges: alice follows bob and carol; bob follows carol.
+	follows := [][2]bg3.VertexID{{1, 2}, {1, 3}, {2, 3}}
+	for _, f := range follows {
+		if err := db.AddEdge(bg3.Edge{
+			Src: f[0], Dst: f[1], Type: bg3.ETypeFollow,
+			Props: bg3.Properties{{Name: "since", Value: []byte("2024")}},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One-hop: who does alice follow?
+	fmt.Print("alice follows:")
+	if err := db.Neighbors(1, bg3.ETypeFollow, 0, func(dst bg3.VertexID, _ bg3.Properties) bool {
+		v, _, _ := db.GetVertex(dst, bg3.VTypeUser)
+		name, _ := v.Props.Get("name")
+		fmt.Printf(" %s", name)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Point lookup with properties.
+	if e, ok, _ := db.GetEdge(1, bg3.ETypeFollow, 2); ok {
+		since, _ := e.Props.Get("since")
+		fmt.Printf("alice -> bob since %s\n", since)
+	}
+
+	// Multi-hop expansion.
+	reached, err := db.KHop(1, bg3.ETypeFollow, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 2 hops of alice: %d vertices\n", len(reached))
+
+	// Engine statistics: everything is persisted out-of-place on the
+	// append-only store.
+	s := db.Stats()
+	fmt.Printf("storage writes: %d ops, %d bytes\n", s.StorageWriteOps, s.BytesWritten)
+}

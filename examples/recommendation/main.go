@@ -1,0 +1,105 @@
+// Douyin-recommendation example: the read-only multi-hop workload of
+// Table 1 — generate candidate subgraphs for a recommendation model by
+// expanding 1–3 hops from a user (70% 1-hop, 20% 2-hop, 10% 3-hop).
+//
+//	go run ./examples/recommendation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	bg3 "bg3"
+)
+
+const (
+	users       = 10_000
+	videos      = 40_000
+	likeEdges   = 120_000
+	followEdges = 60_000
+)
+
+func main() {
+	db, err := bg3.Open(&bg3.Options{ForestSplitThreshold: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Bipartite-ish interest graph: users follow users, users like videos.
+	// Video IDs live above the user ID space.
+	rng := rand.New(rand.NewSource(11))
+	userZipf := rand.NewZipf(rng, 1.2, 1, users-1)
+	videoZipf := rand.NewZipf(rng, 1.2, 1, videos-1)
+
+	fmt.Println("building the interest graph...")
+	for i := 0; i < followEdges; i++ {
+		src := bg3.VertexID(rng.Intn(users))
+		dst := bg3.VertexID(userZipf.Uint64())
+		if src == dst {
+			continue
+		}
+		if err := db.AddEdge(bg3.Edge{Src: src, Dst: dst, Type: bg3.ETypeFollow}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < likeEdges; i++ {
+		user := bg3.VertexID(rng.Intn(users))
+		video := bg3.VertexID(users + int(videoZipf.Uint64()))
+		if err := db.AddEdge(bg3.Edge{Src: user, Dst: video, Type: bg3.ETypeLike}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The serving loop: draw a user, expand 1–3 hops over the follow
+	// graph, then collect the liked videos of the reached users — the
+	// candidate subgraph handed to the ranking model downstream.
+	const queries = 5_000
+	fmt.Printf("serving %d recommendation queries...\n", queries)
+	hopHist := map[int]int{}
+	var candidates int
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		user := bg3.VertexID(rng.Intn(users))
+		hops := 1
+		switch p := rng.Intn(100); {
+		case p < 70:
+			hops = 1
+		case p < 90:
+			hops = 2
+		default:
+			hops = 3
+		}
+		hopHist[hops]++
+		reached, err := db.KHop(user, bg3.ETypeFollow, hops, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seen := map[bg3.VertexID]struct{}{}
+		collect := func(u bg3.VertexID) error {
+			return db.Neighbors(u, bg3.ETypeLike, 8, func(video bg3.VertexID, _ bg3.Properties) bool {
+				seen[video] = struct{}{}
+				return true
+			})
+		}
+		if err := collect(user); err != nil {
+			log.Fatal(err)
+		}
+		for u := range reached {
+			if err := collect(u); err != nil {
+				log.Fatal(err)
+			}
+		}
+		candidates += len(seen)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("hop mix: 1-hop=%d 2-hop=%d 3-hop=%d\n", hopHist[1], hopHist[2], hopHist[3])
+	fmt.Printf("avg candidate videos per query: %.1f\n", float64(candidates)/queries)
+	fmt.Printf("throughput: %.0f queries/s (%v total)\n", queries/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+
+	s := db.Stats()
+	fmt.Printf("engine: %d trees, %.1f MB written, %.1f MB live\n",
+		s.Trees, float64(s.BytesWritten)/(1<<20), float64(s.LiveBytes)/(1<<20))
+}

@@ -1,0 +1,3 @@
+module bg3
+
+go 1.24

@@ -1,0 +1,101 @@
+// Package bwtree implements BG3's Bw-tree-like graph storage engine (§3.2):
+// a B-tree of logical pages indirected through a mapping table, with
+// out-of-place base+delta persistence on append-only shared storage.
+//
+// Two delta policies are provided:
+//
+//   - Traditional: the classic Bw-tree (and SLED) behaviour. Every update
+//     appends one delta record to the page's chain; a page with n deltas
+//     costs 1+n random storage reads to materialize on a cache miss.
+//   - ReadOptimized: BG3's Algorithm 1. Updates are merged with the page's
+//     existing delta so each page carries at most one delta; a cache miss
+//     costs at most two storage reads, at the price of slightly more bytes
+//     written (the delta is rewritten on every update).
+//
+// Concurrency follows the paper: classic lightweight latches (one per
+// mapping-table entry) rather than lock-free CAS chains, plus a tree-level
+// RW latch protecting the inner-node structure during splits.
+package bwtree
+
+// DeltaPolicy selects how updates are persisted.
+type DeltaPolicy int
+
+const (
+	// ReadOptimized keeps at most one (merged) delta per page — BG3's
+	// policy (§3.2.2, Algorithm 1).
+	ReadOptimized DeltaPolicy = iota
+	// Traditional chains one delta per update, consolidating after
+	// ConsolidateNum deltas — the SLED-like baseline.
+	Traditional
+)
+
+// String returns the policy name.
+func (p DeltaPolicy) String() string {
+	if p == Traditional {
+		return "traditional"
+	}
+	return "read-optimized"
+}
+
+// FlushMode selects when page modifications reach storage.
+type FlushMode int
+
+const (
+	// FlushSync persists every update before Put returns (Algorithm 1's
+	// inline Flush calls). Used by standalone trees and the
+	// micro-benchmarks.
+	FlushSync FlushMode = iota
+	// FlushAsync applies updates in memory and lets a background flusher
+	// (group commit, §3.4 "I/O Efficiency") persist dirty pages. Used by
+	// the replicated RW node; requires the WAL for durability.
+	FlushAsync
+)
+
+// Config parameterizes a Tree. The zero value gives a read-optimized,
+// synchronously flushed tree with an unlimited cache.
+type Config struct {
+	// Policy is the delta policy (default ReadOptimized).
+	Policy DeltaPolicy
+
+	// FlushMode selects sync or async persistence (default FlushSync).
+	FlushMode FlushMode
+
+	// ConsolidateNum is the delta count that triggers consolidation into a
+	// fresh base page. The paper's micro-benchmarks use 10. Default 10.
+	ConsolidateNum int
+
+	// MaxPageEntries is the number of keys a leaf holds before splitting.
+	// Default 128.
+	MaxPageEntries int
+
+	// MaxInnerEntries is the fan-out of inner nodes before they split.
+	// Default 128.
+	MaxInnerEntries int
+
+	// CacheCapacity bounds the number of leaf pages with resident content.
+	// 0 means unlimited.
+	CacheCapacity int
+
+	// NoCache disables the page cache entirely so that every read hits
+	// storage — the configuration of the Fig. 9 read-amplification
+	// experiment.
+	NoCache bool
+
+	// DisableSplit prevents page splits ("we restricted BG3 from splitting
+	// the Bw-tree", §4.3.1). Pages grow without bound; use only in
+	// controlled experiments.
+	DisableSplit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConsolidateNum <= 0 {
+		c.ConsolidateNum = 10
+	}
+	if c.MaxPageEntries <= 0 {
+		c.MaxPageEntries = 128
+	}
+	if c.MaxInnerEntries <= 0 {
+		c.MaxInnerEntries = 128
+	}
+	return c
+}

@@ -1,0 +1,170 @@
+package bwtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// kv is one key-value pair in a materialized page.
+type kv struct {
+	key []byte
+	val []byte
+}
+
+// op is one logical update carried by a delta record.
+type op struct {
+	del bool
+	key []byte
+	val []byte
+}
+
+// ErrCorruptPage is returned when a durable page image fails to decode.
+var ErrCorruptPage = errors.New("bwtree: corrupt page image")
+
+// encodeLeaf serializes a materialized leaf page:
+//
+//	count[4] { klen[4] vlen[4] key val }*
+func encodeLeaf(entries []kv) []byte {
+	size := 4
+	for _, e := range entries {
+		size += 8 + len(e.key) + len(e.val)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.key)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.val)))
+		buf = append(buf, e.key...)
+		buf = append(buf, e.val...)
+	}
+	return buf
+}
+
+func decodeLeaf(buf []byte) ([]kv, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short leaf", ErrCorruptPage)
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	entries := make([]kv, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("%w: truncated leaf entry %d", ErrCorruptPage, i)
+		}
+		klen := binary.LittleEndian.Uint32(buf)
+		vlen := binary.LittleEndian.Uint32(buf[4:])
+		buf = buf[8:]
+		if uint32(len(buf)) < klen+vlen {
+			return nil, fmt.Errorf("%w: truncated leaf payload %d", ErrCorruptPage, i)
+		}
+		entries = append(entries, kv{
+			key: append([]byte(nil), buf[:klen]...),
+			val: append([]byte(nil), buf[klen:klen+vlen]...),
+		})
+		buf = buf[klen+vlen:]
+	}
+	return entries, nil
+}
+
+// encodeOps serializes a delta record (one op for the traditional policy,
+// the whole merged history for the read-optimized policy):
+//
+//	count[4] { del[1] klen[4] vlen[4] key val }*
+func encodeOps(ops []op) []byte {
+	size := 4
+	for _, o := range ops {
+		size += 9 + len(o.key) + len(o.val)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)))
+	for _, o := range ops {
+		if o.del {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.key)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.val)))
+		buf = append(buf, o.key...)
+		buf = append(buf, o.val...)
+	}
+	return buf
+}
+
+func decodeOps(buf []byte) ([]op, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short delta", ErrCorruptPage)
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	ops := make([]op, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 9 {
+			return nil, fmt.Errorf("%w: truncated delta op %d", ErrCorruptPage, i)
+		}
+		del := buf[0] == 1
+		klen := binary.LittleEndian.Uint32(buf[1:])
+		vlen := binary.LittleEndian.Uint32(buf[5:])
+		buf = buf[9:]
+		if uint32(len(buf)) < klen+vlen {
+			return nil, fmt.Errorf("%w: truncated delta payload %d", ErrCorruptPage, i)
+		}
+		o := op{del: del, key: append([]byte(nil), buf[:klen]...)}
+		if vlen > 0 {
+			o.val = append([]byte(nil), buf[klen:klen+vlen]...)
+		}
+		ops = append(ops, o)
+		buf = buf[klen+vlen:]
+	}
+	return ops, nil
+}
+
+// encodeInner serializes an inner node:
+//
+//	nchildren[4] { child[8] }* { klen[4] key }*   (nkeys = nchildren-1)
+func encodeInner(n *innerNode) []byte {
+	size := 4 + 8*len(n.children)
+	for _, k := range n.keys {
+		size += 4 + len(k)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.children)))
+	for _, c := range n.children {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	}
+	for _, k := range n.keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+	}
+	return buf
+}
+
+func decodeInner(buf []byte) (*innerNode, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short inner", ErrCorruptPage)
+	}
+	nc := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if nc == 0 || uint32(len(buf)) < nc*8 {
+		return nil, fmt.Errorf("%w: truncated inner children", ErrCorruptPage)
+	}
+	n := &innerNode{children: make([]PageID, nc), keys: make([][]byte, 0, nc-1)}
+	for i := range n.children {
+		n.children[i] = PageID(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	for i := uint32(0); i+1 < nc; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("%w: truncated inner key %d", ErrCorruptPage, i)
+		}
+		klen := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < klen {
+			return nil, fmt.Errorf("%w: truncated inner key payload %d", ErrCorruptPage, i)
+		}
+		n.keys = append(n.keys, append([]byte(nil), buf[:klen]...))
+		buf = buf[klen:]
+	}
+	return n, nil
+}

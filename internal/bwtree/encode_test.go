@@ -1,0 +1,140 @@
+package bwtree
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bg3/internal/storage"
+)
+
+func TestLeafEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte) bool {
+		var entries []kv
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			entries = append(entries, kv{key: k, val: v})
+		}
+		out, err := decodeLeaf(encodeLeaf(entries))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if !bytes.Equal(out[i].key, entries[i].key) || !bytes.Equal(out[i].val, entries[i].val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(dels []bool, keys [][]byte) bool {
+		var ops []op
+		for i, k := range keys {
+			del := i < len(dels) && dels[i]
+			o := op{del: del, key: k}
+			if !del {
+				o.val = k
+			}
+			ops = append(ops, o)
+		}
+		out, err := decodeOps(encodeOps(ops))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if out[i].del != ops[i].del || !bytes.Equal(out[i].key, ops[i].key) || !bytes.Equal(out[i].val, ops[i].val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerEncodeDecodeRoundTrip(t *testing.T) {
+	in := &innerNode{
+		keys:     [][]byte{[]byte("m"), []byte("t")},
+		children: []PageID{1, 2, 3},
+	}
+	out, err := decodeInner(encodeInner(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.children) != 3 || out.children[2] != 3 {
+		t.Fatalf("children = %v", out.children)
+	}
+	if len(out.keys) != 2 || string(out.keys[0]) != "m" || string(out.keys[1]) != "t" {
+		t.Fatalf("keys = %q", out.keys)
+	}
+}
+
+func TestDecodeCorruptImages(t *testing.T) {
+	leafCases := [][]byte{
+		nil,
+		{1, 2},
+		{5, 0, 0, 0},                    // claims 5 entries, no payload
+		{1, 0, 0, 0, 10, 0, 0, 0, 0, 0}, // truncated lengths
+		append(encodeLeaf([]kv{{key: []byte("k"), val: []byte("v")}}), 0xFF), // trailing... still decodes first entry
+	}
+	for i, buf := range leafCases[:4] {
+		if _, err := decodeLeaf(buf); err == nil {
+			t.Fatalf("leaf case %d decoded", i)
+		}
+	}
+	opCases := [][]byte{
+		nil,
+		{9, 0, 0, 0},
+		{1, 0, 0, 0, 1, 5, 0, 0, 0},
+	}
+	for i, buf := range opCases {
+		if _, err := decodeOps(buf); err == nil {
+			t.Fatalf("ops case %d decoded", i)
+		}
+	}
+	innerCases := [][]byte{
+		nil,
+		{0, 0, 0, 0},          // zero children
+		{2, 0, 0, 0, 1, 2, 3}, // truncated children
+	}
+	for i, buf := range innerCases {
+		if _, err := decodeInner(buf); err == nil {
+			t.Fatalf("inner case %d decoded", i)
+		}
+	}
+}
+
+func TestPutAfterStoreClose(t *testing.T) {
+	st := storage.Open(nil)
+	m := NewMapping(0, false)
+	tr, err := New(m, st, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := tr.Put([]byte("b"), []byte("2")); err == nil {
+		t.Fatal("put against a closed store succeeded")
+	}
+	// Cached reads still serve.
+	if _, ok, err := tr.Get([]byte("a")); err != nil || !ok {
+		t.Fatalf("cached read after close = %v %v", ok, err)
+	}
+}

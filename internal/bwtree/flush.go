@@ -1,0 +1,178 @@
+package bwtree
+
+import (
+	"fmt"
+
+	"bg3/internal/storage"
+)
+
+// MappingUpdate describes the new durable location of one page after a
+// group-commit flush. The RW node encodes these into the checkpoint WAL
+// record (§3.4 step 8) so RO nodes can advance their page tables.
+type MappingUpdate struct {
+	Tree   TreeID
+	Page   PageID
+	Base   storage.Loc
+	Deltas []storage.Loc
+}
+
+// DirtyCount returns the number of pages awaiting a flush. Only meaningful
+// in FlushAsync mode. The mode check (immutable after construction) gates
+// entry; the map itself is only touched under dirtyMu and is never
+// replaced, so concurrent flushers cannot race on its header.
+func (t *Tree) DirtyCount() int {
+	if t.cfg.FlushMode != FlushAsync {
+		return 0
+	}
+	t.dirtyMu.Lock()
+	defer t.dirtyMu.Unlock()
+	return len(t.dirtySet)
+}
+
+// FlushDirty persists every dirty page (the group commit of §3.4: "dirty
+// pages are flushed by a background thread once they reach a threshold")
+// and returns the mapping updates describing the new durable locations.
+// Only meaningful in FlushAsync mode; in sync mode it returns nil. Safe
+// for concurrent callers (the background flusher and a manual checkpoint
+// or snapshot may overlap).
+func (t *Tree) FlushDirty() ([]MappingUpdate, error) {
+	if t.cfg.FlushMode != FlushAsync {
+		return nil, nil
+	}
+	t.dirtyMu.Lock()
+	ids := make([]PageID, 0, len(t.dirtySet))
+	for id := range t.dirtySet {
+		ids = append(ids, id)
+	}
+	clear(t.dirtySet)
+	t.dirtyMu.Unlock()
+
+	updates := make([]MappingUpdate, 0, len(ids))
+	for _, id := range ids {
+		e := t.m.get(id)
+		if e == nil {
+			continue
+		}
+		e.mu.Lock()
+		up, err := t.flushPageLocked(e)
+		e.mu.Unlock()
+		if err != nil {
+			return updates, err
+		}
+		if up != nil {
+			updates = append(updates, *up)
+		}
+	}
+	return updates, nil
+}
+
+// flushPageLocked persists one dirty page. e.mu must be held.
+func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
+	if !e.dirty {
+		return nil, nil
+	}
+	if e.cached == nil {
+		return nil, fmt.Errorf("bwtree: dirty page %d lost its content", e.id)
+	}
+	rewriteBase := e.splitPending ||
+		e.baseLoc.IsZero() ||
+		len(e.deltaOps)+len(e.pending) > t.cfg.ConsolidateNum
+
+	if rewriteBase {
+		loc, err := t.store.Append(storage.StreamBase, uint64(e.id), encodeLeaf(e.cached))
+		if err != nil {
+			return nil, err
+		}
+		if !e.baseLoc.IsZero() {
+			t.store.Invalidate(e.baseLoc)
+		}
+		for _, old := range e.deltaLocs {
+			t.store.Invalidate(old)
+		}
+		e.baseLoc = loc
+		e.deltaLocs = nil
+		e.deltaOps = nil
+		if !e.splitPending {
+			t.consolidations.Add(1)
+		}
+	} else if t.cfg.Policy == ReadOptimized {
+		merged := make([]op, 0, len(e.deltaOps)+len(e.pending))
+		merged = append(merged, e.deltaOps...)
+		merged = append(merged, e.pending...)
+		loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps(merged))
+		if err != nil {
+			return nil, err
+		}
+		for _, old := range e.deltaLocs {
+			t.store.Invalidate(old)
+		}
+		e.deltaLocs = e.deltaLocs[:0]
+		e.deltaLocs = append(e.deltaLocs, loc)
+		e.deltaOps = merged
+	} else {
+		// Traditional policy under async flushing: one delta per pending op.
+		for _, o := range e.pending {
+			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
+			if err != nil {
+				return nil, err
+			}
+			e.deltaLocs = append(e.deltaLocs, loc)
+			e.deltaOps = append(e.deltaOps, o)
+		}
+	}
+
+	e.pending = nil
+	e.dirty = false
+	e.splitPending = false
+	up := &MappingUpdate{
+		Tree: t.id, Page: e.id, Base: e.baseLoc,
+		Deltas: append([]storage.Loc(nil), e.deltaLocs...),
+	}
+	return up, nil
+}
+
+// LeafDirectory returns every leaf's (lowKey, pageID) pair in key order —
+// the routing table a replica bootstraps from. The first leaf's low key is
+// nil (−∞).
+func (t *Tree) LeafDirectory() []LeafInfo {
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
+	// Descend to the leftmost leaf, then walk the sibling chain.
+	id := t.root
+	for {
+		e := t.m.get(id)
+		if e == nil {
+			return nil
+		}
+		if e.isLeaf {
+			break
+		}
+		id = e.inner.children[0]
+	}
+	var out []LeafInfo
+	for id != 0 {
+		e := t.m.get(id)
+		if e == nil {
+			break
+		}
+		e.mu.Lock()
+		out = append(out, LeafInfo{
+			Page: e.id,
+			Lo:   append([]byte(nil), e.lo...),
+			Base: e.baseLoc,
+			Deltas: append([]storage.Loc(nil),
+				e.deltaLocs...),
+		})
+		id = e.next
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// LeafInfo describes one leaf for replica bootstrap.
+type LeafInfo struct {
+	Page   PageID
+	Lo     []byte // nil on the leftmost leaf
+	Base   storage.Loc
+	Deltas []storage.Loc
+}

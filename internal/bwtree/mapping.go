@@ -1,0 +1,308 @@
+package bwtree
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// PageID identifies a logical page across all trees sharing one mapping
+// table. 0 is never assigned.
+type PageID uint64
+
+// TreeID identifies a Bw-tree within a forest. 0 is never assigned.
+type TreeID uint64
+
+// innerNode is the always-resident content of an inner (index) page:
+// children[i] routes keys in [keys[i-1], keys[i]).
+type innerNode struct {
+	keys     [][]byte
+	children []PageID
+	loc      storage.Loc // durable image in the base stream
+}
+
+// pageEntry is one slot of the Bw-tree mapping table. The per-entry mutex
+// is the paper's "classic lightweight locking mechanism": writers latch the
+// page for the duration of the update; concurrent writers to the same page
+// serialize here, which is exactly the write-conflict phenomenon the
+// Bw-tree forest (§3.2.1) is designed to dilute.
+type pageEntry struct {
+	mu   sync.Mutex
+	id   PageID
+	tree *Tree
+
+	isLeaf bool
+	inner  *innerNode // inner pages only
+
+	// Durable state (leaf pages).
+	baseLoc   storage.Loc
+	deltaLocs []storage.Loc // oldest first
+	deltaOps  []op          // ops carried by the durable deltas, oldest first
+
+	// Volatile state (leaf pages).
+	cached       []kv // fully applied content; nil when evicted
+	pending      []op // applied in memory, not yet durable (async mode)
+	dirty        bool // has non-durable changes (async mode)
+	splitPending bool // the page split in memory; next flush must rewrite its base
+
+	lo, hi []byte // key range covered: [lo, hi), hi == nil means +inf
+	next   PageID // right sibling, 0 at the rightmost leaf
+
+	lsn wal.LSN // LSN of the newest update applied to this page
+}
+
+// Mapping is the shared mapping table: PageID -> page entry. A forest of
+// trees shares a single Mapping (and its page cache), mirroring BG3 where
+// the mapping table is a node-wide structure.
+type Mapping struct {
+	mu    sync.RWMutex
+	pages map[PageID]*pageEntry
+
+	nextPage atomic.Uint64
+	nextTree atomic.Uint64
+
+	// Leaf-content cache (LRU). Guarded by cacheMu. Entries hold their
+	// content in pageEntry.cached; the LRU only tracks recency.
+	cacheMu  sync.Mutex
+	lru      *list.List               // front = most recent
+	lruIndex map[PageID]*list.Element // page -> element
+	capacity int                      // 0 = unlimited
+	disabled bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// relocated tracks pages whose durable locations GC moved since the
+	// last TakeRelocated call; checkpoints ship them to replicas.
+	relocMu   sync.Mutex
+	relocated map[PageID]struct{}
+}
+
+// NewMapping returns an empty mapping table. capacity bounds the number of
+// leaf pages with resident content (0 = unlimited); disabled turns the
+// cache off entirely.
+func NewMapping(capacity int, disabled bool) *Mapping {
+	return &Mapping{
+		pages:     make(map[PageID]*pageEntry),
+		lru:       list.New(),
+		lruIndex:  make(map[PageID]*list.Element),
+		capacity:  capacity,
+		disabled:  disabled,
+		relocated: make(map[PageID]struct{}),
+	}
+}
+
+// allocPageID reserves a fresh page ID.
+func (m *Mapping) allocPageID() PageID {
+	return PageID(m.nextPage.Add(1))
+}
+
+// allocTreeID reserves a fresh tree ID.
+func (m *Mapping) allocTreeID() TreeID {
+	return TreeID(m.nextTree.Add(1))
+}
+
+func (m *Mapping) register(e *pageEntry) {
+	m.mu.Lock()
+	m.pages[e.id] = e
+	m.mu.Unlock()
+}
+
+func (m *Mapping) get(id PageID) *pageEntry {
+	m.mu.RLock()
+	e := m.pages[id]
+	m.mu.RUnlock()
+	return e
+}
+
+func (m *Mapping) remove(id PageID) {
+	m.mu.Lock()
+	delete(m.pages, id)
+	m.mu.Unlock()
+	m.cacheMu.Lock()
+	if el, ok := m.lruIndex[id]; ok {
+		m.lru.Remove(el)
+		delete(m.lruIndex, id)
+	}
+	m.cacheMu.Unlock()
+}
+
+// PageCount returns the number of registered pages.
+func (m *Mapping) PageCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// CacheStats returns cache hit and miss counts.
+func (m *Mapping) CacheStats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// noteCached records that e's content is resident and evicts LRU victims
+// beyond capacity. Caller must NOT hold e.mu of potential victims — we
+// only evict entries whose latch we can take without blocking, skipping
+// busy or dirty pages.
+func (m *Mapping) noteCached(e *pageEntry) {
+	if m.disabled {
+		e.cached = nil // caller materialized transiently; drop content
+		return
+	}
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	if el, ok := m.lruIndex[e.id]; ok {
+		m.lru.MoveToFront(el)
+	} else {
+		m.lruIndex[e.id] = m.lru.PushFront(e)
+	}
+	if m.capacity <= 0 {
+		return
+	}
+	// Bounded sweep: pinned (dirty or latch-busy) victims re-enter the
+	// front, so without a bound a fully pinned cache would spin here.
+	for attempts := m.lru.Len(); m.lru.Len() > m.capacity && attempts > 0; attempts-- {
+		el := m.lru.Back()
+		if el == nil {
+			break
+		}
+		victim := el.Value.(*pageEntry)
+		m.lru.Remove(el)
+		delete(m.lruIndex, victim.id)
+		if victim == e {
+			continue // never evict the page we just touched
+		}
+		if victim.mu.TryLock() {
+			if !victim.dirty {
+				victim.cached = nil
+			} else {
+				// Dirty pages are pinned; re-insert at the front so they
+				// are not immediately re-considered.
+				m.lruIndex[victim.id] = m.lru.PushFront(victim)
+			}
+			victim.mu.Unlock()
+		} else {
+			// The victim's latch is busy (a writer holds it): keep it
+			// tracked at the front — dropping it here would leave its
+			// content resident but invisible to future eviction.
+			m.lruIndex[victim.id] = m.lru.PushFront(victim)
+		}
+	}
+}
+
+// touch moves a page to the LRU front on access.
+func (m *Mapping) touch(e *pageEntry) {
+	if m.disabled || m.capacity <= 0 {
+		return
+	}
+	m.cacheMu.Lock()
+	if el, ok := m.lruIndex[e.id]; ok {
+		m.lru.MoveToFront(el)
+	}
+	m.cacheMu.Unlock()
+}
+
+// Relocate is the storage.RelocateFunc for GC: it repoints the durable
+// location tag -> old to new in the owning page entry. It returns false if
+// the page no longer references old (the record went stale mid-move).
+// Relocated leaf pages are remembered for TakeRelocated.
+func (m *Mapping) Relocate(tag uint64, old, new storage.Loc) bool {
+	e := m.get(PageID(tag))
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.isLeaf {
+		moved := false
+		if e.baseLoc == old {
+			e.baseLoc = new
+			moved = true
+		} else {
+			for i, l := range e.deltaLocs {
+				if l == old {
+					e.deltaLocs[i] = new
+					moved = true
+					break
+				}
+			}
+		}
+		if moved {
+			m.relocMu.Lock()
+			m.relocated[e.id] = struct{}{}
+			m.relocMu.Unlock()
+		}
+		return moved
+	}
+	if e.inner != nil && e.inner.loc == old {
+		e.inner.loc = new
+		return true
+	}
+	return false
+}
+
+// TakeRelocated drains the set of pages GC has moved since the last call
+// and returns their current durable locations — the RW node folds them
+// into its next checkpoint so replicas repoint before the condemned
+// extents are released.
+func (m *Mapping) TakeRelocated() []MappingUpdate {
+	m.relocMu.Lock()
+	ids := make([]PageID, 0, len(m.relocated))
+	for id := range m.relocated {
+		ids = append(ids, id)
+	}
+	m.relocated = make(map[PageID]struct{})
+	m.relocMu.Unlock()
+
+	out := make([]MappingUpdate, 0, len(ids))
+	for _, id := range ids {
+		e := m.get(id)
+		if e == nil || !e.isLeaf {
+			continue
+		}
+		e.mu.Lock()
+		up := MappingUpdate{
+			Page: e.id, Base: e.baseLoc,
+			Deltas: append([]storage.Loc(nil), e.deltaLocs...),
+		}
+		if e.tree != nil {
+			up.Tree = e.tree.id
+		}
+		e.mu.Unlock()
+		out = append(out, up)
+	}
+	return out
+}
+
+// MemoryUsage estimates the resident bytes of the mapping table and all
+// cached page content — the space measurement of the Fig. 11 experiment.
+func (m *Mapping) MemoryUsage() int64 {
+	const entryOverhead = 160 // struct, map slot, latch
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, e := range m.pages {
+		total += entryOverhead
+		e.mu.Lock()
+		for _, p := range e.cached {
+			total += int64(len(p.key) + len(p.val) + 32)
+		}
+		for _, o := range e.deltaOps {
+			total += int64(len(o.key) + len(o.val) + 33)
+		}
+		for _, o := range e.pending {
+			total += int64(len(o.key) + len(o.val) + 33)
+		}
+		total += int64(len(e.lo) + len(e.hi) + 16*len(e.deltaLocs))
+		if e.inner != nil {
+			total += int64(8 * len(e.inner.children))
+			for _, k := range e.inner.keys {
+				total += int64(len(k) + 24)
+			}
+		}
+		e.mu.Unlock()
+	}
+	return total
+}

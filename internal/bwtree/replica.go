@@ -1,0 +1,604 @@
+package bwtree
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// Replica is the RO-node view of a Bw-tree forest (§3.4). It consumes the
+// RW node's WAL records and serves reads with strong consistency:
+//
+//   - Structural records (new tree, new page, split) are applied eagerly to
+//     the replica's routing directory — they are tiny.
+//   - Data records (put/delete) are applied immediately when the target
+//     page is cached, and otherwise buffered in a per-page replay log (the
+//     paper's "lazy replay mechanism", indexed by page number).
+//   - On a cache miss, the replica fetches the page's *old* durable version
+//     via the old mapping and replays the buffered records on top. Pages
+//     created by splits that have no durable image yet are reconstructed
+//     from their split origin's image restricted to the new key range.
+//   - Checkpoint records carry the new durable locations (mapping-table
+//     update, §3.4 step 8); the replica adopts them and discards buffered
+//     records at or below the checkpoint LSN.
+type Replica struct {
+	store *storage.Store
+
+	mu    sync.RWMutex
+	trees map[TreeID]*replicaTree
+	pages map[PageID]*replicaPage
+
+	cacheMu  sync.Mutex
+	lru      *list.List
+	lruIndex map[PageID]*list.Element
+	capacity int // cached pages; 0 = unlimited
+
+	lsnMu   sync.Mutex
+	highLSN wal.LSN // highest LSN applied or buffered
+}
+
+// replicaTree holds the routing directory of one tree: leaves sorted by
+// low key; leaves[0] covers (−∞, leaves[1].lo).
+type replicaTree struct {
+	leaves []replicaLeafRef
+}
+
+type replicaLeafRef struct {
+	lo   []byte // nil on the first leaf
+	page PageID
+}
+
+// replicaPage mirrors one leaf page on the RO node.
+type replicaPage struct {
+	mu     sync.Mutex
+	id     PageID
+	base   storage.Loc
+	deltas []storage.Loc
+	origin PageID // reconstruct from this page's image when base is zero
+	lo, hi []byte
+
+	buffer []*wal.Record // lazy replay log, LSN order; empty when cached
+	cached []kv
+}
+
+// NewReplica returns an empty replica reading page data from store.
+// capacity bounds the cached leaf pages (0 = unlimited).
+func NewReplica(store *storage.Store, capacity int) *Replica {
+	return &Replica{
+		store:    store,
+		trees:    make(map[TreeID]*replicaTree),
+		pages:    make(map[PageID]*replicaPage),
+		lru:      list.New(),
+		lruIndex: make(map[PageID]*list.Element),
+		capacity: capacity,
+	}
+}
+
+// HighLSN returns the highest WAL LSN the replica has incorporated.
+func (r *Replica) HighLSN() wal.LSN {
+	r.lsnMu.Lock()
+	defer r.lsnMu.Unlock()
+	return r.highLSN
+}
+
+func (r *Replica) noteLSN(l wal.LSN) {
+	r.lsnMu.Lock()
+	if l > r.highLSN {
+		r.highLSN = l
+	}
+	r.lsnMu.Unlock()
+}
+
+// Apply incorporates one WAL record. Records must arrive in LSN order.
+func (r *Replica) Apply(rec *wal.Record) error {
+	defer r.noteLSN(rec.LSN)
+	switch rec.Type {
+	case wal.RecordNewTree:
+		return r.applyNewTree(rec)
+	case wal.RecordNewPage:
+		return r.applyNewPage(rec)
+	case wal.RecordSplit:
+		return r.applySplit(rec)
+	case wal.RecordPut, wal.RecordDelete:
+		return r.applyData(rec)
+	case wal.RecordNewRoot:
+		return nil // routing is directory-based; inner structure not mirrored
+	case wal.RecordOwnerAssign:
+		return nil // consumed by the forest-level replica wrapper
+	case wal.RecordCheckpoint:
+		return r.applyCheckpoint(rec)
+	default:
+		return fmt.Errorf("bwtree: replica: unknown record type %v", rec.Type)
+	}
+}
+
+// ApplyAll incorporates a batch of records in order.
+func (r *Replica) ApplyAll(recs []*wal.Record) error {
+	for _, rec := range recs {
+		if err := r.Apply(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Replica) applyNewTree(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	root := PageID(rec.AuxPage)
+	r.trees[TreeID(rec.TreeID)] = &replicaTree{
+		leaves: []replicaLeafRef{{lo: nil, page: root}},
+	}
+	if _, ok := r.pages[root]; !ok {
+		r.pages[root] = &replicaPage{id: root}
+	}
+	return nil
+}
+
+func (r *Replica) applyNewPage(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := PageID(rec.PageID)
+	if _, ok := r.pages[id]; !ok {
+		r.pages[id] = &replicaPage{id: id}
+	}
+	return nil
+}
+
+func (r *Replica) applySplit(rec *wal.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tree := r.trees[TreeID(rec.TreeID)]
+	left := r.pages[PageID(rec.PageID)]
+	right := r.pages[PageID(rec.AuxPage)]
+	if tree == nil || left == nil || right == nil {
+		return fmt.Errorf("bwtree: replica: split %d->%d references unknown state", rec.PageID, rec.AuxPage)
+	}
+	sep := rec.Key
+
+	left.mu.Lock()
+	right.mu.Lock()
+	right.lo = sep
+	right.hi = left.hi
+	left.hi = sep
+	if right.base.IsZero() {
+		right.origin = left.id
+	}
+	if left.cached != nil {
+		// Eager replay on a cached page (§3.4 step 4): split the resident
+		// content; the right page becomes resident for free.
+		idx, _ := searchKV(left.cached, sep)
+		right.cached = append([]kv(nil), left.cached[idx:]...)
+		left.cached = left.cached[:idx]
+		r.noteCachedPage(right)
+	} else {
+		// Re-route buffered records that now belong to the right page.
+		var keep, moved []*wal.Record
+		for _, b := range left.buffer {
+			if bytes.Compare(b.Key, sep) >= 0 {
+				moved = append(moved, b)
+			} else {
+				keep = append(keep, b)
+			}
+		}
+		left.buffer = keep
+		right.buffer = append(right.buffer, moved...)
+	}
+	right.mu.Unlock()
+	left.mu.Unlock()
+
+	// Insert the new leaf into the routing directory.
+	idx := sort.Search(len(tree.leaves), func(i int) bool {
+		return tree.leaves[i].lo != nil && bytes.Compare(tree.leaves[i].lo, sep) > 0
+	})
+	tree.leaves = append(tree.leaves, replicaLeafRef{})
+	copy(tree.leaves[idx+1:], tree.leaves[idx:])
+	tree.leaves[idx] = replicaLeafRef{lo: sep, page: right.id}
+	return nil
+}
+
+func (r *Replica) applyData(rec *wal.Record) error {
+	r.mu.RLock()
+	p := r.pages[PageID(rec.PageID)]
+	r.mu.RUnlock()
+	if p == nil {
+		return fmt.Errorf("bwtree: replica: data record for unknown page %d", rec.PageID)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cached != nil {
+		p.cached = applyOp(p.cached, recordOp(rec))
+		return nil
+	}
+	p.buffer = append(p.buffer, rec)
+	return nil
+}
+
+func recordOp(rec *wal.Record) op {
+	return op{del: rec.Type == wal.RecordDelete, key: rec.Key, val: rec.Value}
+}
+
+func (r *Replica) applyCheckpoint(rec *wal.Record) error {
+	updates, err := DecodeMappingUpdates(rec.Value)
+	if err != nil {
+		return err
+	}
+	for _, up := range updates {
+		r.mu.RLock()
+		p := r.pages[up.Page]
+		r.mu.RUnlock()
+		if p == nil {
+			// The checkpoint may describe pages of trees created before
+			// this replica attached; register them lazily.
+			r.mu.Lock()
+			p = r.pages[up.Page]
+			if p == nil {
+				p = &replicaPage{id: up.Page}
+				r.pages[up.Page] = p
+			}
+			r.mu.Unlock()
+		}
+		p.mu.Lock()
+		p.base = up.Base
+		p.deltas = append(p.deltas[:0], up.Deltas...)
+		p.origin = 0
+		p.mu.Unlock()
+	}
+	// Drop buffered records the durable state now covers.
+	r.mu.RLock()
+	pages := make([]*replicaPage, 0, len(r.pages))
+	for _, p := range r.pages {
+		pages = append(pages, p)
+	}
+	r.mu.RUnlock()
+	for _, p := range pages {
+		p.mu.Lock()
+		n := 0
+		for _, b := range p.buffer {
+			if b.LSN > rec.CkptLSN {
+				p.buffer[n] = b
+				n++
+			}
+		}
+		p.buffer = p.buffer[:n]
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// routeLeaf finds the page covering key in the tree's directory.
+func (r *Replica) routeLeaf(tree TreeID, key []byte) (*replicaPage, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := r.trees[tree]
+	if t == nil {
+		return nil, fmt.Errorf("bwtree: replica: unknown tree %d", tree)
+	}
+	// Find the last leaf whose lo <= key.
+	idx := sort.Search(len(t.leaves), func(i int) bool {
+		return t.leaves[i].lo != nil && bytes.Compare(t.leaves[i].lo, key) > 0
+	})
+	ref := t.leaves[idx-1]
+	p := r.pages[ref.page]
+	if p == nil {
+		return nil, fmt.Errorf("bwtree: replica: dangling leaf %d", ref.page)
+	}
+	return p, nil
+}
+
+// materializeDurable reads the durable image backing page p, following
+// split origins when p has no image of its own yet. Intermediate pages on
+// the origin chain may have been narrowed by later splits, so NO clipping
+// happens along the chain — the caller clips the result to p's own range.
+// It does not consult any replay buffer. p.mu must be held by the caller;
+// origin pages' durable fields are copied under their own locks (origin
+// edges point strictly to older pages, so child-before-parent ordering is
+// deadlock-free).
+func (r *Replica) materializeDurable(p *replicaPage) ([]kv, error) {
+	base := p.base
+	deltas := append([]storage.Loc(nil), p.deltas...)
+	origin := p.origin
+	hops := 0
+	for base.IsZero() && origin != 0 {
+		r.mu.RLock()
+		orig := r.pages[origin]
+		r.mu.RUnlock()
+		if orig == nil {
+			return nil, fmt.Errorf("bwtree: replica: page %d lost split origin %d", p.id, origin)
+		}
+		orig.mu.Lock()
+		base = orig.base
+		deltas = append(deltas[:0], orig.deltas...)
+		origin = orig.origin
+		orig.mu.Unlock()
+		if hops++; hops > 1<<20 {
+			return nil, fmt.Errorf("bwtree: replica: origin cycle at page %d", p.id)
+		}
+	}
+	entries := make([]kv, 0)
+	if !base.IsZero() {
+		data, err := r.store.Read(base)
+		if err != nil {
+			return nil, fmt.Errorf("bwtree: replica: read base of page %d: %w", p.id, err)
+		}
+		entries, err = decodeLeaf(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, loc := range deltas {
+		data, err := r.store.Read(loc)
+		if err != nil {
+			return nil, fmt.Errorf("bwtree: replica: read delta of page %d: %w", p.id, err)
+		}
+		ops, err := decodeOps(data)
+		if err != nil {
+			return nil, err
+		}
+		entries = applyOps(entries, ops)
+	}
+	return entries, nil
+}
+
+// materialize brings p fully up to date in memory: durable image plus the
+// lazy-replay buffer (§3.4 steps 5–6). p.mu must be held.
+func (r *Replica) materialize(p *replicaPage) ([]kv, error) {
+	if p.cached != nil {
+		r.touchPage(p)
+		return p.cached, nil
+	}
+	entries, err := r.materializeDurable(p)
+	if err != nil {
+		return nil, err
+	}
+	// The durable image may predate splits that narrowed this page (the
+	// shared store still holds the old version until the next checkpoint),
+	// so clip it to the page's current key range — out-of-range keys now
+	// belong to a right sibling.
+	entries = clipRange(entries, p.lo, p.hi)
+	for _, b := range p.buffer {
+		entries = applyOp(entries, recordOp(b))
+	}
+	p.buffer = nil
+	p.cached = entries
+	r.noteCachedPage(p)
+	return entries, nil
+}
+
+// clipRange filters sorted entries to [lo, hi).
+func clipRange(entries []kv, lo, hi []byte) []kv {
+	out := entries[:0]
+	for _, e := range entries {
+		if lo != nil && bytes.Compare(e.key, lo) < 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(e.key, hi) >= 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Get returns the value of key in tree, reflecting every WAL record the
+// replica has incorporated.
+func (r *Replica) Get(tree TreeID, key []byte) ([]byte, bool, error) {
+	for {
+		p, err := r.routeLeaf(tree, key)
+		if err != nil {
+			return nil, false, err
+		}
+		p.mu.Lock()
+		// A concurrent split may have narrowed the page after routing.
+		if p.hi != nil && bytes.Compare(key, p.hi) >= 0 {
+			p.mu.Unlock()
+			continue
+		}
+		entries, err := r.materialize(p)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, false, err
+		}
+		idx, found := searchKV(entries, key)
+		var out []byte
+		if found {
+			out = append([]byte(nil), entries[idx].val...)
+		}
+		p.mu.Unlock()
+		return out, found, nil
+	}
+}
+
+// Scan iterates keys of tree in [from, to) in order, like Tree.Scan. Each
+// page is snapshotted under its latch and the latch released before
+// callbacks run, so fn may safely re-enter the replica.
+func (r *Replica) Scan(tree TreeID, from, to []byte, limit int, fn func(key, value []byte) bool) error {
+	if from == nil {
+		from = []byte{}
+	}
+	delivered := 0
+	cur := from
+	for {
+		p, err := r.routeLeaf(tree, cur)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		if p.hi != nil && bytes.Compare(cur, p.hi) >= 0 {
+			p.mu.Unlock()
+			continue
+		}
+		entries, err := r.materialize(p)
+		if err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		start, _ := searchKV(entries, cur)
+		snapshot := append([]kv(nil), entries[start:]...)
+		hi := append([]byte(nil), p.hi...)
+		atEnd := p.hi == nil
+		p.mu.Unlock()
+
+		for _, pair := range snapshot {
+			if to != nil && bytes.Compare(pair.key, to) >= 0 {
+				return nil
+			}
+			if !fn(pair.key, pair.val) {
+				return nil
+			}
+			delivered++
+			if limit > 0 && delivered >= limit {
+				return nil
+			}
+		}
+		if atEnd {
+			return nil
+		}
+		cur = hi
+	}
+}
+
+// BufferedRecords returns the total number of records waiting in lazy
+// replay buffers — the memory the checkpoint mechanism bounds.
+func (r *Replica) BufferedRecords() int {
+	r.mu.RLock()
+	pages := make([]*replicaPage, 0, len(r.pages))
+	for _, p := range r.pages {
+		pages = append(pages, p)
+	}
+	r.mu.RUnlock()
+	n := 0
+	for _, p := range pages {
+		p.mu.Lock()
+		n += len(p.buffer)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// noteCachedPage registers p as resident and evicts beyond capacity.
+func (r *Replica) noteCachedPage(p *replicaPage) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if el, ok := r.lruIndex[p.id]; ok {
+		r.lru.MoveToFront(el)
+	} else {
+		r.lruIndex[p.id] = r.lru.PushFront(p)
+	}
+	if r.capacity <= 0 {
+		return
+	}
+	for r.lru.Len() > r.capacity {
+		el := r.lru.Back()
+		if el == nil {
+			break
+		}
+		victim := el.Value.(*replicaPage)
+		r.lru.Remove(el)
+		delete(r.lruIndex, victim.id)
+		if victim == p {
+			continue
+		}
+		if victim.mu.TryLock() {
+			victim.cached = nil
+			victim.mu.Unlock()
+		}
+	}
+}
+
+func (r *Replica) touchPage(p *replicaPage) {
+	if r.capacity <= 0 {
+		return
+	}
+	r.cacheMu.Lock()
+	if el, ok := r.lruIndex[p.id]; ok {
+		r.lru.MoveToFront(el)
+	}
+	r.cacheMu.Unlock()
+}
+
+// EncodeMappingUpdates serializes mapping updates for a checkpoint record:
+//
+//	count[4] { tree[8] page[8] base[17] ndeltas[2] deltas[17]* }
+//
+// where a Loc is stream[1] extent[8] offset[4] length[4].
+func EncodeMappingUpdates(ups []MappingUpdate) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(ups)))
+	for _, up := range ups {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(up.Tree))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(up.Page))
+		buf = appendLoc(buf, up.Base)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(up.Deltas)))
+		for _, d := range up.Deltas {
+			buf = appendLoc(buf, d)
+		}
+	}
+	return buf
+}
+
+func appendLoc(buf []byte, l storage.Loc) []byte {
+	buf = append(buf, byte(l.Stream))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Extent))
+	buf = binary.LittleEndian.AppendUint32(buf, l.Offset)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Length)
+	return buf
+}
+
+func readLoc(buf []byte) (storage.Loc, []byte, error) {
+	if len(buf) < 17 {
+		return storage.Loc{}, nil, fmt.Errorf("%w: truncated loc", ErrCorruptPage)
+	}
+	l := storage.Loc{
+		Stream: storage.StreamID(buf[0]),
+		Extent: storage.ExtentID(binary.LittleEndian.Uint64(buf[1:])),
+		Offset: binary.LittleEndian.Uint32(buf[9:]),
+		Length: binary.LittleEndian.Uint32(buf[13:]),
+	}
+	return l, buf[17:], nil
+}
+
+// DecodeMappingUpdates parses the payload of a checkpoint record.
+func DecodeMappingUpdates(buf []byte) ([]MappingUpdate, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: truncated mapping updates", ErrCorruptPage)
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	ups := make([]MappingUpdate, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 16 {
+			return nil, fmt.Errorf("%w: truncated mapping update %d", ErrCorruptPage, i)
+		}
+		up := MappingUpdate{
+			Tree: TreeID(binary.LittleEndian.Uint64(buf)),
+			Page: PageID(binary.LittleEndian.Uint64(buf[8:])),
+		}
+		buf = buf[16:]
+		var err error
+		up.Base, buf, err = readLoc(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < 2 {
+			return nil, fmt.Errorf("%w: truncated delta count %d", ErrCorruptPage, i)
+		}
+		nd := binary.LittleEndian.Uint16(buf)
+		buf = buf[2:]
+		for j := uint16(0); j < nd; j++ {
+			var d storage.Loc
+			d, buf, err = readLoc(buf)
+			if err != nil {
+				return nil, err
+			}
+			up.Deltas = append(up.Deltas, d)
+		}
+		ups = append(ups, up)
+	}
+	return ups, nil
+}

@@ -1,0 +1,370 @@
+package bwtree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// walPipe couples a Tree (RW side) to Replicas (RO side) through a real
+// wal.Writer on shared storage, mimicking the replication package's
+// plumbing at unit-test scale.
+type walPipe struct {
+	w *wal.Writer
+}
+
+func (p *walPipe) Log(rec *wal.Record) (wal.LSN, error) { return p.w.Append(rec) }
+
+func newReplicatedTree(t *testing.T, cfg Config) (*Tree, *Replica, *wal.Reader, *storage.Store, *wal.Writer) {
+	t.Helper()
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	w := wal.NewWriter(st)
+	m := NewMapping(0, false)
+	tr, err := New(m, st, cfg, &walPipe{w: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, NewReplica(st, 0), wal.NewReader(st), st, w
+}
+
+// sync drains the WAL into the replica.
+func syncReplica(t *testing.T, rep *Replica, rd *wal.Reader) {
+	t.Helper()
+	recs, err := rd.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ApplyAll(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaSeesWrites(t *testing.T) {
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync})
+	if err := tr.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	syncReplica(t, rep, rd)
+	v, ok, err := rep.Get(tr.ID(), []byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("replica get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := rep.Get(tr.ID(), []byte("nope")); ok {
+		t.Fatal("replica found a missing key")
+	}
+}
+
+func TestReplicaDelete(t *testing.T) {
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync})
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	syncReplica(t, rep, rd)
+	if _, ok, _ := rep.Get(tr.ID(), []byte("k")); ok {
+		t.Fatal("replica still sees deleted key")
+	}
+}
+
+// TestReplicaSplitScenario reproduces the paper's Figure 6/7 example: a
+// split on the RW node, an RO node with cold cache reading both halves
+// before any dirty page was flushed. The RO must reconstruct the new page
+// from the old durable image plus the WAL.
+func TestReplicaSplitScenario(t *testing.T) {
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync, MaxPageEntries: 4})
+
+	// Insert enough to persist a base page, then flush so a durable image
+	// exists (the "initial consistent state" of Figure 6).
+	for i := 0; i < 4; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("V%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	// The insert of k4 splits the leaf (Put(5, V5) in the paper). Do NOT
+	// flush: shared storage still holds only the old page image.
+	if err := tr.Put([]byte("k4"), []byte("V4")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().Splits == 0 {
+		t.Fatal("expected a split")
+	}
+	syncReplica(t, rep, rd)
+
+	// Get(2) and Get(3) of the paper: keys on both sides of the split.
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok, err := rep.Get(tr.ID(), []byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != fmt.Sprintf("V%d", i) {
+			t.Fatalf("replica %s = %q %v, want V%d", key, v, ok, i)
+		}
+	}
+}
+
+func TestReplicaCheckpointTruncatesBuffers(t *testing.T) {
+	tr, rep, rd, _, w := newReplicatedTree(t, Config{FlushMode: FlushAsync, DisableSplit: true})
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, rep, rd)
+	if rep.BufferedRecords() == 0 {
+		t.Fatal("expected buffered records before any read")
+	}
+
+	// Flush dirty pages and emit the checkpoint (steps 7–8 of Figure 7).
+	ckptLSN := w.NextLSN() - 1
+	ups, err := tr.FlushDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(&wal.Record{
+		Type: wal.RecordCheckpoint, CkptLSN: ckptLSN, Value: EncodeMappingUpdates(ups),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	syncReplica(t, rep, rd)
+	if got := rep.BufferedRecords(); got != 0 {
+		t.Fatalf("buffered records after checkpoint = %d, want 0", got)
+	}
+	// Data still correct, now served from the new durable locations.
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := rep.Get(tr.ID(), []byte(fmt.Sprintf("k%02d", i))); !ok {
+			t.Fatalf("k%02d missing after checkpoint", i)
+		}
+	}
+}
+
+func TestReplicaLazyReplayOnlyOnRead(t *testing.T) {
+	tr, rep, rd, st, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync, DisableSplit: true})
+	for i := 0; i < 20; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, rep, rd)
+	reads := st.Stats().ReadOps
+	// Applying WAL must not have caused page reads (lazy replay).
+	syncReplica(t, rep, rd)
+	if got := st.Stats().ReadOps; got != reads {
+		t.Fatalf("WAL apply performed %d page reads", got-reads)
+	}
+	if _, ok, _ := rep.Get(tr.ID(), []byte("k00")); !ok {
+		t.Fatal("k00 missing")
+	}
+}
+
+func TestReplicaScanMatchesTree(t *testing.T) {
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync, MaxPageEntries: 8})
+	for i := 0; i < 200; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 300; i++ { // some unflushed tail
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, rep, rd)
+
+	collect := func(scan func(fn func(k, v []byte) bool) error) []string {
+		var out []string
+		if err := scan(func(k, v []byte) bool {
+			out = append(out, string(k)+"="+string(v))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	fromTree := collect(func(fn func(k, v []byte) bool) error {
+		return tr.Scan(nil, nil, 0, fn)
+	})
+	fromRep := collect(func(fn func(k, v []byte) bool) error {
+		return rep.Scan(tr.ID(), nil, nil, 0, fn)
+	})
+	if len(fromTree) != 300 {
+		t.Fatalf("tree scan = %d entries", len(fromTree))
+	}
+	if !reflect.DeepEqual(fromTree, fromRep) {
+		t.Fatalf("replica scan diverges from tree:\ntree=%d entries\nrep=%d entries", len(fromTree), len(fromRep))
+	}
+
+	// Range + limit variants.
+	var ranged []string
+	if err := rep.Scan(tr.ID(), []byte("k0010"), []byte("k0015"), 0, func(k, v []byte) bool {
+		ranged = append(ranged, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != 5 || ranged[0] != "k0010" {
+		t.Fatalf("replica range scan = %v", ranged)
+	}
+}
+
+func TestReplicaCacheEviction(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	w := wal.NewWriter(st)
+	m := NewMapping(0, false)
+	tr, err := New(m, st, Config{FlushMode: FlushAsync, MaxPageEntries: 4}, &walPipe{w: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplica(st, 2) // tiny replica cache
+	rd := wal.NewReader(st)
+
+	for i := 0; i < 64; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ups, err := tr.FlushDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(&wal.Record{
+		Type: wal.RecordCheckpoint, CkptLSN: w.NextLSN() - 1, Value: EncodeMappingUpdates(ups),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	syncReplica(t, rep, rd)
+	// Read everything twice; with capacity 2 the replica must evict and
+	// re-fetch, and results must stay correct.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 64; i++ {
+			if _, ok, err := rep.Get(tr.ID(), []byte(fmt.Sprintf("k%03d", i))); err != nil || !ok {
+				t.Fatalf("pass %d k%03d = %v %v", pass, i, ok, err)
+			}
+		}
+	}
+}
+
+func TestReplicaChainedSplitOrigins(t *testing.T) {
+	// Multiple splits before any flush: new pages form an origin chain
+	// that the replica must follow to reconstruct content.
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync, MaxPageEntries: 2})
+	for i := 0; i < 2; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	// These inserts cause repeated splits, all unflushed.
+	for i := 2; i < 16; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, rep, rd)
+	for i := 0; i < 16; i++ {
+		if _, ok, err := rep.Get(tr.ID(), []byte(fmt.Sprintf("k%02d", i))); err != nil || !ok {
+			t.Fatalf("k%02d = %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestMappingUpdatesEncodeDecode(t *testing.T) {
+	in := []MappingUpdate{
+		{Tree: 1, Page: 2, Base: storage.Loc{Stream: storage.StreamBase, Extent: 3, Offset: 4, Length: 5}},
+		{Tree: 1, Page: 7, Base: storage.Loc{Stream: storage.StreamBase, Extent: 8, Offset: 9, Length: 10},
+			Deltas: []storage.Loc{
+				{Stream: storage.StreamDelta, Extent: 11, Offset: 12, Length: 13},
+				{Stream: storage.StreamDelta, Extent: 14, Offset: 15, Length: 16},
+			}},
+	}
+	out, err := DecodeMappingUpdates(EncodeMappingUpdates(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if _, err := DecodeMappingUpdates([]byte{1, 2}); err == nil {
+		t.Fatal("truncated input decoded")
+	}
+}
+
+func TestReplicaHighLSN(t *testing.T) {
+	tr, rep, rd, _, _ := newReplicatedTree(t, Config{FlushMode: FlushAsync})
+	if rep.HighLSN() != 0 {
+		t.Fatal("fresh replica has nonzero LSN")
+	}
+	for i := 0; i < 5; i++ {
+		if err := tr.Put([]byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, rep, rd)
+	if got := rep.HighLSN(); got < 5 {
+		t.Fatalf("HighLSN = %d, want >= 5", got)
+	}
+}
+
+func TestReplicaDirectoryAfterManyRandomSplits(t *testing.T) {
+	// Fuzz the split-replay machinery: random keys force splits at random
+	// separators across checkpointed and unflushed states; the replica
+	// directory must stay a partition of the key space with exact
+	// contents.
+	for seed := int64(0); seed < 4; seed++ {
+		tr, rep, rd, _, w := newReplicatedTree(t, Config{
+			FlushMode: FlushAsync, MaxPageEntries: 4, MaxInnerEntries: 4,
+		})
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("%08x", rng.Uint32())
+			v := fmt.Sprintf("v%d", i)
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+			if i%37 == 0 {
+				ups, err := tr.FlushDirty()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.Append(&wal.Record{
+					Type: wal.RecordCheckpoint, CkptLSN: w.NextLSN() - 1,
+					Value: EncodeMappingUpdates(ups),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		syncReplica(t, rep, rd)
+		got := map[string]string{}
+		if err := rep.Scan(tr.ID(), nil, nil, 0, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(model) {
+			t.Fatalf("seed %d: replica has %d keys, model %d", seed, len(got), len(model))
+		}
+		for k, v := range model {
+			if got[k] != v {
+				t.Fatalf("seed %d: key %s = %q, want %q", seed, k, got[k], v)
+			}
+		}
+	}
+}

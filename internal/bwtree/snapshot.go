@@ -1,0 +1,52 @@
+package bwtree
+
+import (
+	"fmt"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// LoadTreeSnapshot installs one tree's state into the replica from a
+// snapshot: the leaf directory in key order (leaves[i].Lo is the low key,
+// nil on the first leaf) with each leaf's durable locations. Used when an
+// RO node bootstraps from a snapshot instead of replaying the WAL from the
+// beginning.
+func (r *Replica) LoadTreeSnapshot(tree TreeID, leaves []LeafInfo) error {
+	if len(leaves) == 0 {
+		return fmt.Errorf("bwtree: replica: snapshot of tree %d has no leaves", tree)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt := &replicaTree{leaves: make([]replicaLeafRef, 0, len(leaves))}
+	for i, lf := range leaves {
+		p := &replicaPage{
+			id:     PageID(lf.Page),
+			base:   lf.Base,
+			deltas: append([]storage.Loc(nil), lf.Deltas...),
+			lo:     append([]byte(nil), lf.Lo...),
+		}
+		if i+1 < len(leaves) {
+			p.hi = append([]byte(nil), leaves[i+1].Lo...)
+		}
+		r.pages[p.id] = p
+		rt.leaves = append(rt.leaves, replicaLeafRef{lo: p.lo, page: p.id})
+	}
+	// The first leaf covers (-inf, ...): normalize an empty low key to nil.
+	if len(rt.leaves) > 0 && len(rt.leaves[0].lo) == 0 {
+		rt.leaves[0].lo = nil
+		r.pages[rt.leaves[0].page].lo = nil
+	}
+	r.trees[tree] = rt
+	return nil
+}
+
+// SetHighLSN initializes the replica's WAL horizon (snapshot bootstrap):
+// records at or below it are already reflected in the loaded state.
+func (r *Replica) SetHighLSN(l wal.LSN) {
+	r.lsnMu.Lock()
+	if l > r.highLSN {
+		r.highLSN = l
+	}
+	r.lsnMu.Unlock()
+}

@@ -1,0 +1,742 @@
+package bwtree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// WALLogger receives the tree's write-ahead records. The RW node of §3.4
+// plugs a wal.Writer-backed implementation in; standalone trees leave it
+// nil.
+type WALLogger interface {
+	Log(rec *wal.Record) (wal.LSN, error)
+}
+
+// AsyncWALLogger is an optional WALLogger extension for group commit: the
+// LSN is assigned immediately (so the caller's page latch is held only for
+// an instant) and the returned wait function blocks until the record is
+// durable. The tree invokes the wait after releasing the page latch, which
+// lets concurrent writers to the same page share one commit round trip
+// instead of serializing on it.
+type AsyncWALLogger interface {
+	WALLogger
+	LogAsync(rec *wal.Record) (wal.LSN, func() error)
+}
+
+// Stats is a snapshot of a tree's operation counters.
+type Stats struct {
+	Puts           int64
+	Gets           int64
+	Deletes        int64
+	Consolidations int64
+	Splits         int64
+}
+
+// Tree is one Bw-tree. Multiple trees (a forest) share a Mapping and a
+// storage.Store. All methods are safe for concurrent use.
+type Tree struct {
+	id     TreeID
+	store  *storage.Store
+	m      *Mapping
+	cfg    Config
+	logger WALLogger
+
+	// structMu guards the inner-node structure and root pointer: readers
+	// (routing) take the read lock, splits take the write lock.
+	structMu sync.RWMutex
+	root     PageID
+
+	puts           atomic.Int64
+	gets           atomic.Int64
+	deletes        atomic.Int64
+	consolidations atomic.Int64
+	splits         atomic.Int64
+
+	// dirty pages awaiting the async flusher; nil in sync mode.
+	dirtyMu  sync.Mutex
+	dirtySet map[PageID]struct{}
+}
+
+// New creates an empty tree registered in m, persisting to store.
+func New(m *Mapping, store *storage.Store, cfg Config, logger WALLogger) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	t := &Tree{
+		id:     m.allocTreeID(),
+		store:  store,
+		m:      m,
+		cfg:    cfg,
+		logger: logger,
+	}
+	if cfg.FlushMode == FlushAsync {
+		if cfg.NoCache {
+			return nil, fmt.Errorf("bwtree: async flushing requires the page cache")
+		}
+		t.dirtySet = make(map[PageID]struct{})
+	}
+	rootEntry := &pageEntry{
+		id:     m.allocPageID(),
+		tree:   t,
+		isLeaf: true,
+		cached: make([]kv, 0),
+	}
+	m.register(rootEntry)
+	t.root = rootEntry.id
+	if logger != nil {
+		if _, err := logger.Log(&wal.Record{
+			Type: wal.RecordNewTree, TreeID: uint64(t.id), AuxPage: uint64(rootEntry.id),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ID returns the tree's identifier.
+func (t *Tree) ID() TreeID { return t.id }
+
+// Config returns the tree's effective configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the operation counters.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Puts:           t.puts.Load(),
+		Gets:           t.gets.Load(),
+		Deletes:        t.deletes.Load(),
+		Consolidations: t.consolidations.Load(),
+		Splits:         t.splits.Load(),
+	}
+}
+
+// covers reports whether e's key range contains key.
+func (e *pageEntry) covers(key []byte) bool {
+	if e.lo != nil && bytes.Compare(key, e.lo) < 0 {
+		return false
+	}
+	if e.hi != nil && bytes.Compare(key, e.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// childIndex returns the index of the child covering key.
+func (n *innerNode) childIndex(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) > 0
+	})
+}
+
+// route descends from the root to the leaf whose range covers key.
+// The returned entry is unlatched; callers must latch it and re-check
+// coverage (a racing split may have narrowed the leaf).
+func (t *Tree) route(key []byte) *pageEntry {
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
+	id := t.root
+	for {
+		e := t.m.get(id)
+		if e == nil {
+			panic(fmt.Sprintf("bwtree: dangling page %d in tree %d", id, t.id))
+		}
+		if e.isLeaf {
+			return e
+		}
+		id = e.inner.children[e.inner.childIndex(key)]
+	}
+}
+
+// latchLeaf routes to and latches the leaf covering key, chasing right
+// siblings if a concurrent split moved the key. The caller must unlock the
+// returned entry's mutex.
+func (t *Tree) latchLeaf(key []byte) *pageEntry {
+	for {
+		e := t.route(key)
+		e.mu.Lock()
+		for !e.covers(key) {
+			next := e.next
+			e.mu.Unlock()
+			if next == 0 {
+				e = nil
+				break
+			}
+			ne := t.m.get(next)
+			if ne == nil {
+				e = nil
+				break
+			}
+			ne.mu.Lock()
+			e = ne
+		}
+		if e != nil {
+			return e
+		}
+	}
+}
+
+// searchKV binary-searches sorted entries for key.
+func searchKV(entries []kv, key []byte) (int, bool) {
+	idx := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, key) >= 0
+	})
+	return idx, idx < len(entries) && bytes.Equal(entries[idx].key, key)
+}
+
+// applyOp applies one logical op to sorted content, returning the slice.
+func applyOp(entries []kv, o op) []kv {
+	idx, found := searchKV(entries, o.key)
+	switch {
+	case o.del && found:
+		entries = append(entries[:idx], entries[idx+1:]...)
+	case o.del:
+		// deleting an absent key: no-op
+	case found:
+		entries[idx].val = o.val
+	default:
+		entries = append(entries, kv{})
+		copy(entries[idx+1:], entries[idx:])
+		entries[idx] = kv{key: o.key, val: o.val}
+	}
+	return entries
+}
+
+func applyOps(entries []kv, ops []op) []kv {
+	for _, o := range ops {
+		entries = applyOp(entries, o)
+	}
+	return entries
+}
+
+// materialize returns the page's full content, reading the base page and
+// durable delta records from storage on a cache miss. e.mu must be held.
+// The returned slice is resident in the cache unless the cache is disabled,
+// in which case it is a transient copy owned by the caller.
+func (t *Tree) materialize(e *pageEntry) ([]kv, error) {
+	if e.cached != nil {
+		t.m.hits.Add(1)
+		t.m.touch(e)
+		return e.cached, nil
+	}
+	t.m.misses.Add(1)
+	entries := make([]kv, 0)
+	if !e.baseLoc.IsZero() {
+		data, err := t.store.Read(e.baseLoc)
+		if err != nil {
+			return nil, fmt.Errorf("bwtree: read base page %d: %w", e.id, err)
+		}
+		entries, err = decodeLeaf(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The durable delta chain: one storage read per delta. This is the
+	// read fan-out Fig. 9 measures — the traditional policy pays 1+n
+	// reads, the read-optimized policy at most 2.
+	for _, loc := range e.deltaLocs {
+		data, err := t.store.Read(loc)
+		if err != nil {
+			return nil, fmt.Errorf("bwtree: read delta of page %d: %w", e.id, err)
+		}
+		ops, err := decodeOps(data)
+		if err != nil {
+			return nil, err
+		}
+		entries = applyOps(entries, ops)
+	}
+	entries = applyOps(entries, e.pending)
+	e.cached = entries
+	t.m.noteCached(e) // clears e.cached again when the cache is disabled
+	return entries, nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	t.gets.Add(1)
+	e := t.latchLeaf(key)
+	defer e.mu.Unlock()
+	entries, err := t.materialize(e)
+	if err != nil {
+		return nil, false, err
+	}
+	idx, found := searchKV(entries, key)
+	if !found {
+		return nil, false, nil
+	}
+	out := append([]byte(nil), entries[idx].val...)
+	return out, true, nil
+}
+
+// Put upserts a key-value pair.
+func (t *Tree) Put(key, value []byte) error {
+	t.puts.Add(1)
+	return t.write(op{key: append([]byte(nil), key...), val: append([]byte(nil), value...)})
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (t *Tree) Delete(key []byte) error {
+	t.deletes.Add(1)
+	return t.write(op{del: true, key: append([]byte(nil), key...)})
+}
+
+func (t *Tree) write(o op) error {
+	e := t.latchLeaf(o.key)
+	needSplit, wait, err := t.applyWrite(e, o)
+	id := e.id
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		// Group commit: block for WAL durability only after releasing the
+		// page latch so concurrent same-page writers batch together.
+		if err := wait(); err != nil {
+			return err
+		}
+	}
+	if needSplit {
+		return t.splitPage(id)
+	}
+	return nil
+}
+
+// applyWrite performs Algorithm 1 on a latched leaf. It returns true when
+// the page outgrew MaxPageEntries and should split (the caller performs the
+// split after releasing the latch, since splits take the structure lock),
+// plus a non-nil durability wait when the logger commits asynchronously.
+func (t *Tree) applyWrite(e *pageEntry, o op) (needSplit bool, wait func() error, err error) {
+	// Write-ahead: the record enters the WAL (and receives its LSN) before
+	// any page state changes (§3.4 step 2).
+	if t.logger != nil {
+		typ := wal.RecordPut
+		if o.del {
+			typ = wal.RecordDelete
+		}
+		rec := &wal.Record{
+			Type: typ, TreeID: uint64(t.id), PageID: uint64(e.id), Key: o.key, Value: o.val,
+		}
+		if async, ok := t.logger.(AsyncWALLogger); ok {
+			lsn, w := async.LogAsync(rec)
+			e.lsn = lsn
+			wait = w
+		} else {
+			lsn, err := t.logger.Log(rec)
+			if err != nil {
+				return false, nil, err
+			}
+			e.lsn = lsn
+		}
+	}
+
+	if t.cfg.FlushMode == FlushAsync {
+		needSplit, err = t.applyWriteAsync(e, o)
+	} else {
+		needSplit, err = t.applyWriteSync(e, o)
+	}
+	return needSplit, wait, err
+}
+
+// applyWriteAsync applies the op in memory and defers persistence to the
+// background flusher (group commit).
+func (t *Tree) applyWriteAsync(e *pageEntry, o op) (bool, error) {
+	if _, err := t.materialize(e); err != nil {
+		return false, err
+	}
+	e.cached = applyOp(e.cached, o)
+	e.pending = append(e.pending, o)
+	e.dirty = true
+	t.dirtyMu.Lock()
+	t.dirtySet[e.id] = struct{}{}
+	t.dirtyMu.Unlock()
+	return !t.cfg.DisableSplit && len(e.cached) > t.cfg.MaxPageEntries, nil
+}
+
+// applyWriteSync is Algorithm 1 with inline flushes.
+func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
+	switch {
+	case e.baseLoc.IsZero() && len(e.deltaOps) == 0:
+		// Lines 2–8: the page has no durable image yet. Write the whole
+		// (small) page as a fresh base.
+		content := e.cached
+		if content == nil {
+			content = make([]kv, 0)
+		}
+		content = applyOp(content, o)
+		return t.writeBaseLocked(e, content)
+
+	case len(e.deltaOps)+1 > t.cfg.ConsolidateNum:
+		// Lines 21–27: the chain is full; consolidate base+deltas+new op
+		// into a fresh base page.
+		content, err := t.materialize(e)
+		if err != nil {
+			return false, err
+		}
+		content = applyOp(content, o)
+		t.consolidations.Add(1)
+		return t.writeBaseLocked(e, content)
+
+	default:
+		if t.cfg.Policy == ReadOptimized {
+			// Lines 19–31 (read-optimized): merge the existing delta with
+			// the new op into a single delta record.
+			merged := make([]op, 0, len(e.deltaOps)+1)
+			merged = append(merged, e.deltaOps...)
+			merged = append(merged, o)
+			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps(merged))
+			if err != nil {
+				return false, err
+			}
+			for _, old := range e.deltaLocs {
+				t.store.Invalidate(old)
+			}
+			e.deltaLocs = e.deltaLocs[:0]
+			e.deltaLocs = append(e.deltaLocs, loc)
+			e.deltaOps = merged
+		} else {
+			// Traditional: append one more delta to the chain.
+			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
+			if err != nil {
+				return false, err
+			}
+			e.deltaLocs = append(e.deltaLocs, loc)
+			e.deltaOps = append(e.deltaOps, o)
+		}
+		if e.cached != nil {
+			e.cached = applyOp(e.cached, o)
+		}
+		return false, nil
+	}
+}
+
+// writeBaseLocked persists content as e's new base page, invalidates the
+// old base and delta records, and resets the chain. e.mu must be held.
+func (t *Tree) writeBaseLocked(e *pageEntry, content []kv) (bool, error) {
+	loc, err := t.store.Append(storage.StreamBase, uint64(e.id), encodeLeaf(content))
+	if err != nil {
+		return false, err
+	}
+	if !e.baseLoc.IsZero() {
+		t.store.Invalidate(e.baseLoc)
+	}
+	for _, old := range e.deltaLocs {
+		t.store.Invalidate(old)
+	}
+	e.baseLoc = loc
+	e.deltaLocs = nil
+	e.deltaOps = nil
+	e.cached = content
+	t.m.noteCached(e)
+	return !t.cfg.DisableSplit && len(content) > t.cfg.MaxPageEntries, nil
+}
+
+// Len returns the total number of live keys (walks every leaf; intended
+// for tests and small trees).
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(nil, nil, 0, func(k, v []byte) bool { n++; return true })
+	return n, err
+}
+
+// Scan iterates keys in [from, to) in order, invoking fn for each pair
+// until fn returns false or limit pairs have been delivered (limit <= 0
+// means unlimited). Each leaf is snapshotted under its latch and the latch
+// released before callbacks run, so fn may safely re-enter the tree (e.g.
+// a traversal that looks up the vertices it discovers). The callback must
+// not retain its arguments.
+func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool) error {
+	if from == nil {
+		from = []byte{}
+	}
+	e := t.latchLeaf(from)
+	delivered := 0
+	for {
+		entries, err := t.materialize(e)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		start, _ := searchKV(entries, from)
+		snapshot := append([]kv(nil), entries[start:]...)
+		next := e.next
+		e.mu.Unlock()
+
+		for _, pair := range snapshot {
+			if to != nil && bytes.Compare(pair.key, to) >= 0 {
+				return nil
+			}
+			if !fn(pair.key, pair.val) {
+				return nil
+			}
+			delivered++
+			if limit > 0 && delivered >= limit {
+				return nil
+			}
+		}
+		if next == 0 {
+			return nil
+		}
+		ne := t.m.get(next)
+		if ne == nil {
+			return nil
+		}
+		ne.mu.Lock()
+		e = ne
+	}
+}
+
+// logStructural appends a structural WAL record, deferring the durability
+// wait into waits when the logger supports group commit — the structure
+// lock is released before the caller blocks, so splits do not stall the
+// whole tree for a commit round trip.
+func (t *Tree) logStructural(rec *wal.Record, waits *[]func() error) (wal.LSN, error) {
+	if async, ok := t.logger.(AsyncWALLogger); ok {
+		lsn, w := async.LogAsync(rec)
+		*waits = append(*waits, w)
+		return lsn, nil
+	}
+	return t.logger.Log(rec)
+}
+
+// splitPage splits the (oversized) leaf id, updating parents and, when the
+// root splits, growing the tree by one level. It re-checks the size under
+// the structure lock, so spurious calls are harmless.
+func (t *Tree) splitPage(id PageID) error {
+	var waits []func() error
+	err := t.splitPageLocked(id, &waits)
+	for _, w := range waits {
+		if werr := w(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+func (t *Tree) splitPageLocked(id PageID, waits *[]func() error) error {
+	t.structMu.Lock()
+	defer t.structMu.Unlock()
+	e := t.m.get(id)
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	content, err := t.materialize(e)
+	if err != nil {
+		return err
+	}
+	if len(content) <= t.cfg.MaxPageEntries {
+		return nil // a concurrent split already handled it
+	}
+
+	mid := len(content) / 2
+	sep := content[mid].key
+	right := &pageEntry{
+		id:     t.m.allocPageID(),
+		tree:   t,
+		isLeaf: true,
+		lo:     sep,
+		hi:     e.hi,
+		next:   e.next,
+	}
+	rightContent := append([]kv(nil), content[mid:]...)
+	leftContent := append([]kv(nil), content[:mid]...)
+
+	if t.logger != nil {
+		if _, err := t.logStructural(&wal.Record{
+			Type: wal.RecordNewPage, TreeID: uint64(t.id), PageID: uint64(right.id),
+		}, waits); err != nil {
+			return err
+		}
+		lsn, err := t.logStructural(&wal.Record{
+			Type: wal.RecordSplit, TreeID: uint64(t.id),
+			PageID: uint64(e.id), AuxPage: uint64(right.id), Key: sep,
+		}, waits)
+		if err != nil {
+			return err
+		}
+		e.lsn = lsn
+		right.lsn = lsn
+	}
+
+	if t.cfg.FlushMode == FlushSync {
+		// Persist both halves as fresh base pages immediately.
+		rloc, err := t.store.Append(storage.StreamBase, uint64(right.id), encodeLeaf(rightContent))
+		if err != nil {
+			return err
+		}
+		right.baseLoc = rloc
+		lloc, err := t.store.Append(storage.StreamBase, uint64(e.id), encodeLeaf(leftContent))
+		if err != nil {
+			return err
+		}
+		if !e.baseLoc.IsZero() {
+			t.store.Invalidate(e.baseLoc)
+		}
+		for _, old := range e.deltaLocs {
+			t.store.Invalidate(old)
+		}
+		e.baseLoc = lloc
+		e.deltaLocs = nil
+		e.deltaOps = nil
+	} else {
+		// Dirty pages; the flusher rewrites both bases at the next group
+		// commit (§3.4 step 7).
+		e.dirty = true
+		e.splitPending = true
+		right.dirty = true
+		right.splitPending = true
+		t.dirtyMu.Lock()
+		t.dirtySet[e.id] = struct{}{}
+		t.dirtySet[right.id] = struct{}{}
+		t.dirtyMu.Unlock()
+	}
+
+	e.cached = leftContent
+	right.cached = rightContent
+	e.hi = sep
+	e.next = right.id
+	t.m.register(right)
+	t.m.noteCached(e)
+	t.m.noteCached(right)
+	t.splits.Add(1)
+
+	return t.insertParent(e.id, sep, right.id, waits)
+}
+
+// insertParent inserts the separator (sep -> right) into the parent of
+// leaf/inner page left, splitting inner nodes upward as needed. Caller
+// holds structMu exclusively.
+func (t *Tree) insertParent(left PageID, sep []byte, right PageID, waits *[]func() error) error {
+	// Collect the path from root to the node `left` by routing on sep;
+	// before the parent is updated, sep still routes into `left`'s subtree.
+	var path []*pageEntry
+	id := t.root
+	for id != left {
+		e := t.m.get(id)
+		if e == nil || e.isLeaf {
+			break
+		}
+		path = append(path, e)
+		id = e.inner.children[e.inner.childIndex(sep)]
+	}
+
+	if len(path) == 0 {
+		// left is the root: grow a new root.
+		newRoot := &pageEntry{
+			id:   t.m.allocPageID(),
+			tree: t,
+			inner: &innerNode{
+				keys:     [][]byte{sep},
+				children: []PageID{left, right},
+			},
+		}
+		t.m.register(newRoot)
+		t.root = newRoot.id
+		if t.logger != nil {
+			if _, err := t.logStructural(&wal.Record{
+				Type: wal.RecordNewRoot, TreeID: uint64(t.id),
+				PageID: uint64(left), AuxPage: uint64(newRoot.id),
+			}, waits); err != nil {
+				return err
+			}
+		}
+		return t.flushInner(newRoot)
+	}
+
+	for lvl := len(path) - 1; lvl >= 0; lvl-- {
+		parent := path[lvl]
+		n := parent.inner
+		idx := n.childIndex(sep)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = sep
+		n.children = append(n.children, 0)
+		copy(n.children[idx+2:], n.children[idx+1:])
+		n.children[idx+1] = right
+		if err := t.flushInner(parent); err != nil {
+			return err
+		}
+		if len(n.children) <= t.cfg.MaxInnerEntries {
+			return nil
+		}
+		// Split the inner node and continue upward with the promoted key.
+		mid := len(n.keys) / 2
+		promoted := n.keys[mid]
+		rightInner := &pageEntry{
+			id:   t.m.allocPageID(),
+			tree: t,
+			inner: &innerNode{
+				keys:     append([][]byte(nil), n.keys[mid+1:]...),
+				children: append([]PageID(nil), n.children[mid+1:]...),
+			},
+		}
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+		t.m.register(rightInner)
+		if err := t.flushInner(parent); err != nil {
+			return err
+		}
+		if err := t.flushInner(rightInner); err != nil {
+			return err
+		}
+		sep, right = promoted, rightInner.id
+		if lvl == 0 {
+			// The root inner node split: grow a new root above it.
+			newRoot := &pageEntry{
+				id:   t.m.allocPageID(),
+				tree: t,
+				inner: &innerNode{
+					keys:     [][]byte{sep},
+					children: []PageID{parent.id, right},
+				},
+			}
+			t.m.register(newRoot)
+			t.root = newRoot.id
+			if t.logger != nil {
+				if _, err := t.logger.Log(&wal.Record{
+					Type: wal.RecordNewRoot, TreeID: uint64(t.id),
+					PageID: uint64(parent.id), AuxPage: uint64(newRoot.id),
+				}); err != nil {
+					return err
+				}
+			}
+			return t.flushInner(newRoot)
+		}
+	}
+	return nil
+}
+
+// flushInner persists an inner node's image. Inner nodes change only
+// during splits, so they are flushed synchronously in both flush modes.
+func (t *Tree) flushInner(e *pageEntry) error {
+	loc, err := t.store.Append(storage.StreamBase, uint64(e.id), encodeInner(e.inner))
+	if err != nil {
+		return err
+	}
+	if !e.inner.loc.IsZero() {
+		t.store.Invalidate(e.inner.loc)
+	}
+	e.inner.loc = loc
+	return nil
+}
+
+// Height returns the number of levels in the tree (1 = a single leaf).
+func (t *Tree) Height() int {
+	t.structMu.RLock()
+	defer t.structMu.RUnlock()
+	h := 1
+	id := t.root
+	for {
+		e := t.m.get(id)
+		if e == nil || e.isLeaf {
+			return h
+		}
+		h++
+		id = e.inner.children[0]
+	}
+}

@@ -1,0 +1,450 @@
+// Package bytegraph implements the previous-generation ByteGraph baseline
+// (§2): a graph-native memory layer (BGS) holding B-tree-like edge trees,
+// persisted page-by-page as key-value pairs into an LSM-tree storage
+// engine (internal/lsm). It exists so the Fig. 8 comparison measures the
+// architecture the paper criticizes — every cache miss walks the memory
+// index *and* the multi-level LSM read path, and every page write feeds
+// LSM compaction.
+//
+// Adjacency layout mirrors §2.2: each (vertex, edge-type) pair owns an
+// edge tree whose meta node indexes fixed-capacity edge pages; meta and
+// pages are separate KV records so super-vertex pages can be fetched
+// independently.
+package bytegraph
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bg3/internal/graph"
+	"bg3/internal/lsm"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// KV configures the underlying LSM engine.
+	KV lsm.Config
+	// EdgesPerPage is the edge-page capacity (default 64).
+	EdgesPerPage int
+	// CacheTrees bounds the number of edge trees resident in the BGS
+	// cache (0 = unlimited).
+	CacheTrees int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgesPerPage <= 0 {
+		c.EdgesPerPage = 64
+	}
+	return c
+}
+
+const numStripes = 64
+
+// Store is a single-node ByteGraph instance implementing graph.Store.
+type Store struct {
+	cfg Config
+	kv  *lsm.DB
+
+	// Striped write locks serialize read-modify-write cycles per edge
+	// tree.
+	stripes [numStripes]sync.Mutex
+
+	cacheMu  sync.Mutex
+	cache    map[string]*edgeTree
+	lru      *list.List
+	lruIndex map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+var _ graph.Store = (*Store)(nil)
+
+// New creates an empty baseline store.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	return &Store{
+		cfg:      cfg,
+		kv:       lsm.Open(cfg.KV),
+		cache:    make(map[string]*edgeTree),
+		lru:      list.New(),
+		lruIndex: make(map[string]*list.Element),
+	}
+}
+
+// KV exposes the underlying LSM engine for metrics.
+func (s *Store) KV() *lsm.DB { return s.kv }
+
+// CacheStats returns (hits, misses) of the BGS edge-tree cache.
+func (s *Store) CacheStats() (int64, int64) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.hits, s.misses
+}
+
+// edgeRec is one edge inside a page.
+type edgeRec struct {
+	dst   graph.VertexID
+	props []byte // encoded properties
+}
+
+// edgePage is one edge-tree page.
+type edgePage struct {
+	id    uint32
+	edges []edgeRec // sorted by dst
+}
+
+// edgeTree is the cached form of one (src, etype) adjacency.
+type edgeTree struct {
+	pages []*edgePage // sorted by first dst
+}
+
+// Key encodings in the KV store.
+
+func vertexKVKey(id graph.VertexID, typ graph.VertexType) []byte {
+	buf := make([]byte, 11)
+	buf[0] = 'V'
+	binary.BigEndian.PutUint64(buf[1:], uint64(id))
+	binary.BigEndian.PutUint16(buf[9:], uint16(typ))
+	return buf
+}
+
+func metaKVKey(src graph.VertexID, typ graph.EdgeType) []byte {
+	buf := make([]byte, 11)
+	buf[0] = 'M'
+	binary.BigEndian.PutUint64(buf[1:], uint64(src))
+	binary.BigEndian.PutUint16(buf[9:], uint16(typ))
+	return buf
+}
+
+func pageKVKey(src graph.VertexID, typ graph.EdgeType, page uint32) []byte {
+	buf := make([]byte, 15)
+	buf[0] = 'P'
+	binary.BigEndian.PutUint64(buf[1:], uint64(src))
+	binary.BigEndian.PutUint16(buf[9:], uint16(typ))
+	binary.BigEndian.PutUint32(buf[11:], page)
+	return buf
+}
+
+func treeKey(src graph.VertexID, typ graph.EdgeType) string {
+	return string(metaKVKey(src, typ))
+}
+
+func (s *Store) stripe(key string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &s.stripes[h%numStripes]
+}
+
+// Meta value: count[4] { pageID[4] }  (page first-keys live in the pages).
+func encodeMeta(t *edgeTree) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(t.pages)))
+	for _, p := range t.pages {
+		buf = binary.LittleEndian.AppendUint32(buf, p.id)
+	}
+	return buf
+}
+
+func decodeMetaIDs(buf []byte) ([]uint32, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("bytegraph: corrupt meta")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint32(len(buf)) < n*4 {
+		return nil, fmt.Errorf("bytegraph: truncated meta")
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint32(buf[i*4:])
+	}
+	return ids, nil
+}
+
+// Page value: count[4] { dst[8] plen[4] props }.
+func encodePage(p *edgePage) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(p.edges)))
+	for _, e := range p.edges {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.dst))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.props)))
+		buf = append(buf, e.props...)
+	}
+	return buf
+}
+
+func decodePage(id uint32, buf []byte) (*edgePage, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("bytegraph: corrupt page")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	p := &edgePage{id: id, edges: make([]edgeRec, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 12 {
+			return nil, fmt.Errorf("bytegraph: truncated page entry")
+		}
+		dst := graph.VertexID(binary.LittleEndian.Uint64(buf))
+		plen := binary.LittleEndian.Uint32(buf[8:])
+		buf = buf[12:]
+		if uint32(len(buf)) < plen {
+			return nil, fmt.Errorf("bytegraph: truncated page props")
+		}
+		p.edges = append(p.edges, edgeRec{dst: dst, props: append([]byte(nil), buf[:plen]...)})
+		buf = buf[plen:]
+	}
+	return p, nil
+}
+
+// loadTree fetches an edge tree through the cache; a miss reads the meta
+// node and every page from the LSM (the elongated read path of §2.4).
+func (s *Store) loadTree(src graph.VertexID, typ graph.EdgeType) (*edgeTree, error) {
+	key := treeKey(src, typ)
+	s.cacheMu.Lock()
+	if t, ok := s.cache[key]; ok {
+		s.hits++
+		if el, ok := s.lruIndex[key]; ok {
+			s.lru.MoveToFront(el)
+		}
+		s.cacheMu.Unlock()
+		return t, nil
+	}
+	s.misses++
+	s.cacheMu.Unlock()
+
+	metaVal, ok := s.kv.Get(metaKVKey(src, typ))
+	if !ok {
+		return &edgeTree{}, nil
+	}
+	ids, err := decodeMetaIDs(metaVal)
+	if err != nil {
+		return nil, err
+	}
+	t := &edgeTree{}
+	for _, id := range ids {
+		pv, ok := s.kv.Get(pageKVKey(src, typ, id))
+		if !ok {
+			return nil, fmt.Errorf("bytegraph: meta references missing page %d", id)
+		}
+		p, err := decodePage(id, pv)
+		if err != nil {
+			return nil, err
+		}
+		t.pages = append(t.pages, p)
+	}
+	s.storeCache(key, t)
+	return t, nil
+}
+
+func (s *Store) storeCache(key string, t *edgeTree) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	s.cache[key] = t
+	if el, ok := s.lruIndex[key]; ok {
+		s.lru.MoveToFront(el)
+	} else {
+		s.lruIndex[key] = s.lru.PushFront(key)
+	}
+	if s.cfg.CacheTrees > 0 {
+		for s.lru.Len() > s.cfg.CacheTrees {
+			el := s.lru.Back()
+			victim := el.Value.(string)
+			s.lru.Remove(el)
+			delete(s.lruIndex, victim)
+			delete(s.cache, victim)
+		}
+	}
+}
+
+// AddVertex implements graph.Store.
+func (s *Store) AddVertex(v graph.Vertex) error {
+	s.kv.Put(vertexKVKey(v.ID, v.Type), graph.EncodeProps(v.Props))
+	return nil
+}
+
+// GetVertex implements graph.Store.
+func (s *Store) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	val, ok := s.kv.Get(vertexKVKey(id, typ))
+	if !ok {
+		return graph.Vertex{}, false, nil
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Vertex{}, false, err
+	}
+	return graph.Vertex{ID: id, Type: typ, Props: props}, true, nil
+}
+
+// AddEdge implements graph.Store: a read-modify-write cycle on the edge
+// tree with page splitting. Trees are updated copy-on-write so concurrent
+// readers always see an immutable snapshot.
+func (s *Store) AddEdge(e graph.Edge) error {
+	key := treeKey(e.Src, e.Type)
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+
+	old, err := s.loadTree(e.Src, e.Type)
+	if err != nil {
+		return err
+	}
+	rec := edgeRec{dst: e.Dst, props: graph.EncodeProps(e.Props)}
+	t := &edgeTree{pages: append([]*edgePage(nil), old.pages...)}
+	metaDirty := false
+	var page *edgePage
+	pos := 0
+	if len(t.pages) == 0 {
+		page = &edgePage{id: 1}
+		t.pages = []*edgePage{page}
+		metaDirty = true
+	} else {
+		pos = s.pageIndexFor(t, e.Dst)
+		src := t.pages[pos]
+		page = &edgePage{id: src.id, edges: append([]edgeRec(nil), src.edges...)}
+		t.pages[pos] = page
+	}
+	idx := sort.Search(len(page.edges), func(i int) bool { return page.edges[i].dst >= e.Dst })
+	if idx < len(page.edges) && page.edges[idx].dst == e.Dst {
+		page.edges[idx] = rec
+	} else {
+		page.edges = append(page.edges, edgeRec{})
+		copy(page.edges[idx+1:], page.edges[idx:])
+		page.edges[idx] = rec
+	}
+	dirtyPages := []*edgePage{page}
+	if len(page.edges) > s.cfg.EdgesPerPage {
+		// Split: upper half moves to a fresh page inserted after.
+		mid := len(page.edges) / 2
+		maxID := uint32(0)
+		for _, p := range t.pages {
+			if p.id > maxID {
+				maxID = p.id
+			}
+		}
+		right := &edgePage{id: maxID + 1, edges: append([]edgeRec(nil), page.edges[mid:]...)}
+		page.edges = page.edges[:mid]
+		t.pages = append(t.pages, nil)
+		copy(t.pages[pos+2:], t.pages[pos+1:])
+		t.pages[pos+1] = right
+		dirtyPages = append(dirtyPages, right)
+		metaDirty = true
+	}
+	for _, p := range dirtyPages {
+		s.kv.Put(pageKVKey(e.Src, e.Type, p.id), encodePage(p))
+	}
+	if metaDirty {
+		s.kv.Put(metaKVKey(e.Src, e.Type), encodeMeta(t))
+	}
+	s.storeCache(key, t)
+	return nil
+}
+
+// pageIndexFor returns the index of the page that should hold dst.
+func (s *Store) pageIndexFor(t *edgeTree, dst graph.VertexID) int {
+	idx := sort.Search(len(t.pages), func(i int) bool {
+		p := t.pages[i]
+		return len(p.edges) > 0 && p.edges[0].dst > dst
+	})
+	if idx == 0 {
+		return 0
+	}
+	return idx - 1
+}
+
+// GetEdge implements graph.Store.
+func (s *Store) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	t, err := s.loadTree(src, typ)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	if len(t.pages) == 0 {
+		return graph.Edge{}, false, nil
+	}
+	page := t.pages[s.pageIndexFor(t, dst)]
+	idx := sort.Search(len(page.edges), func(i int) bool { return page.edges[i].dst >= dst })
+	if idx >= len(page.edges) || page.edges[idx].dst != dst {
+		return graph.Edge{}, false, nil
+	}
+	props, err := graph.DecodeProps(page.edges[idx].props)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
+}
+
+// DeleteEdge implements graph.Store.
+func (s *Store) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	key := treeKey(src, typ)
+	mu := s.stripe(key)
+	mu.Lock()
+	defer mu.Unlock()
+	old, err := s.loadTree(src, typ)
+	if err != nil {
+		return err
+	}
+	if len(old.pages) == 0 {
+		return nil
+	}
+	t := &edgeTree{pages: append([]*edgePage(nil), old.pages...)}
+	pos := s.pageIndexFor(t, dst)
+	srcPage := t.pages[pos]
+	idx := sort.Search(len(srcPage.edges), func(i int) bool { return srcPage.edges[i].dst >= dst })
+	if idx >= len(srcPage.edges) || srcPage.edges[idx].dst != dst {
+		return nil
+	}
+	page := &edgePage{id: srcPage.id, edges: append([]edgeRec(nil), srcPage.edges...)}
+	page.edges = append(page.edges[:idx], page.edges[idx+1:]...)
+	t.pages[pos] = page
+	if len(page.edges) == 0 && len(t.pages) > 1 {
+		// Drop the emptied page so routing by first-key stays well-defined.
+		t.pages = append(t.pages[:pos], t.pages[pos+1:]...)
+		s.kv.Delete(pageKVKey(src, typ, page.id))
+		s.kv.Put(metaKVKey(src, typ), encodeMeta(t))
+	} else {
+		s.kv.Put(pageKVKey(src, typ, page.id), encodePage(page))
+	}
+	s.storeCache(key, t)
+	return nil
+}
+
+// Neighbors implements graph.Store.
+func (s *Store) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	t, err := s.loadTree(src, typ)
+	if err != nil {
+		return err
+	}
+	delivered := 0
+	for _, p := range t.pages {
+		for _, e := range p.edges {
+			props, err := graph.DecodeProps(e.props)
+			if err != nil {
+				return err
+			}
+			if !fn(e.dst, props) {
+				return nil
+			}
+			delivered++
+			if limit > 0 && delivered >= limit {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Degree implements graph.Store.
+func (s *Store) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	t, err := s.loadTree(src, typ)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range t.pages {
+		n += len(p.edges)
+	}
+	return n, nil
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bg3/internal/core"
+	"bg3/internal/graph"
+)
+
+func newNodes(t *testing.T, n int) []graph.Store {
+	t.Helper()
+	out := make([]graph.Store, n)
+	for i := range out {
+		e, err := core.New(core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		out[i] = e
+	}
+	return out
+}
+
+func TestClusterRoutesConsistently(t *testing.T) {
+	nodes := newNodes(t, 4)
+	c := New(nodes...)
+	for i := 0; i < 200; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every edge is retrievable through the cluster.
+	for i := 0; i < 200; i++ {
+		if _, ok, _ := c.GetEdge(graph.VertexID(i), graph.ETypeFollow, graph.VertexID(i+1)); !ok {
+			t.Fatalf("edge %d lost", i)
+		}
+	}
+	// Data is actually spread: each node holds a strict subset.
+	spread := 0
+	for _, n := range nodes {
+		local := 0
+		for i := 0; i < 200; i++ {
+			if _, ok, _ := n.GetEdge(graph.VertexID(i), graph.ETypeFollow, graph.VertexID(i+1)); ok {
+				local++
+			}
+		}
+		if local > 0 && local < 200 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("data not sharded: %d nodes hold partial data", spread)
+	}
+}
+
+func TestClusterVertexOps(t *testing.T) {
+	c := New(newNodes(t, 3)...)
+	for i := 0; i < 30; i++ {
+		if err := c.AddVertex(graph.Vertex{ID: graph.VertexID(i), Type: graph.VTypeUser}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, ok, _ := c.GetVertex(graph.VertexID(i), graph.VTypeUser); !ok {
+			t.Fatalf("vertex %d lost", i)
+		}
+	}
+}
+
+func TestClusterKHopSpansShards(t *testing.T) {
+	c := New(newNodes(t, 4)...)
+	// Chain 0->1->2->...->9 crosses shard boundaries.
+	for i := 0; i < 9; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reached, err := graph.KHop(c, 0, graph.ETypeFollow, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reached) != 9 {
+		t.Fatalf("k-hop across shards reached %d vertices, want 9", len(reached))
+	}
+}
+
+// slowStore counts concurrent operations to verify the Limited wrapper.
+type slowStore struct {
+	graph.Store
+	cur, max atomic.Int64
+}
+
+func (s *slowStore) AddEdge(e graph.Edge) error {
+	c := s.cur.Add(1)
+	for {
+		m := s.max.Load()
+		if c <= m || s.max.CompareAndSwap(m, c) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	s.cur.Add(-1)
+	return nil
+}
+
+func TestLimitedCapsConcurrency(t *testing.T) {
+	inner := &slowStore{}
+	l := Limit(inner, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = l.AddEdge(graph.Edge{Src: graph.VertexID(i)})
+		}(i)
+	}
+	wg.Wait()
+	if got := inner.max.Load(); got > 3 {
+		t.Fatalf("max concurrency = %d, want <= 3", got)
+	}
+}
+
+func TestLimitFloorsAtOne(t *testing.T) {
+	nodes := newNodes(t, 1)
+	l := Limit(nodes[0], 0)
+	if err := l.AddVertex(graph.Vertex{ID: 1, Type: graph.VTypeUser}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := l.GetVertex(1, graph.VTypeUser); !ok {
+		t.Fatal("vertex lost through limiter")
+	}
+}
+
+func TestLimitedFullSurface(t *testing.T) {
+	nodes := newNodes(t, 1)
+	l := Limit(nodes[0], 2)
+	if err := l.AddEdge(graph.Edge{Src: 1, Dst: 2, Type: graph.ETypeFollow}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := l.GetEdge(1, graph.ETypeFollow, 2); !ok {
+		t.Fatal("edge missing through limiter")
+	}
+	if d, _ := l.Degree(1, graph.ETypeFollow); d != 1 {
+		t.Fatalf("degree = %d", d)
+	}
+	n := 0
+	if err := l.Neighbors(1, graph.ETypeFollow, 0, func(graph.VertexID, graph.Properties) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("neighbors = %d", n)
+	}
+	if err := l.DeleteEdge(1, graph.ETypeFollow, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := l.Degree(1, graph.ETypeFollow); d != 0 {
+		t.Fatalf("degree after delete = %d", d)
+	}
+}
+
+func TestClusterDeleteAndDegree(t *testing.T) {
+	c := New(newNodes(t, 2)...)
+	if err := c.AddEdge(graph.Edge{Src: 5, Dst: 6, Type: graph.ETypeLike}); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c.Degree(5, graph.ETypeLike); d != 1 {
+		t.Fatalf("degree = %d", d)
+	}
+	n := 0
+	if err := c.Neighbors(5, graph.ETypeLike, 0, func(graph.VertexID, graph.Properties) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("neighbors = %d", n)
+	}
+	if err := c.DeleteEdge(5, graph.ETypeLike, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.GetEdge(5, graph.ETypeLike, 6); ok {
+		t.Fatal("deleted edge visible")
+	}
+}

@@ -1,0 +1,256 @@
+// Package core assembles BG3's storage engine from its substrates: the
+// Bw-tree forest over append-only shared storage, workload-aware space
+// reclamation, and the WAL hooks the leader–follower synchronization of
+// §3.4 attaches to. It exposes the property-graph API of graph.Store.
+//
+// Layout on the forest: every vertex is an owner; its adjacency lists and
+// its own property record share the per-owner keyspace. Edge keys are
+// etype[2] dst[8]; vertex records use the reserved edge-type 0xFFFF as
+// their prefix (applications therefore cannot use edge type 65535).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/forest"
+	"bg3/internal/gc"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+)
+
+// vertexPrefix is the reserved edge-type prefix under which a vertex's own
+// record is stored in its keyspace.
+const vertexPrefix = graph.EdgeType(0xFFFF)
+
+// vertexKey builds the in-owner key of a vertex record.
+func vertexKey(typ graph.VertexType) []byte {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf, uint16(vertexPrefix))
+	binary.BigEndian.PutUint16(buf[2:], uint16(typ))
+	return buf
+}
+
+// Options configures a BG3 engine.
+type Options struct {
+	// Storage configures the shared store created by New. Ignored by
+	// NewWithStore.
+	Storage *storage.Options
+
+	// Tree configures every Bw-tree (delta policy, flush mode, cache).
+	Tree bwtree.Config
+
+	// SplitThreshold and InitSizeThreshold configure the Bw-tree forest
+	// (§3.2.1). Zero values disable forest splitting.
+	SplitThreshold    int
+	InitSizeThreshold int
+
+	// GCPolicy selects the space-reclamation policy; nil defaults to the
+	// workload-aware policy of §3.3 (with TTL wired in when TTL is set).
+	GCPolicy gc.Policy
+
+	// TTL expires data wholesale after this lifetime; zero keeps data
+	// forever.
+	TTL time.Duration
+
+	// GCInterval and GCBatch run background reclamation when GCInterval is
+	// non-zero.
+	GCInterval time.Duration
+	GCBatch    int
+
+	// Logger receives WAL records (set by the replication RW node).
+	Logger bwtree.WALLogger
+
+	// Now overrides the clock for TTL tests.
+	Now func() time.Time
+}
+
+// Engine is a BG3 storage engine instance (the RW-node role when a Logger
+// is attached). It implements graph.Store.
+type Engine struct {
+	store      *storage.Store
+	ownedStore bool
+	mapping    *bwtree.Mapping
+	edges      *forest.Forest
+	opts       Options
+	reclaimers []*gc.Reclaimer
+}
+
+var _ graph.Store = (*Engine)(nil)
+
+// New creates an engine with its own shared store.
+func New(opts Options) (*Engine, error) {
+	so := opts.Storage
+	if so == nil {
+		so = &storage.Options{}
+	}
+	if opts.Now != nil && so.Now == nil {
+		so.Now = opts.Now
+	}
+	st := storage.Open(so)
+	e, err := NewWithStore(st, opts)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	e.ownedStore = true
+	return e, nil
+}
+
+// NewWithStore creates an engine on an existing shared store (used when
+// RW and RO nodes share one store, and by multi-engine cluster setups).
+func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
+	m := bwtree.NewMapping(opts.Tree.CacheCapacity, opts.Tree.NoCache)
+	f, err := forest.New(m, st, forest.Config{
+		Tree:              opts.Tree,
+		SplitThreshold:    opts.SplitThreshold,
+		InitSizeThreshold: opts.InitSizeThreshold,
+	}, opts.Logger)
+	if err != nil {
+		return nil, fmt.Errorf("core: create forest: %w", err)
+	}
+	e := &Engine{store: st, mapping: m, edges: f, opts: opts}
+	policy := opts.GCPolicy
+	if policy == nil {
+		policy = gc.WorkloadAware{TTL: opts.TTL}
+	}
+	for _, stream := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
+		r := gc.NewReclaimer(st, stream, policy, m.Relocate)
+		r.TTL = opts.TTL
+		if opts.Now != nil {
+			r.Now = opts.Now
+		}
+		e.reclaimers = append(e.reclaimers, r)
+		if opts.GCInterval > 0 {
+			batch := opts.GCBatch
+			if batch <= 0 {
+				batch = 1
+			}
+			r.Start(opts.GCInterval, batch)
+		}
+	}
+	return e, nil
+}
+
+// Close stops background work and, if the engine owns its store, closes it.
+func (e *Engine) Close() {
+	if e.opts.GCInterval > 0 {
+		for _, r := range e.reclaimers {
+			r.Stop()
+		}
+	}
+	if e.ownedStore {
+		e.store.Close()
+	}
+}
+
+// AddVertex implements graph.Store.
+func (e *Engine) AddVertex(v graph.Vertex) error {
+	return e.edges.Put(forest.OwnerID(v.ID), vertexKey(v.Type), graph.EncodeProps(v.Props))
+}
+
+// GetVertex implements graph.Store.
+func (e *Engine) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	val, ok, err := e.edges.Get(forest.OwnerID(id), vertexKey(typ))
+	if err != nil || !ok {
+		return graph.Vertex{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Vertex{}, false, err
+	}
+	return graph.Vertex{ID: id, Type: typ, Props: props}, true, nil
+}
+
+// AddEdge implements graph.Store.
+func (e *Engine) AddEdge(ed graph.Edge) error {
+	if ed.Type == vertexPrefix {
+		return fmt.Errorf("core: edge type %d is reserved", uint16(vertexPrefix))
+	}
+	return e.edges.Put(forest.OwnerID(ed.Src), graph.EdgeKey(ed.Type, ed.Dst), graph.EncodeProps(ed.Props))
+}
+
+// GetEdge implements graph.Store.
+func (e *Engine) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	val, ok, err := e.edges.Get(forest.OwnerID(src), graph.EdgeKey(typ, dst))
+	if err != nil || !ok {
+		return graph.Edge{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
+}
+
+// DeleteEdge implements graph.Store.
+func (e *Engine) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	return e.edges.Delete(forest.OwnerID(src), graph.EdgeKey(typ, dst))
+}
+
+// Neighbors implements graph.Store.
+func (e *Engine) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	lo, hi := graph.EdgeTypeBounds(typ)
+	return e.edges.Scan(forest.OwnerID(src), lo, hi, limit, func(k, v []byte) bool {
+		_, dst, err := graph.DecodeEdgeKey(k)
+		if err != nil {
+			return true // skip foreign records defensively
+		}
+		props, err := graph.DecodeProps(v)
+		if err != nil {
+			return true
+		}
+		return fn(dst, props)
+	})
+}
+
+// Degree implements graph.Store.
+func (e *Engine) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	n := 0
+	err := e.Neighbors(src, typ, 0, func(graph.VertexID, graph.Properties) bool { n++; return true })
+	return n, err
+}
+
+// RunGC triggers one synchronous reclamation cycle over both data streams
+// and returns the bytes moved.
+func (e *Engine) RunGC(batch int) (int64, error) {
+	var total int64
+	for _, r := range e.reclaimers {
+		n, err := r.RunOnce(batch)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// GCStats aggregates the reclaimers' accounting.
+func (e *Engine) GCStats() gc.ReclaimerStats {
+	var out gc.ReclaimerStats
+	for _, r := range e.reclaimers {
+		s := r.Stats()
+		out.BytesMoved += s.BytesMoved
+		out.Runs += s.Runs
+		out.ExtentsExpired += s.ExtentsExpired
+	}
+	return out
+}
+
+// FlushDirty flushes async-mode dirty pages across the forest, returning
+// the mapping updates for the checkpoint record.
+func (e *Engine) FlushDirty() ([]bwtree.MappingUpdate, error) { return e.edges.FlushDirty() }
+
+// DirtyCount reports pages awaiting a flush (async mode).
+func (e *Engine) DirtyCount() int { return e.edges.DirtyCount() }
+
+// Store exposes the shared store (benchmarks, replication plumbing).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Mapping exposes the shared mapping table (GC relocation, experiments).
+func (e *Engine) Mapping() *bwtree.Mapping { return e.mapping }
+
+// Forest exposes the Bw-tree forest (experiments).
+func (e *Engine) Forest() *forest.Forest { return e.edges }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bg3/internal/forest"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// Replica is the RO-node view of a BG3 engine: the forest replica plus the
+// graph read API. It consumes WAL records (shipped by the replication
+// layer) and serves strongly consistent reads.
+type Replica struct {
+	rep *forest.Replica
+}
+
+// NewReplica creates an empty replica reading pages from the shared store.
+// capacity bounds its page cache (0 = unlimited).
+func NewReplica(st *storage.Store, capacity int) *Replica {
+	return &Replica{rep: forest.NewReplica(st, capacity)}
+}
+
+// Apply incorporates one WAL record.
+func (r *Replica) Apply(rec *wal.Record) error { return r.rep.Apply(rec) }
+
+// ApplyAll incorporates records in order.
+func (r *Replica) ApplyAll(recs []*wal.Record) error { return r.rep.ApplyAll(recs) }
+
+// HighLSN reports the newest WAL LSN incorporated.
+func (r *Replica) HighLSN() wal.LSN { return r.rep.HighLSN() }
+
+// BufferedRecords reports the lazy-replay backlog.
+func (r *Replica) BufferedRecords() int { return r.rep.BufferedRecords() }
+
+// GetVertex mirrors Engine.GetVertex.
+func (r *Replica) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	val, ok, err := r.rep.Get(forest.OwnerID(id), vertexKey(typ))
+	if err != nil || !ok {
+		return graph.Vertex{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Vertex{}, false, err
+	}
+	return graph.Vertex{ID: id, Type: typ, Props: props}, true, nil
+}
+
+// GetEdge mirrors Engine.GetEdge.
+func (r *Replica) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	val, ok, err := r.rep.Get(forest.OwnerID(src), graph.EdgeKey(typ, dst))
+	if err != nil || !ok {
+		return graph.Edge{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
+}
+
+// Neighbors mirrors Engine.Neighbors.
+func (r *Replica) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	lo, hi := graph.EdgeTypeBounds(typ)
+	return r.rep.Scan(forest.OwnerID(src), lo, hi, limit, func(k, v []byte) bool {
+		_, dst, err := graph.DecodeEdgeKey(k)
+		if err != nil {
+			return true
+		}
+		props, err := graph.DecodeProps(v)
+		if err != nil {
+			return true
+		}
+		return fn(dst, props)
+	})
+}
+
+// Degree mirrors Engine.Degree.
+func (r *Replica) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	n := 0
+	err := r.Neighbors(src, typ, 0, func(graph.VertexID, graph.Properties) bool { n++; return true })
+	return n, err
+}
+
+// readOnlyStore adapts a Replica to graph.Store for traversal helpers and
+// pattern matching; write methods fail.
+type readOnlyStore struct{ r *Replica }
+
+// AsStore returns a graph.Store view whose write methods return
+// graph.ErrCorrupt-free explicit errors (replicas are read-only).
+func (r *Replica) AsStore() graph.Store { return readOnlyStore{r} }
+
+func (s readOnlyStore) AddVertex(graph.Vertex) error { return errReadOnly }
+func (s readOnlyStore) AddEdge(graph.Edge) error     { return errReadOnly }
+func (s readOnlyStore) DeleteEdge(graph.VertexID, graph.EdgeType, graph.VertexID) error {
+	return errReadOnly
+}
+func (s readOnlyStore) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return s.r.GetVertex(id, typ)
+}
+func (s readOnlyStore) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return s.r.GetEdge(src, typ, dst)
+}
+func (s readOnlyStore) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return s.r.Neighbors(src, typ, limit, fn)
+}
+func (s readOnlyStore) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return s.r.Degree(src, typ)
+}
+
+type roError string
+
+func (e roError) Error() string { return string(e) }
+
+const errReadOnly = roError("core: replica is read-only")

@@ -1,0 +1,77 @@
+// Package experiments implements the reproduction harness for every table
+// and figure in BG3's evaluation (§4). Each experiment is a pure function
+// from a parameter struct to structured rows plus a printed, paper-style
+// table, so the same code backs both `go test -bench` targets and the
+// bg3-bench command. DESIGN.md §2 maps experiments to paper artifacts;
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Scale selects how much work an experiment does. Benches use Small so a
+// full `go test -bench .` stays quick; bg3-bench defaults to Medium.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// pick returns the value for the scale.
+func pick[T any](s Scale, small, medium, large T) T {
+	switch s {
+	case Small:
+		return small
+	case Medium:
+		return medium
+	default:
+		return large
+	}
+}
+
+// table prints rows as an aligned table.
+func table(w io.Writer, header []string, rows [][]string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func kqps(v float64) string { return fmt.Sprintf("%.1fK", v/1000) }
+
+func mb(v int64) string { return fmt.Sprintf("%.1fMB", float64(v)/(1<<20)) }

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment smoke tests run every harness at Small scale and assert
+// the paper's qualitative shapes — who wins, which direction the deltas
+// point — not absolute numbers.
+
+func TestFig9Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res := Fig9ReadAmplification(Small, &buf)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	sled, bg3 := res[0], res[1]
+	if bg3.Amplification >= sled.Amplification {
+		t.Fatalf("read-optimized amp %.2f >= traditional %.2f", bg3.Amplification, sled.Amplification)
+	}
+	if bg3.Amplification > 2.01 {
+		t.Fatalf("read-optimized amp %.2f, must be <= 2 (1 base + <=1 delta)", bg3.Amplification)
+	}
+	if sled.Amplification <= 1.0 {
+		t.Fatalf("traditional amp %.2f, expected chains > 1", sled.Amplification)
+	}
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Fatal("missing table output")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := Fig10WriteBandwidth(Small, nil)
+	sled, bg3 := res[0], res[1]
+	if bg3.BytesWritten <= sled.BytesWritten {
+		t.Fatalf("read-optimized bytes %d <= traditional %d", bg3.BytesWritten, sled.BytesWritten)
+	}
+	// The overhead should be modest (paper: +9.3%), not multiplicative.
+	ratio := float64(bg3.BytesWritten) / float64(sled.BytesWritten)
+	if ratio > 3.0 {
+		t.Fatalf("write overhead ratio = %.2f, unreasonably large", ratio)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("relative throughput is distorted by race-detector instrumentation")
+	}
+	rows := Fig11ForestScaling(Small, []int{1, 64, 8192}, nil)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Trees != 1 {
+		t.Fatalf("first config trees = %d, want 1", rows[0].Trees)
+	}
+	if !(rows[1].WriteQPS > rows[0].WriteQPS) {
+		t.Fatalf("QPS did not grow when the hot head got dedicated trees: %v", rows)
+	}
+	if !(rows[2].MemoryBytes > rows[0].MemoryBytes) {
+		t.Fatalf("memory did not grow with trees: %v", rows)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2SpaceReclamation(Small, nil)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fifoFollow, dirtyFollow, awareFollow := rows[0], rows[1], rows[2]
+	dirtyTTL, awareTTL := rows[3], rows[4]
+	// The robust orderings: the gradient policy clearly beats the
+	// traditional FIFO queue and stays comparable to the greedy
+	// dirty-ratio baseline (the paper's 16% edge over dirty-ratio is
+	// within run-to-run noise at laptop scale; see EXPERIMENTS.md).
+	if awareFollow.MBPerSec > 0.7*fifoFollow.MBPerSec {
+		t.Fatalf("workload-aware %.2f MB/s vs FIFO %.2f MB/s: expected a clear win",
+			awareFollow.MBPerSec, fifoFollow.MBPerSec)
+	}
+	if awareFollow.MBPerSec > 1.4*dirtyFollow.MBPerSec {
+		t.Fatalf("workload-aware %.2f MB/s vs dirty-ratio %.2f MB/s: expected comparable",
+			awareFollow.MBPerSec, dirtyFollow.MBPerSec)
+	}
+	// The +TTL policy must move (almost) nothing and expire extents for
+	// free, while dirty-ratio keeps moving doomed data.
+	if awareTTL.MovedBytes > dirtyTTL.MovedBytes/4 {
+		t.Fatalf("+TTL moved %d bytes vs dirty-ratio %d", awareTTL.MovedBytes, dirtyTTL.MovedBytes)
+	}
+	if awareTTL.Expired == 0 {
+		t.Fatal("+TTL expired no extents")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12Recall(Small, []float64{0.02, 0.10}, nil)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.System, "BG3"):
+			if r.Recall != 1.0 {
+				t.Fatalf("BG3 recall = %.3f at loss %.2f, want 1.0", r.Recall, r.LossRate)
+			}
+		default:
+			want := 1 - r.LossRate
+			if r.Recall > want+0.03 || r.Recall < want-0.05 {
+				t.Fatalf("forwarding recall = %.3f at loss %.2f, want ~%.2f", r.Recall, r.LossRate, want)
+			}
+		}
+	}
+	// More loss, less recall for forwarding.
+	if rows[0].Recall <= rows[2].Recall {
+		t.Fatalf("recall did not fall with loss: %.3f then %.3f", rows[0].Recall, rows[2].Recall)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows := Fig13SyncLatency(Small, []int{300, 900}, nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SyncLatency <= 0 {
+			t.Fatalf("sync latency missing: %+v", r)
+		}
+	}
+	// Flatness: tripling the write load must not triple the latency.
+	if rows[1].SyncLatency > 3*rows[0].SyncLatency {
+		t.Fatalf("latency not flat: %v -> %v", rows[0].SyncLatency, rows[1].SyncLatency)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows := Fig14ROScaling(Small, []int{1, 2}, nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].ReadQPS <= rows[0].ReadQPS {
+		t.Fatalf("read QPS did not grow with RO nodes: %v", rows)
+	}
+	for _, r := range rows {
+		if r.SyncLatency <= 0 {
+			t.Fatalf("sync latency missing: %+v", r)
+		}
+	}
+}
+
+func TestCostShape(t *testing.T) {
+	rows := StorageCost(Small, nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bg3, bg := rows[0], rows[1]
+	if bg3.RelativeCost >= bg.RelativeCost {
+		t.Fatalf("BG3 cost %.0f >= ByteGraph cost %.0f", bg3.RelativeCost, bg.RelativeCost)
+	}
+	saving := 1 - bg3.RelativeCost/bg.RelativeCost
+	if saving < 0.5 {
+		t.Fatalf("saving = %.1f%%, want a large reduction (paper ~80%%)", saving*100)
+	}
+}
+
+func TestFig8VerticalShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("relative throughput is distorted by race-detector instrumentation")
+	}
+	rows := Fig8Vertical(Small, []int{4, 8}, nil)
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[string(r.Workload)+"/"+string(r.System)+"/"+itoa(r.Scale)] = r.Throughput
+	}
+	for _, wl := range AllWorkloads {
+		bg3 := byKey[string(wl)+"/BG3/8"]
+		nep := byKey[string(wl)+"/Neptune-sim/8"]
+		if bg3 <= nep {
+			t.Fatalf("%s: BG3 %.0f <= Neptune-sim %.0f at 8 vCPUs", wl, bg3, nep)
+		}
+	}
+}
+
+func itoa(i int) string { return fmt.Sprint(i) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// throughput-shape assertions are skipped under it because instrumentation
+// distorts the engines' relative performance.
+const raceEnabled = true

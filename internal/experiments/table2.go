@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/forest"
+	"bg3/internal/gc"
+	"bg3/internal/storage"
+)
+
+// Table2Row is one cell pair of Table 2: the background bandwidth consumed
+// by space reclamation under a given policy.
+type Table2Row struct {
+	Workload   string
+	Policy     string
+	MovedBytes int64
+	Duration   time.Duration
+	MBPerSec   float64 // both streams
+	// BaseMBPerSec isolates the base-page stream, where page lifetimes
+	// are heterogeneous and policy choice matters most. The delta stream
+	// is near-degenerate under the read-optimized tree (every merged
+	// delta supersedes its predecessor almost immediately), so any policy
+	// reclaims it almost for free.
+	BaseMBPerSec float64
+	Expired      int64 // extents freed by TTL without movement
+}
+
+// runRiskControlGC drives the ingest-only risk-control workload through a
+// full forest while a background reclaimer runs, and reports how many
+// bytes reclamation moved.
+//
+// ttl is the data's lifetime as seen by the application; reclaimerTTL is
+// what the reclaimer knows about it. The TTL-unaware baseline
+// (dirty-ratio, as in ByteGraph) gets reclaimerTTL = 0: it cannot drop
+// whole extents and keeps relocating data that is about to expire — the
+// wasted bandwidth Table 2 quantifies.
+func runRiskControlGC(policy gc.Policy, ttl, reclaimerTTL time.Duration, s Scale, seed int64) Table2Row {
+	st := storage.Open(&storage.Options{
+		ExtentSize:    64 << 10,
+		GradientDecay: 200 * time.Millisecond,
+	})
+	m := bwtree.NewMapping(0, false)
+	fo, err := forest.New(m, st, forest.Config{
+		Tree:           bwtree.Config{MaxPageEntries: 32, ConsolidateNum: 5},
+		SplitThreshold: 128,
+	}, nil)
+	if err != nil {
+		panic(err)
+	}
+	// Space-pressure-driven reclamation: each stream is held to a fixed
+	// extent budget, exactly like a capacity-bounded production deployment.
+	// Both policies therefore reclaim the same *space* over the run; what
+	// differs — and what Table 2 reports — is how many bytes they must
+	// move to do it.
+	const extentBudget = 48
+	gcStop := make(chan struct{})
+	var gcWG sync.WaitGroup
+	reclaimers := map[storage.StreamID]*gc.Reclaimer{}
+	for _, stream := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
+		r := gc.NewReclaimer(st, stream, policy, m.Relocate)
+		r.TTL = reclaimerTTL
+		reclaimers[stream] = r
+		gcWG.Add(1)
+		go func(stream storage.StreamID, r *gc.Reclaimer) {
+			defer gcWG.Done()
+			for {
+				select {
+				case <-gcStop:
+					return
+				default:
+				}
+				if len(st.Usage(stream)) > extentBudget {
+					if _, err := r.RunOnce(4); err != nil {
+						return
+					}
+				} else {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(stream, r)
+	}
+
+	owners := pick(s, 200, 1_000, 5_000)
+	// Writes are paced (the paper's Table 2 runs at a fixed 40K QPS) so
+	// extents live long enough to age through the trend cycle; the write
+	// cap is only a runaway bound.
+	targetQPS := pick(s, 30_000, 40_000, 40_000)
+	writes := pick(s, 2_000_000, 10_000_000, 50_000_000)
+	duration := pick(s, 1200*time.Millisecond, 3*time.Second, 8*time.Second)
+
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(owners-1))
+	val := make([]byte, 24)
+	start := time.Now()
+	i := 0
+	perSlot := targetQPS / 1000 // 1ms pacing slots
+	slotStart := time.Now()
+	inSlot := 0
+	for time.Since(start) < duration {
+		if inSlot >= perSlot {
+			if rem := time.Millisecond - time.Since(slotStart); rem > 0 {
+				time.Sleep(rem)
+			}
+			slotStart = time.Now()
+			inSlot = 0
+		}
+		inSlot++
+		// Fresh inserts (reconciliation records), power-law owners.
+		owner := forest.OwnerID(zipf.Uint64())
+		key := key64(uint64(i))
+		if err := fo.Put(owner, key, val); err != nil {
+			panic(err)
+		}
+		i++
+		if i >= writes {
+			break
+		}
+	}
+	// Let the background reclaimers finish the story: the data must get a
+	// chance to age out (or, for the TTL-unaware baseline, to keep being
+	// relocated).
+	if rem := duration - time.Since(start); rem > 0 {
+		time.Sleep(rem)
+	}
+	time.Sleep(2 * ttl)
+	elapsed := time.Since(start)
+	close(gcStop)
+	gcWG.Wait()
+	stats := st.Stats()
+	baseMoved := reclaimers[storage.StreamBase].Stats().BytesMoved
+	return Table2Row{
+		Policy:       policy.Name(),
+		MovedBytes:   stats.GCBytesMoved,
+		Duration:     elapsed,
+		MBPerSec:     float64(stats.GCBytesMoved) / (1 << 20) / elapsed.Seconds(),
+		BaseMBPerSec: float64(baseMoved) / (1 << 20) / elapsed.Seconds(),
+		Expired:      stats.ExtentsExpired,
+	}
+}
+
+// Table2SpaceReclamation reproduces Table 2: background write bandwidth of
+// dirty-ratio vs gradient on the follow workload (paper: 15 vs 12.5 MB/s,
+// a 16% reduction) and of dirty-ratio vs +TTL on risk control (paper: 8 vs
+// 0 MB/s).
+func Table2SpaceReclamation(s Scale, out io.Writer) []Table2Row {
+	const riskTTL = 150 * time.Millisecond
+	rows := []Table2Row{}
+
+	// Workload 1: the controlled page-rewrite driver (see table2_follow.go).
+	// FIFO is the traditional Bw-tree strategy §3.3 starts from; dirty
+	// ratio is the ArkDB baseline of the paper's table; the gradient
+	// policy adds Algorithm 2 on top. The fragmentation floor keeps the
+	// gradient policy from compacting barely fragmented cold extents.
+	rows = append(rows, runFollowGC(gc.FIFO{}, s, 1))
+	rows = append(rows, runFollowGC(gc.DirtyRatio{}, s, 1))
+	rows = append(rows, runFollowGC(gc.WorkloadAware{MinRate: 0.8}, s, 1))
+
+	// Workload 2: the baseline is TTL-unaware — no extent expiry, keeps
+	// moving data.
+	r := runRiskControlGC(gc.DirtyRatio{}, riskTTL, 0, s, 2)
+	r.Workload = "risk-control (workload 2)"
+	rows = append(rows, r)
+	// With a short TTL every extent is destined to expire soon; the paper's
+	// "+TTL" strategy forgoes reclamation entirely and waits, so the bypass
+	// margin covers the whole TTL window.
+	r = runRiskControlGC(gc.WorkloadAware{TTL: riskTTL, TTLBypassMargin: riskTTL}, riskTTL, riskTTL, s, 2)
+	r.Workload = "risk-control (workload 2)"
+	rows = append(rows, r)
+
+	if out != nil {
+		fmt.Fprintf(out, "\n== Table 2: space reclamation policies (background GC bandwidth) ==\n")
+		var tr [][]string
+		for _, row := range rows {
+			tr = append(tr, []string{row.Workload, row.Policy, f2(row.MBPerSec) + " MB/s",
+				mb(row.MovedBytes), fmt.Sprint(row.Expired)})
+		}
+		table(out, []string{"workload", "policy", "bwd occupation", "bytes moved", "extents expired"}, tr)
+		if rows[1].MBPerSec > 0 {
+			fmt.Fprintf(out, "workload 1: vs dirty-ratio, gradient changes background writes by %+.1f%% (paper: -16%%); vs FIFO by %+.1f%%\n",
+				100*(rows[2].MBPerSec/rows[1].MBPerSec-1), 100*(rows[2].MBPerSec/rows[0].MBPerSec-1))
+		}
+		fmt.Fprintf(out, "workload 2: +TTL moved %s vs dirty-ratio %s (paper: 0 vs 8 MB/s)\n",
+			mb(rows[4].MovedBytes), mb(rows[3].MovedBytes))
+	}
+	return rows
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"bg3/internal/gc"
+	"bg3/internal/storage"
+)
+
+// followGCDriver reproduces the Table 2 "Douyin Follow" regime through the
+// real storage and reclamation machinery, with the page-write pattern the
+// Bw-tree generates made explicit and controllable (Figure 5's setting):
+//
+//   - The store holds base-page images; each logical page has exactly one
+//     live image at a time.
+//   - A page is rewritten (old image invalidated, new image appended)
+//     whenever its content changes — for a video's like page this happens
+//     at the video's like rate.
+//   - Popularity is skewed and *temporal*: a rotating subset of pages is
+//     hot (rewritten every few milliseconds, like a newly released video)
+//     while the rest is cold (rarely rewritten). Extents therefore mix
+//     copies of hot pages (which keep dying while the page stays hot) with
+//     cold images (stable survivors).
+//
+// Under space pressure, a fragmentation-only policy relocates survivors of
+// extents that are still burning — images of currently hot pages, which
+// the very next rewrite invalidates. The update-gradient policy waits
+// burning extents out and compacts plateaued ones, moving fewer bytes for
+// the same space reclaimed.
+type followGCDriver struct {
+	store  *storage.Store
+	pages  []storage.Loc // current image location per page
+	mu     sync.Mutex    // guards pages against the relocation callback
+	img    []byte
+	rng    *rand.Rand
+	hotLo  int // current hot window [hotLo, hotLo+hotN)
+	hotN   int
+	nPages int
+}
+
+const followPageSize = 1024
+
+func newFollowGCDriver(nPages, hotN int, seed int64) *followGCDriver {
+	d := &followGCDriver{
+		store:  storage.Open(&storage.Options{ExtentSize: 64 << 10, GradientDecay: 150 * time.Millisecond}),
+		pages:  make([]storage.Loc, nPages),
+		img:    make([]byte, followPageSize),
+		rng:    rand.New(rand.NewSource(seed)),
+		hotN:   hotN,
+		nPages: nPages,
+	}
+	for i := range d.pages {
+		loc, err := d.store.Append(storage.StreamBase, uint64(i), d.img)
+		if err != nil {
+			panic(err)
+		}
+		d.pages[i] = loc
+	}
+	return d
+}
+
+// rewrite supersedes page i's image.
+func (d *followGCDriver) rewrite(i int) {
+	loc, err := d.store.Append(storage.StreamBase, uint64(i), d.img)
+	if err != nil {
+		panic(err)
+	}
+	d.mu.Lock()
+	old := d.pages[i]
+	d.pages[i] = loc
+	d.mu.Unlock()
+	d.store.Invalidate(old)
+}
+
+// relocate is the GC callback: repoint the page table.
+func (d *followGCDriver) relocate(tag uint64, old, new storage.Loc) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pages[tag] != old {
+		return false
+	}
+	d.pages[tag] = new
+	return true
+}
+
+// run drives rotated hot rewrites for the given duration with a
+// space-pressure reclaimer, returning bytes moved by GC.
+func (d *followGCDriver) run(policy gc.Policy, duration time.Duration, budget int) (int64, time.Duration) {
+	r := gc.NewReclaimer(d.store, storage.StreamBase, policy, d.relocate)
+	gcStop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-gcStop:
+				return
+			default:
+			}
+			if len(d.store.Usage(storage.StreamBase)) > budget {
+				if _, err := r.RunOnce(2); err != nil {
+					return
+				}
+			} else {
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	const (
+		rotateEvery = 150 * time.Millisecond
+		slot        = time.Millisecond
+		hotPerSlot  = 8 // hot rewrites per ms (most traffic)
+		coldPerSlot = 1 // background cold rewrites per ms
+	)
+	start := time.Now()
+	lastRotate := start
+	for time.Since(start) < duration {
+		slotStart := time.Now()
+		if slotStart.Sub(lastRotate) >= rotateEvery {
+			d.hotLo = (d.hotLo + d.hotN) % d.nPages
+			lastRotate = slotStart
+		}
+		for k := 0; k < hotPerSlot; k++ {
+			d.rewrite(d.hotLo + d.rng.Intn(d.hotN))
+		}
+		for k := 0; k < coldPerSlot; k++ {
+			d.rewrite(d.rng.Intn(d.nPages))
+		}
+		if rem := slot - time.Since(slotStart); rem > 0 {
+			time.Sleep(rem)
+		}
+	}
+	elapsed := time.Since(start)
+	close(gcStop)
+	wg.Wait()
+	return r.Stats().BytesMoved, elapsed
+}
+
+// runFollowGC executes the workload-1 half of Table 2 for one policy.
+func runFollowGC(policy gc.Policy, s Scale, seed int64) Table2Row {
+	nPages := pick(s, 1_500, 3_000, 6_000)
+	hotN := nPages / 10
+	duration := pick(s, 1500*time.Millisecond, 4*time.Second, 10*time.Second)
+	// Capacity: live data plus enough slack that extents can age through
+	// a few hotness rotations before pressure forces their reclamation.
+	liveExtents := nPages * followPageSize / (64 << 10)
+	budget := liveExtents + pick(s, 60, 80, 120)
+
+	d := newFollowGCDriver(nPages, hotN, seed)
+	moved, elapsed := d.run(policy, duration, budget)
+	return Table2Row{
+		Workload:     "douyin-follow (workload 1)",
+		Policy:       policy.Name(),
+		MovedBytes:   moved,
+		Duration:     elapsed,
+		MBPerSec:     float64(moved) / (1 << 20) / elapsed.Seconds(),
+		BaseMBPerSec: float64(moved) / (1 << 20) / elapsed.Seconds(),
+	}
+}

@@ -1,0 +1,433 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+func newTestForest(t *testing.T, cfg Config) (*Forest, *storage.Store) {
+	t.Helper()
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	m := bwtree.NewMapping(0, false)
+	f, err := New(m, st, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, st
+}
+
+func TestForestPutGet(t *testing.T) {
+	f, _ := newTestForest(t, Config{})
+	if err := f.Put(1, []byte("video-1"), []byte("liked")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := f.Get(1, []byte("video-1"))
+	if err != nil || !ok || string(v) != "liked" {
+		t.Fatalf("get = %q %v %v", v, ok, err)
+	}
+	// Same key under a different owner is distinct.
+	if _, ok, _ := f.Get(2, []byte("video-1")); ok {
+		t.Fatal("owner isolation violated")
+	}
+}
+
+func TestForestOwnersShareInitTree(t *testing.T) {
+	f, _ := newTestForest(t, Config{})
+	for owner := OwnerID(1); owner <= 10; owner++ {
+		for i := 0; i < 3; i++ {
+			if err := f.Put(owner, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := f.Stats()
+	if s.Trees != 1 {
+		t.Fatalf("trees = %d, want 1 (no threshold: all owners in INIT)", s.Trees)
+	}
+	if s.InitKeys != 30 {
+		t.Fatalf("init keys = %d, want 30", s.InitKeys)
+	}
+}
+
+func TestForestSplitThresholdMigratesHotOwner(t *testing.T) {
+	f, _ := newTestForest(t, Config{SplitThreshold: 5})
+	// Owner 7 is hot: 20 keys. Others are cold.
+	for i := 0; i < 20; i++ {
+		if err := f.Put(7, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for owner := OwnerID(1); owner <= 3; owner++ {
+		if err := f.Put(owner, []byte("k"), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Trees != 2 {
+		t.Fatalf("trees = %d, want 2 (INIT + owner 7)", s.Trees)
+	}
+	if s.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", s.Migrations)
+	}
+	// Everything readable after migration, for both hot and cold owners.
+	for i := 0; i < 20; i++ {
+		v, ok, err := f.Get(7, []byte(fmt.Sprintf("k%02d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("hot owner k%02d = %q %v %v", i, v, ok, err)
+		}
+	}
+	for owner := OwnerID(1); owner <= 3; owner++ {
+		if _, ok, _ := f.Get(owner, []byte("k")); !ok {
+			t.Fatalf("cold owner %d lost its key", owner)
+		}
+	}
+	// INIT no longer holds owner 7's keys.
+	if s.InitKeys != 3 {
+		t.Fatalf("init keys = %d, want 3", s.InitKeys)
+	}
+}
+
+func TestForestInitSizeEviction(t *testing.T) {
+	f, _ := newTestForest(t, Config{InitSizeThreshold: 10})
+	// Owner 1 has 6 keys, owner 2 has 5: total 11 > 10 triggers eviction of
+	// the largest INIT owner (owner 1).
+	for i := 0; i < 6; i++ {
+		if err := f.Put(1, []byte(fmt.Sprintf("a%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Put(2, []byte(fmt.Sprintf("b%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Migrations == 0 {
+		t.Fatal("expected INIT-size eviction")
+	}
+	if f.OwnerCount(1) != 6 || f.OwnerCount(2) != 5 {
+		t.Fatalf("counts = %d,%d", f.OwnerCount(1), f.OwnerCount(2))
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok, _ := f.Get(1, []byte(fmt.Sprintf("a%d", i))); !ok {
+			t.Fatalf("a%d lost after eviction", i)
+		}
+	}
+}
+
+func TestForestScan(t *testing.T) {
+	f, _ := newTestForest(t, Config{SplitThreshold: 8})
+	// Cold owner in INIT and hot owner in a dedicated tree; both scans
+	// must return per-owner sorted keys without the prefix.
+	for i := 0; i < 5; i++ {
+		if err := f.Put(100, []byte(fmt.Sprintf("k%02d", i)), []byte("cold")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := f.Put(200, []byte(fmt.Sprintf("k%02d", i)), []byte("hot")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		owner OwnerID
+		want  int
+	}{{100, 5}, {200, 20}} {
+		var keys []string
+		if err := f.Scan(tc.owner, nil, nil, 0, func(k, v []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != tc.want {
+			t.Fatalf("owner %d scan = %d keys, want %d", tc.owner, len(keys), tc.want)
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("owner %d scan out of order: %v", tc.owner, keys)
+			}
+		}
+	}
+	// Range scan with bounds and limit.
+	var got []string
+	if err := f.Scan(200, []byte("k05"), []byte("k10"), 3, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "k05" {
+		t.Fatalf("bounded scan = %v", got)
+	}
+}
+
+func TestForestDelete(t *testing.T) {
+	f, _ := newTestForest(t, Config{})
+	if err := f.Put(1, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(1, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := f.Get(1, []byte("k")); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if f.OwnerCount(1) != 0 {
+		t.Fatalf("owner count = %d, want 0", f.OwnerCount(1))
+	}
+}
+
+func TestForestOwnerBoundaries(t *testing.T) {
+	// Adjacent owner IDs must never bleed into each other's scans.
+	f, _ := newTestForest(t, Config{})
+	for _, owner := range []OwnerID{5, 6, ^OwnerID(0)} {
+		for i := 0; i < 4; i++ {
+			if err := f.Put(owner, []byte{byte(i)}, []byte(fmt.Sprintf("o%d", owner))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, owner := range []OwnerID{5, 6, ^OwnerID(0)} {
+		n := 0
+		if err := f.Scan(owner, nil, nil, 0, func(k, v []byte) bool {
+			if string(v) != fmt.Sprintf("o%d", owner) {
+				t.Fatalf("owner %d scan leaked value %q", owner, v)
+			}
+			n++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 4 {
+			t.Fatalf("owner %d scan = %d keys, want 4", owner, n)
+		}
+	}
+}
+
+func TestForestConcurrentOwners(t *testing.T) {
+	f, _ := newTestForest(t, Config{SplitThreshold: 50})
+	var wg sync.WaitGroup
+	const owners, per = 16, 120 // several owners cross the threshold
+	for o := 0; o < owners; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := f.Put(OwnerID(o+1), []byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(o)
+	}
+	wg.Wait()
+	s := f.Stats()
+	if s.Trees != owners+1 {
+		t.Fatalf("trees = %d, want %d", s.Trees, owners+1)
+	}
+	for o := 1; o <= owners; o++ {
+		n := 0
+		if err := f.Scan(OwnerID(o), nil, nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if n != per {
+			t.Fatalf("owner %d has %d keys, want %d", o, n, per)
+		}
+	}
+}
+
+// TestPropertyForestMatchesModel compares the forest against a per-owner
+// map model under random operations and random thresholds.
+func TestPropertyForestMatchesModel(t *testing.T) {
+	f := func(seed int64, split, initCap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fo, _ := newTestForest(t, Config{
+			SplitThreshold:    int(split % 16),
+			InitSizeThreshold: int(initCap % 64),
+			Tree:              bwtree.Config{MaxPageEntries: 8, ConsolidateNum: 3},
+		})
+		model := map[OwnerID]map[string]string{}
+		for i := 0; i < 300; i++ {
+			owner := OwnerID(rng.Intn(6) + 1)
+			key := fmt.Sprintf("k%02d", rng.Intn(20))
+			if rng.Intn(4) == 0 {
+				if err := fo.Delete(owner, []byte(key)); err != nil {
+					return false
+				}
+				delete(model[owner], key)
+			} else {
+				val := fmt.Sprintf("v%d", i)
+				if err := fo.Put(owner, []byte(key), []byte(val)); err != nil {
+					return false
+				}
+				if model[owner] == nil {
+					model[owner] = map[string]string{}
+				}
+				model[owner][key] = val
+			}
+		}
+		for owner := OwnerID(1); owner <= 6; owner++ {
+			got := map[string]string{}
+			if err := fo.Scan(owner, nil, nil, 0, func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			}); err != nil {
+				return false
+			}
+			want := model[owner]
+			if len(got) != len(want) {
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return false
+				}
+				gv, ok, err := fo.Get(owner, []byte(k))
+				if err != nil || !ok || string(gv) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestReplicaFollowsMigration(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	w := wal.NewWriter(st)
+	m := bwtree.NewMapping(0, false)
+	logger := walLoggerFunc(func(rec *wal.Record) (wal.LSN, error) { return w.Append(rec) })
+	fo, err := New(m, st, Config{
+		SplitThreshold: 5,
+		Tree:           bwtree.Config{FlushMode: bwtree.FlushAsync},
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplica(st, 0)
+	rd := wal.NewReader(st)
+
+	// Owner 9 crosses the threshold and migrates; owner 1 stays cold.
+	for i := 0; i < 12; i++ {
+		if err := fo.Put(9, []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fo.Put(1, []byte("cold"), []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rd.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ApplyAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		v, ok, err := rep.Get(9, []byte(fmt.Sprintf("k%02d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("replica owner 9 k%02d = %q %v %v", i, v, ok, err)
+		}
+	}
+	if v, ok, _ := rep.Get(1, []byte("cold")); !ok || string(v) != "c" {
+		t.Fatal("replica lost cold owner")
+	}
+	// Replica scans match the forest.
+	var a, b []string
+	if err := fo.Scan(9, nil, nil, 0, func(k, v []byte) bool { a = append(a, string(k)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Scan(9, nil, nil, 0, func(k, v []byte) bool { b = append(b, string(k)); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 12 {
+		t.Fatalf("scan mismatch: forest=%v replica=%v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan mismatch at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+type walLoggerFunc func(rec *wal.Record) (wal.LSN, error)
+
+func (f walLoggerFunc) Log(rec *wal.Record) (wal.LSN, error) { return f(rec) }
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	f := func(o1, o2 uint64, k1, k2 []byte) bool {
+		c1 := compositeKey(OwnerID(o1), k1)
+		c2 := compositeKey(OwnerID(o2), k2)
+		switch {
+		case o1 < o2:
+			return bytes.Compare(c1, c2) < 0
+		case o1 > o2:
+			return bytes.Compare(c1, c2) > 0
+		default:
+			return bytes.Compare(c1, c2) == bytes.Compare(k1, k2)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerUpperBound(t *testing.T) {
+	if ub := ownerUpperBound(5); binary.BigEndian.Uint64(ub) != 6 {
+		t.Fatalf("upper bound of 5 = %v", ub)
+	}
+	if ub := ownerUpperBound(^OwnerID(0)); ub != nil {
+		t.Fatalf("upper bound of max owner should be nil (+inf), got %v", ub)
+	}
+}
+
+func TestDedicate(t *testing.T) {
+	f, _ := newTestForest(t, Config{})
+	// Data written before dedication migrates with the owner.
+	for i := 0; i < 10; i++ {
+		if err := f.Put(3, []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Dedicate(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Trees; got != 2 {
+		t.Fatalf("trees = %d, want 2", got)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := f.Get(3, []byte{byte(i)}); !ok {
+			t.Fatalf("key %d lost after Dedicate", i)
+		}
+	}
+	// Dedicating twice is a no-op; dedicating a fresh owner creates an
+	// empty dedicated tree.
+	if err := f.Dedicate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Dedicate(99); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Trees; got != 3 {
+		t.Fatalf("trees = %d, want 3", got)
+	}
+	if err := f.Put(99, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := f.Get(99, []byte("k")); !ok {
+		t.Fatal("write to pre-dedicated owner lost")
+	}
+}

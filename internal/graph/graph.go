@@ -1,0 +1,222 @@
+// Package graph defines the property-graph model shared by BG3 and the
+// baseline engines (§2.2): typed vertices and edges with binary-encoded
+// property lists, the key encodings that map them onto key-value storage,
+// and traversal helpers (k-hop expansion) written against a small Store
+// interface so every engine — BG3, ByteGraph, the Neptune stand-in — runs
+// identical workloads.
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// VertexID identifies a vertex.
+type VertexID uint64
+
+// VertexType partitions vertices (user, video, account, ...).
+type VertexType uint16
+
+// EdgeType partitions the adjacency lists of a vertex (follow, like, ...),
+// matching ByteGraph's per-type edge grouping.
+type EdgeType uint16
+
+// Common types used by the example workloads.
+const (
+	VTypeUser  VertexType = 1
+	VTypeVideo VertexType = 2
+
+	ETypeFollow   EdgeType = 1
+	ETypeLike     EdgeType = 2
+	ETypeTransfer EdgeType = 3
+)
+
+// Property is one named property value.
+type Property struct {
+	Name  string
+	Value []byte
+}
+
+// Properties is the ordered property list attached to vertices and edges.
+type Properties []Property
+
+// Get returns the value of the named property.
+func (ps Properties) Get(name string) ([]byte, bool) {
+	for _, p := range ps {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Vertex is a typed vertex with properties.
+type Vertex struct {
+	ID    VertexID
+	Type  VertexType
+	Props Properties
+}
+
+// Edge is a typed, directed edge with properties.
+type Edge struct {
+	Src   VertexID
+	Dst   VertexID
+	Type  EdgeType
+	Props Properties
+}
+
+// ErrCorrupt reports an undecodable graph record.
+var ErrCorrupt = errors.New("graph: corrupt record")
+
+// EncodeProps serializes a property list:
+//
+//	count[2] { nlen[1] name vlen[4] value }*
+func EncodeProps(ps Properties) []byte {
+	size := 2
+	for _, p := range ps {
+		size += 5 + len(p.Name) + len(p.Value)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ps)))
+	for _, p := range ps {
+		buf = append(buf, byte(len(p.Name)))
+		buf = append(buf, p.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// DecodeProps parses a property list.
+func DecodeProps(buf []byte) (Properties, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: short property list", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint16(buf)
+	buf = buf[2:]
+	if n == 0 {
+		return nil, nil
+	}
+	ps := make(Properties, 0, n)
+	for i := uint16(0); i < n; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("%w: truncated property %d", ErrCorrupt, i)
+		}
+		nlen := int(buf[0])
+		buf = buf[1:]
+		if len(buf) < nlen+4 {
+			return nil, fmt.Errorf("%w: truncated property name %d", ErrCorrupt, i)
+		}
+		name := string(buf[:nlen])
+		buf = buf[nlen:]
+		vlen := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < vlen {
+			return nil, fmt.Errorf("%w: truncated property value %d", ErrCorrupt, i)
+		}
+		ps = append(ps, Property{Name: name, Value: append([]byte(nil), buf[:vlen]...)})
+		buf = buf[vlen:]
+	}
+	return ps, nil
+}
+
+// VertexKey encodes the KV key of a vertex: 'v' id[8] type[2].
+func VertexKey(id VertexID, typ VertexType) []byte {
+	buf := make([]byte, 11)
+	buf[0] = 'v'
+	binary.BigEndian.PutUint64(buf[1:], uint64(id))
+	binary.BigEndian.PutUint16(buf[9:], uint16(typ))
+	return buf
+}
+
+// EdgeKey encodes an edge's key within its source vertex's adjacency
+// space: etype[2] dst[8]. Big-endian keeps edges of one type contiguous
+// and ordered by destination.
+func EdgeKey(typ EdgeType, dst VertexID) []byte {
+	buf := make([]byte, 10)
+	binary.BigEndian.PutUint16(buf, uint16(typ))
+	binary.BigEndian.PutUint64(buf[2:], uint64(dst))
+	return buf
+}
+
+// DecodeEdgeKey parses a key produced by EdgeKey.
+func DecodeEdgeKey(key []byte) (EdgeType, VertexID, error) {
+	if len(key) != 10 {
+		return 0, 0, fmt.Errorf("%w: edge key length %d", ErrCorrupt, len(key))
+	}
+	return EdgeType(binary.BigEndian.Uint16(key)), VertexID(binary.BigEndian.Uint64(key[2:])), nil
+}
+
+// EdgeTypeBounds returns the [lo, hi) key range covering all edges of one
+// type in a vertex's adjacency space.
+func EdgeTypeBounds(typ EdgeType) (lo, hi []byte) {
+	lo = make([]byte, 2)
+	binary.BigEndian.PutUint16(lo, uint16(typ))
+	if typ == ^EdgeType(0) {
+		return lo, nil
+	}
+	hi = make([]byte, 2)
+	binary.BigEndian.PutUint16(hi, uint16(typ)+1)
+	return lo, hi
+}
+
+// Store is the engine-neutral graph API all workloads run against.
+type Store interface {
+	// AddVertex upserts a vertex and its properties.
+	AddVertex(v Vertex) error
+	// GetVertex fetches a vertex.
+	GetVertex(id VertexID, typ VertexType) (Vertex, bool, error)
+	// AddEdge upserts a directed edge and its properties.
+	AddEdge(e Edge) error
+	// GetEdge fetches one edge.
+	GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error)
+	// DeleteEdge removes one edge.
+	DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error
+	// Neighbors streams the out-neighbors of src over edges of the given
+	// type, in destination order, until fn returns false or limit edges
+	// are delivered (limit <= 0: unlimited).
+	Neighbors(src VertexID, typ EdgeType, limit int, fn func(dst VertexID, props Properties) bool) error
+	// Degree returns the out-degree of src for the given edge type.
+	Degree(src VertexID, typ EdgeType) (int, error)
+}
+
+// KHop expands hops levels of out-neighbors from start over edges of the
+// given type, returning the set of vertices reached (excluding start).
+// perVertexLimit bounds the neighbors expanded per vertex (<= 0:
+// unlimited) — the multi-hop neighbor query of the Douyin-recommendation
+// workload.
+func KHop(s Store, start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	return KHopBudget(s, start, typ, hops, perVertexLimit, 0)
+}
+
+// KHopBudget is KHop with a total result budget: expansion stops once
+// budget vertices have been reached (<= 0: unlimited). The risk-control
+// workload of Table 1 reads "10 hops and 100 edges" — a deep but bounded
+// neighborhood probe.
+func KHopBudget(s Store, start VertexID, typ EdgeType, hops, perVertexLimit, budget int) (map[VertexID]struct{}, error) {
+	visited := map[VertexID]struct{}{start: {}}
+	frontier := []VertexID{start}
+	reached := make(map[VertexID]struct{})
+	for h := 0; h < hops && len(frontier) > 0; h++ {
+		var next []VertexID
+		for _, v := range frontier {
+			if budget > 0 && len(reached) >= budget {
+				return reached, nil
+			}
+			err := s.Neighbors(v, typ, perVertexLimit, func(dst VertexID, _ Properties) bool {
+				if _, seen := visited[dst]; !seen {
+					visited[dst] = struct{}{}
+					reached[dst] = struct{}{}
+					next = append(next, dst)
+				}
+				return budget <= 0 || len(reached) < budget
+			})
+			if err != nil {
+				return reached, err
+			}
+		}
+		frontier = next
+	}
+	return reached, nil
+}

@@ -1,0 +1,406 @@
+// Package lsm implements a leveled LSM-tree key-value store: the persistent
+// layer of the previous-generation ByteGraph baseline (§2.2). It exists so
+// the Fig. 8 comparison runs against a real log-structured merge engine
+// rather than a stub: memtable skiplist, L0 overlapping runs, leveled
+// non-overlapping runs below, Bloom filters, and size-tiered compaction.
+//
+// The engine deliberately exhibits the read behaviour the paper attributes
+// to LSM storage: a point read probes the memtables, every overlapping L0
+// table, and one table per deeper level, paying result-merge work that a
+// Bw-tree read does not (§2.4). Table probes and compaction volume are
+// counted so experiments can report read amplification and background
+// write amplification.
+package lsm
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a DB. The zero value provides sensible defaults.
+type Config struct {
+	// MemtableBytes rotates the active memtable beyond this size.
+	// Default 1 MiB.
+	MemtableBytes int
+	// L0Tables triggers an L0->L1 compaction when L0 holds this many
+	// runs. Default 4.
+	L0Tables int
+	// LevelRatio is the target size multiplier between adjacent levels.
+	// Default 10.
+	LevelRatio int
+	// BloomBitsPerKey sizes the per-table Bloom filters. Default 10.
+	BloomBitsPerKey int
+	// OpLatency simulates the round trip to a remote KV service: ByteGraph's
+	// persistent layer is a *distributed* LSM KV store reached through a
+	// proxy (§2.4), so every Get/Put/Delete pays a network hop. Zero (the
+	// default) keeps the engine purely in-process for unit tests.
+	OpLatency time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemtableBytes <= 0 {
+		c.MemtableBytes = 1 << 20
+	}
+	if c.L0Tables <= 0 {
+		c.L0Tables = 4
+	}
+	if c.LevelRatio <= 0 {
+		c.LevelRatio = 10
+	}
+	if c.BloomBitsPerKey <= 0 {
+		c.BloomBitsPerKey = 10
+	}
+	return c
+}
+
+// Metrics counts the I/O-relevant events of the engine.
+type Metrics struct {
+	Puts            int64
+	Gets            int64
+	Deletes         int64
+	TableProbes     int64 // SSTable point lookups performed (read fan-out)
+	BloomSkips      int64 // probes avoided by Bloom filters
+	Flushes         int64 // memtable -> L0 flushes
+	Compactions     int64
+	BytesFlushed    int64
+	BytesCompacted  int64 // background write amplification
+	TablesTotal     int64
+	LevelsTotal     int64
+	MemtableEntries int64
+	ResidentBytes   int64 // bytes held by all tables and memtables
+}
+
+// DB is a single-node leveled LSM-tree. It is safe for concurrent use.
+// Compaction runs inline on the write path once thresholds are crossed,
+// which models the paper's observation that LSM maintenance competes with
+// foreground work for CPU.
+type DB struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	mem    *skiplist
+	imm    []*skiplist // newest first
+	levels [][]*sstable
+	seq    atomic.Uint64
+	nextID atomic.Uint64
+
+	puts           atomic.Int64
+	gets           atomic.Int64
+	deletes        atomic.Int64
+	tableProbes    atomic.Int64
+	bloomSkips     atomic.Int64
+	flushes        atomic.Int64
+	compactions    atomic.Int64
+	bytesFlushed   atomic.Int64
+	bytesCompacted atomic.Int64
+}
+
+// Open creates an empty DB.
+func Open(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	return &DB{cfg: cfg, mem: newSkiplist(1)}
+}
+
+// Put upserts key=value.
+func (d *DB) Put(key, value []byte) {
+	d.puts.Add(1)
+	d.write(append([]byte(nil), key...), append([]byte(nil), value...), false)
+}
+
+// Delete writes a tombstone for key.
+func (d *DB) Delete(key []byte) {
+	d.deletes.Add(1)
+	d.write(append([]byte(nil), key...), nil, true)
+}
+
+func (d *DB) write(key, value []byte, tombstone bool) {
+	if d.cfg.OpLatency > 0 {
+		time.Sleep(d.cfg.OpLatency)
+	}
+	seq := d.seq.Add(1)
+	d.mu.Lock()
+	d.mem.put(key, value, tombstone, seq)
+	if d.mem.bytes() >= d.cfg.MemtableBytes {
+		d.imm = append([]*skiplist{d.mem}, d.imm...)
+		d.mem = newSkiplist(int64(seq))
+		d.flushLocked()
+		d.maybeCompactLocked()
+	}
+	d.mu.Unlock()
+}
+
+// Get returns the newest value of key.
+func (d *DB) Get(key []byte) ([]byte, bool) {
+	d.gets.Add(1)
+	if d.cfg.OpLatency > 0 {
+		time.Sleep(d.cfg.OpLatency)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if v, tomb, ok := d.mem.get(key); ok {
+		return returnValue(v, tomb)
+	}
+	for _, im := range d.imm {
+		if v, tomb, ok := im.get(key); ok {
+			return returnValue(v, tomb)
+		}
+	}
+	// L0 runs overlap: probe newest first.
+	if len(d.levels) > 0 {
+		for _, t := range d.levels[0] {
+			if !t.covers(key) {
+				continue
+			}
+			if !t.filter.mayContain(key) {
+				d.bloomSkips.Add(1)
+				continue
+			}
+			d.tableProbes.Add(1)
+			if e, ok := t.get(key); ok {
+				return returnValue(e.value, e.tombstone)
+			}
+		}
+	}
+	// Deeper levels are sorted and non-overlapping: at most one table each.
+	for lvl := 1; lvl < len(d.levels); lvl++ {
+		t := findTable(d.levels[lvl], key)
+		if t == nil {
+			continue
+		}
+		if !t.filter.mayContain(key) {
+			d.bloomSkips.Add(1)
+			continue
+		}
+		d.tableProbes.Add(1)
+		if e, ok := t.get(key); ok {
+			return returnValue(e.value, e.tombstone)
+		}
+	}
+	return nil, false
+}
+
+func returnValue(v []byte, tombstone bool) ([]byte, bool) {
+	if tombstone {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// findTable binary-searches a sorted, non-overlapping level.
+func findTable(level []*sstable, key []byte) *sstable {
+	lo, hi := 0, len(level)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(level[mid].maxKey, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(level) && level[lo].covers(key) {
+		return level[lo]
+	}
+	return nil
+}
+
+// flushLocked turns every immutable memtable into an L0 run. d.mu held.
+func (d *DB) flushLocked() {
+	for len(d.imm) > 0 {
+		im := d.imm[len(d.imm)-1] // oldest first so L0 order stays newest-first
+		d.imm = d.imm[:len(d.imm)-1]
+		entries := im.entries()
+		if len(entries) == 0 {
+			continue
+		}
+		t := buildSSTable(d.nextID.Add(1), entries, d.cfg.BloomBitsPerKey)
+		if len(d.levels) == 0 {
+			d.levels = append(d.levels, nil)
+		}
+		d.levels[0] = append([]*sstable{t}, d.levels[0]...)
+		d.flushes.Add(1)
+		d.bytesFlushed.Add(t.bytes)
+	}
+}
+
+// maybeCompactLocked runs leveled compaction until every level is within
+// budget. d.mu held.
+func (d *DB) maybeCompactLocked() {
+	if len(d.levels) == 0 {
+		return
+	}
+	// L0 -> L1 when L0 has too many runs.
+	for len(d.levels[0]) >= d.cfg.L0Tables {
+		d.compactIntoLocked(0)
+	}
+	// Deeper levels: compact when oversized relative to the ratio.
+	budget := int64(d.cfg.MemtableBytes) * int64(d.cfg.LevelRatio)
+	for lvl := 1; lvl < len(d.levels); lvl++ {
+		for levelBytes(d.levels[lvl]) > budget {
+			d.compactIntoLocked(lvl)
+		}
+		budget *= int64(d.cfg.LevelRatio)
+	}
+}
+
+func levelBytes(level []*sstable) int64 {
+	var n int64
+	for _, t := range level {
+		n += t.bytes
+	}
+	return n
+}
+
+// compactIntoLocked merges all of level lvl plus the overlapping tables of
+// lvl+1 into lvl+1. d.mu held.
+func (d *DB) compactIntoLocked(lvl int) {
+	src := d.levels[lvl]
+	if len(src) == 0 {
+		return
+	}
+	if len(d.levels) == lvl+1 {
+		d.levels = append(d.levels, nil)
+	}
+	lo, hi := src[0].minKey, src[0].maxKey
+	for _, t := range src[1:] {
+		if bytes.Compare(t.minKey, lo) < 0 {
+			lo = t.minKey
+		}
+		if bytes.Compare(t.maxKey, hi) > 0 {
+			hi = t.maxKey
+		}
+	}
+	var overlapping, untouched []*sstable
+	for _, t := range d.levels[lvl+1] {
+		if t.overlaps(lo, hi) {
+			overlapping = append(overlapping, t)
+		} else {
+			untouched = append(untouched, t)
+		}
+	}
+	// Newest-first merge priority: src runs (ordered newest first in L0)
+	// shadow the older data below; mergeRuns resolves by seq anyway.
+	runs := make([][]entry, 0, len(src)+len(overlapping))
+	for _, t := range src {
+		runs = append(runs, t.entries)
+	}
+	for _, t := range overlapping {
+		runs = append(runs, t.entries)
+	}
+	// Tombstones may only be dropped when no level below the destination
+	// holds any data the tombstone could be shadowing.
+	bottom := true
+	for i := lvl + 2; i < len(d.levels); i++ {
+		if len(d.levels[i]) > 0 {
+			bottom = false
+			break
+		}
+	}
+	merged := mergeRuns(runs, bottom)
+	var out []*sstable
+	// Split the merged run into tables of roughly memtable size so deeper
+	// levels stay granular.
+	target := d.cfg.MemtableBytes
+	start, sz := 0, 0
+	for i, e := range merged {
+		sz += len(e.key) + len(e.value) + 16
+		if sz >= target {
+			out = append(out, buildSSTable(d.nextID.Add(1), merged[start:i+1], d.cfg.BloomBitsPerKey))
+			start, sz = i+1, 0
+		}
+	}
+	if start < len(merged) {
+		out = append(out, buildSSTable(d.nextID.Add(1), merged[start:], d.cfg.BloomBitsPerKey))
+	}
+	var moved int64
+	for _, t := range out {
+		moved += t.bytes
+	}
+	d.levels[lvl] = nil
+	newLevel := append(untouched, out...)
+	sortTables(newLevel)
+	d.levels[lvl+1] = newLevel
+	d.compactions.Add(1)
+	d.bytesCompacted.Add(moved)
+}
+
+func sortTables(tables []*sstable) {
+	for i := 1; i < len(tables); i++ {
+		for j := i; j > 0 && bytes.Compare(tables[j].minKey, tables[j-1].minKey) < 0; j-- {
+			tables[j], tables[j-1] = tables[j-1], tables[j]
+		}
+	}
+}
+
+// Stats returns a metrics snapshot.
+func (d *DB) Stats() Metrics {
+	d.mu.RLock()
+	var tables, lvls, resident int64
+	for _, l := range d.levels {
+		if len(l) > 0 {
+			lvls++
+		}
+		tables += int64(len(l))
+		for _, t := range l {
+			resident += t.bytes
+		}
+	}
+	resident += int64(d.mem.bytes())
+	for _, im := range d.imm {
+		resident += int64(im.bytes())
+	}
+	memEntries := int64(d.mem.len())
+	d.mu.RUnlock()
+	return Metrics{
+		Puts:            d.puts.Load(),
+		Gets:            d.gets.Load(),
+		Deletes:         d.deletes.Load(),
+		TableProbes:     d.tableProbes.Load(),
+		BloomSkips:      d.bloomSkips.Load(),
+		Flushes:         d.flushes.Load(),
+		Compactions:     d.compactions.Load(),
+		BytesFlushed:    d.bytesFlushed.Load(),
+		BytesCompacted:  d.bytesCompacted.Load(),
+		TablesTotal:     tables,
+		LevelsTotal:     lvls,
+		MemtableEntries: memEntries,
+		ResidentBytes:   resident,
+	}
+}
+
+// Scan iterates live keys in [from, to) in order, invoking fn until it
+// returns false or limit entries are delivered (limit <= 0: unlimited).
+func (d *DB) Scan(from, to []byte, limit int, fn func(key, value []byte) bool) {
+	d.mu.RLock()
+	runs := [][]entry{d.mem.entries()}
+	for _, im := range d.imm {
+		runs = append(runs, im.entries())
+	}
+	for _, lvl := range d.levels {
+		for _, t := range lvl {
+			if to != nil && len(t.entries) > 0 && bytes.Compare(t.minKey, to) >= 0 {
+				continue
+			}
+			runs = append(runs, t.entries)
+		}
+	}
+	d.mu.RUnlock()
+	merged := mergeRuns(runs, true)
+	delivered := 0
+	for _, e := range merged {
+		if from != nil && bytes.Compare(e.key, from) < 0 {
+			continue
+		}
+		if to != nil && bytes.Compare(e.key, to) >= 0 {
+			return
+		}
+		if !fn(e.key, e.value) {
+			return
+		}
+		delivered++
+		if limit > 0 && delivered >= limit {
+			return
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	d := Open(Config{})
+	d.Put([]byte("k"), []byte("v"))
+	v, ok := d.Get([]byte("k"))
+	if !ok || string(v) != "v" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	if _, ok := d.Get([]byte("missing")); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	d := Open(Config{})
+	d.Put([]byte("k"), []byte("v1"))
+	d.Put([]byte("k"), []byte("v2"))
+	if v, _ := d.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("get = %q, want v2", v)
+	}
+	d.Delete([]byte("k"))
+	if _, ok := d.Get([]byte("k")); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestFlushAndCompaction(t *testing.T) {
+	d := Open(Config{MemtableBytes: 1 << 10, L0Tables: 2})
+	val := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 500; i++ {
+		d.Put([]byte(fmt.Sprintf("key-%05d", i)), val)
+	}
+	s := d.Stats()
+	if s.Flushes == 0 {
+		t.Fatal("no memtable flushes")
+	}
+	if s.Compactions == 0 {
+		t.Fatal("no compactions")
+	}
+	if s.BytesCompacted == 0 {
+		t.Fatal("compaction moved no bytes")
+	}
+	// All keys remain readable across levels.
+	for i := 0; i < 500; i++ {
+		if _, ok := d.Get([]byte(fmt.Sprintf("key-%05d", i))); !ok {
+			t.Fatalf("key-%05d lost", i)
+		}
+	}
+}
+
+func TestDeleteSurvivesCompaction(t *testing.T) {
+	d := Open(Config{MemtableBytes: 512, L0Tables: 2})
+	val := bytes.Repeat([]byte("y"), 32)
+	for i := 0; i < 100; i++ {
+		d.Put([]byte(fmt.Sprintf("k%03d", i)), val)
+	}
+	for i := 0; i < 100; i += 2 {
+		d.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	// Force more churn so tombstones flow through compactions.
+	for i := 100; i < 200; i++ {
+		d.Put([]byte(fmt.Sprintf("k%03d", i)), val)
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := d.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if i%2 == 0 && ok {
+			t.Fatalf("k%03d deleted but visible", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("k%03d lost", i)
+		}
+	}
+}
+
+func TestReadPathProbesMultipleTables(t *testing.T) {
+	d := Open(Config{MemtableBytes: 256, L0Tables: 100}) // no compaction: L0 piles up
+	val := bytes.Repeat([]byte("z"), 32)
+	for i := 0; i < 200; i++ {
+		d.Put([]byte(fmt.Sprintf("k%04d", i%20)), val) // heavy overwrites across runs
+	}
+	s := d.Stats()
+	if s.TablesTotal < 4 {
+		t.Fatalf("tables = %d, want several L0 runs", s.TablesTotal)
+	}
+	before := d.Stats().TableProbes
+	for i := 0; i < 20; i++ {
+		d.Get([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	probes := d.Stats().TableProbes - before
+	if probes == 0 {
+		t.Fatal("reads never reached the tables")
+	}
+}
+
+func TestBloomFilterSkips(t *testing.T) {
+	d := Open(Config{MemtableBytes: 256, L0Tables: 100})
+	val := bytes.Repeat([]byte("w"), 32)
+	for i := 0; i < 100; i++ {
+		d.Put([]byte(fmt.Sprintf("present-%04d", i)), val)
+	}
+	before := d.Stats().BloomSkips
+	// Absent keys that sort inside the tables' key ranges, so only the
+	// Bloom filter can reject them without a probe.
+	for i := 0; i < 99; i++ {
+		d.Get([]byte(fmt.Sprintf("present-%04d-absent", i)))
+	}
+	if got := d.Stats().BloomSkips - before; got == 0 {
+		t.Fatal("bloom filters never skipped a probe for absent keys")
+	}
+}
+
+func TestScan(t *testing.T) {
+	d := Open(Config{MemtableBytes: 512, L0Tables: 2})
+	for i := 0; i < 100; i++ {
+		d.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	d.Delete([]byte("k050"))
+	var keys []string
+	d.Scan([]byte("k045"), []byte("k055"), 0, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	want := []string{"k045", "k046", "k047", "k048", "k049", "k051", "k052", "k053", "k054"}
+	if len(keys) != len(want) {
+		t.Fatalf("scan = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan[%d] = %s, want %s", i, keys[i], want[i])
+		}
+	}
+	// Limited scan.
+	n := 0
+	d.Scan(nil, nil, 5, func(k, v []byte) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("limited scan = %d, want 5", n)
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	d := Open(Config{MemtableBytes: 2 << 10, L0Tables: 3})
+	var wg sync.WaitGroup
+	const workers, per = 6, 300
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				d.Put(key, []byte("v"))
+				if v, ok := d.Get(key); !ok || string(v) != "v" {
+					t.Errorf("read-own-write failed for %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i += 17 {
+			if _, ok := d.Get([]byte(fmt.Sprintf("w%d-%04d", w, i))); !ok {
+				t.Fatalf("w%d-%04d lost", w, i)
+			}
+		}
+	}
+}
+
+// TestPropertyModelCheck compares the LSM against a map under random ops.
+func TestPropertyModelCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Open(Config{MemtableBytes: 256, L0Tables: 2, LevelRatio: 2})
+		model := map[string]string{}
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("k%02d", rng.Intn(50))
+			if rng.Intn(4) == 0 {
+				d.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", i)
+				d.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		for k, v := range model {
+			got, ok := d.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		// Scan agrees with the model.
+		got := map[string]string{}
+		d.Scan(nil, nil, 0, func(k, v []byte) bool {
+			got[string(k)] = string(v)
+			return true
+		})
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkiplistOrdering(t *testing.T) {
+	s := newSkiplist(1)
+	rng := rand.New(rand.NewSource(2))
+	for _, i := range rng.Perm(500) {
+		s.put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"), false, uint64(i))
+	}
+	entries := s.entries()
+	if len(entries) != 500 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].key, entries[i].key) >= 0 {
+			t.Fatalf("order violation at %d", i)
+		}
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		b := newBloom(len(keys), 10)
+		for _, k := range keys {
+			b.add(k)
+		}
+		for _, k := range keys {
+			if !b.mayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRunsNewestWins(t *testing.T) {
+	old := []entry{{key: []byte("a"), value: []byte("old"), seq: 1}}
+	new_ := []entry{{key: []byte("a"), value: []byte("new"), seq: 2}}
+	out := mergeRuns([][]entry{old, new_}, false)
+	if len(out) != 1 || string(out[0].value) != "new" {
+		t.Fatalf("merge = %+v", out)
+	}
+	// Tombstone dropping at the bottom level.
+	tomb := []entry{{key: []byte("a"), tombstone: true, seq: 3}}
+	out = mergeRuns([][]entry{old, tomb}, true)
+	if len(out) != 0 {
+		t.Fatalf("tombstone not dropped: %+v", out)
+	}
+	out = mergeRuns([][]entry{old, tomb}, false)
+	if len(out) != 1 || !out[0].tombstone {
+		t.Fatalf("tombstone must survive non-bottom merge: %+v", out)
+	}
+}

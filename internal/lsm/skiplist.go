@@ -1,0 +1,122 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxSkipLevel = 12
+
+// skipNode is one node of the memtable skiplist. A nil value with
+// tombstone set records a deletion.
+type skipNode struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	seq       uint64
+	next      [maxSkipLevel]*skipNode
+}
+
+// skiplist is an ordered in-memory map from key to (value, tombstone).
+// Later writes to the same key overwrite in place, keeping the newest
+// sequence number. It is safe for concurrent use.
+type skiplist struct {
+	mu    sync.RWMutex
+	head  *skipNode
+	level int
+	rng   *rand.Rand
+	size  int // approximate bytes
+	count int
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipNode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key.
+func (s *skiplist) put(key, value []byte, tombstone bool, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var update [maxSkipLevel]*skipNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		s.size += len(value) - len(n.value)
+		n.value = value
+		n.tombstone = tombstone
+		n.seq = seq
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{key: key, value: value, tombstone: tombstone, seq: seq}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.size += len(key) + len(value) + 64
+	s.count++
+}
+
+// get returns the newest entry for key.
+func (s *skiplist) get(key []byte) (value []byte, tombstone, found bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		return n.value, n.tombstone, true
+	}
+	return nil, false, false
+}
+
+// entries returns every node in key order (used to build SSTables and
+// merge iterators).
+func (s *skiplist) entries() []entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]entry, 0, s.count)
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, entry{key: n.key, value: n.value, tombstone: n.tombstone, seq: n.seq})
+	}
+	return out
+}
+
+func (s *skiplist) bytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+func (s *skiplist) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}

@@ -1,0 +1,168 @@
+package lsm
+
+import (
+	"bytes"
+	"hash/fnv"
+	"sort"
+)
+
+// entry is one versioned key-value record.
+type entry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	seq       uint64
+}
+
+// bloom is a fixed-size Bloom filter with double hashing.
+type bloom struct {
+	bits []uint64
+	m    uint32 // number of bits
+	k    uint32 // number of probes
+}
+
+func newBloom(n int, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	m := uint32(n * bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	k := uint32(float64(bitsPerKey) * 0.69) // ln2 * bits/key
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+func bloomHash(key []byte) (uint32, uint32) {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	return uint32(v), uint32(v >> 32)
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := bloomHash(key)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sstable is one immutable sorted run. Entries are unique by key (the
+// newest version wins at build time).
+type sstable struct {
+	id      uint64
+	entries []entry
+	filter  *bloom
+	minKey  []byte
+	maxKey  []byte
+	bytes   int64
+}
+
+// buildSSTable creates a table from entries that are already sorted by key
+// and deduplicated.
+func buildSSTable(id uint64, entries []entry, bitsPerKey int) *sstable {
+	t := &sstable{id: id, entries: entries, filter: newBloom(len(entries), bitsPerKey)}
+	for _, e := range entries {
+		t.filter.add(e.key)
+		t.bytes += int64(len(e.key) + len(e.value) + 16)
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	return t
+}
+
+// covers reports whether key falls inside the table's key range.
+func (t *sstable) covers(key []byte) bool {
+	return len(t.entries) > 0 &&
+		bytes.Compare(key, t.minKey) >= 0 &&
+		bytes.Compare(key, t.maxKey) <= 0
+}
+
+// get searches the table. found=false means the key is absent from this
+// table (the caller continues down the read path).
+func (t *sstable) get(key []byte) (e entry, found bool) {
+	idx := sort.Search(len(t.entries), func(i int) bool {
+		return bytes.Compare(t.entries[i].key, key) >= 0
+	})
+	if idx < len(t.entries) && bytes.Equal(t.entries[idx].key, key) {
+		return t.entries[idx], true
+	}
+	return entry{}, false
+}
+
+// overlaps reports whether the table's range intersects [lo, hi].
+func (t *sstable) overlaps(lo, hi []byte) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	return bytes.Compare(t.minKey, hi) <= 0 && bytes.Compare(lo, t.maxKey) <= 0
+}
+
+// mergeRuns k-way merges sorted runs into one deduplicated run; among
+// duplicate keys the highest sequence number wins. dropTombstones removes
+// deletion markers (legal only when merging into the bottommost level).
+func mergeRuns(runs [][]entry, dropTombstones bool) []entry {
+	type cursor struct {
+		run []entry
+		idx int
+	}
+	cursors := make([]*cursor, 0, len(runs))
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			cursors = append(cursors, &cursor{run: r})
+			total += len(r)
+		}
+	}
+	out := make([]entry, 0, total)
+	for {
+		var best *cursor
+		for _, c := range cursors {
+			if c.idx >= len(c.run) {
+				continue
+			}
+			if best == nil {
+				best = c
+				continue
+			}
+			cmp := bytes.Compare(c.run[c.idx].key, best.run[best.idx].key)
+			if cmp < 0 || (cmp == 0 && c.run[c.idx].seq > best.run[best.idx].seq) {
+				best = c
+			}
+		}
+		if best == nil {
+			return out
+		}
+		winner := best.run[best.idx]
+		// Advance every cursor past this key (older versions are shadowed).
+		for _, c := range cursors {
+			for c.idx < len(c.run) && bytes.Equal(c.run[c.idx].key, winner.key) {
+				c.idx++
+			}
+		}
+		if winner.tombstone && dropTombstones {
+			continue
+		}
+		out = append(out, winner)
+	}
+}

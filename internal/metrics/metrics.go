@@ -1,0 +1,181 @@
+// Package metrics provides lightweight, allocation-free instrumentation
+// primitives shared by every BG3 subsystem: atomic counters, fixed-bucket
+// latency histograms and windowed rate meters.
+//
+// All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter. Negative n is permitted so that callers can
+// account for reclaimed resources, but most counters only grow.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value. Intended for test setup and resets.
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Gauge is a settable atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max updates the gauge to n if n is larger than the current value.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// numHistBuckets is len(histBuckets); kept as a constant so the bucket
+// array can live inline in the Histogram struct.
+const numHistBuckets = 18
+
+// histBuckets are the upper bounds, in microseconds, of the latency
+// histogram buckets. The last bucket is unbounded.
+var histBuckets = [numHistBuckets]int64{
+	10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
+// Histogram records durations into fixed logarithmic buckets and supports
+// approximate quantile queries. The zero value is ready to use.
+type Histogram struct {
+	buckets [numHistBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+	max     Gauge
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	idx := sort.Search(len(histBuckets), func(i int) bool { return us <= histBuckets[i] })
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	h.max.Max(us)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1) using
+// linear interpolation inside the winning bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if cum+c >= target {
+			lo := int64(0)
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			hi := h.max.Load()
+			if i < len(histBuckets) {
+				hi = histBuckets[i]
+			}
+			if c == 0 {
+				return time.Duration(hi) * time.Microsecond
+			}
+			frac := float64(target-cum) / float64(c)
+			return time.Duration(float64(lo)+frac*float64(hi-lo)) * time.Microsecond
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Snapshot returns a human-readable one-line summary.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// Meter measures event throughput over its lifetime.
+type Meter struct {
+	start time.Time
+	n     atomic.Int64
+	mu    sync.Mutex
+}
+
+// NewMeter returns a meter whose clock starts now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.n.Add(n) }
+
+// Count returns the number of recorded events.
+func (m *Meter) Count() int64 { return m.n.Load() }
+
+// Rate returns events per second since the meter was created.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.n.Load()) / elapsed
+}
+
+// Reset zeroes the meter and restarts its clock.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n.Store(0)
+	m.start = time.Now()
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasic(t *testing.T) {
+	var c Counter
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("counter after negative add = %d, want 3", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("counter after store = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(10)
+	g.Max(5)
+	if got := g.Load(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.Max(20)
+	if got := g.Load(); got != 20 {
+		t.Fatalf("gauge = %d, want 20", got)
+	}
+	g.Set(3)
+	g.Add(4)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestGaugeMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 1; i <= 100; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			g.Max(n)
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := g.Load(); got != 100 {
+		t.Fatalf("gauge = %d, want 100", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram should report zeros: %s", h.Snapshot())
+	}
+}
+
+func TestHistogramMeanAndMax(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	h.Observe(300 * time.Microsecond)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := h.Mean(); got != 200*time.Microsecond {
+		t.Fatalf("mean = %v, want 200µs", got)
+	}
+	if got := h.Max(); got != 300*time.Microsecond {
+		t.Fatalf("max = %v, want 300µs", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// p50 of a uniform 1..1000µs distribution should be near 500µs
+	// (bucket interpolation makes it approximate).
+	if p50 < 250*time.Microsecond || p50 > 750*time.Microsecond {
+		t.Fatalf("p50 = %v, want roughly 500µs", p50)
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(-1); got <= 0 {
+		t.Fatalf("Quantile(-1) = %v, want > 0", got)
+	}
+	if got := h.Quantile(2); got <= 0 {
+		t.Fatalf("Quantile(2) = %v, want > 0", got)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	if got := m.Count(); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if r := m.Rate(); r <= 0 {
+		t.Fatalf("rate = %f, want > 0", r)
+	}
+	m.Reset()
+	if got := m.Count(); got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}

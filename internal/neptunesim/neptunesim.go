@@ -1,0 +1,186 @@
+// Package neptunesim is a simulated stand-in for the external comparator
+// (AWS Neptune) of the Fig. 8 experiments. Neptune is closed source and
+// cannot run offline, so — per the substitution policy in DESIGN.md §4 —
+// this package models the architectural traits the paper's comparison
+// rests on, as characterized in the ByteGraph study [24]:
+//
+//   - no graph-native paged adjacency: each (vertex, edge-type) adjacency
+//     list is one monolithic record, so every edge insert rewrites the
+//     whole list (super-vertices hurt);
+//   - coarse-grained concurrency: a single store-wide lock serializes
+//     writers and blocks readers during writes;
+//   - a fixed per-operation overhead standing in for the deeper query
+//     path of a general-purpose engine (protocol handling, query
+//     translation) that a storage-engine-level client call does not pay
+//     in BG3/ByteGraph.
+//
+// The reproduction claim is therefore the *ordering and rough magnitude*
+// of Fig. 8 (BG3 and ByteGraph far above the Neptune-like system), not
+// Neptune's absolute performance.
+package neptunesim
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"bg3/internal/graph"
+)
+
+// Config parameterizes the simulator.
+type Config struct {
+	// OpCost is the fixed per-operation overhead (default 30µs). The
+	// store-wide lock is held while it elapses, which is what makes the
+	// simulator scale poorly with cores — the trait the Fig. 8 vertical
+	// scaling plot shows.
+	OpCost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.OpCost <= 0 {
+		c.OpCost = 30 * time.Microsecond
+	}
+	return c
+}
+
+type adjKey struct {
+	src graph.VertexID
+	typ graph.EdgeType
+}
+
+// Store is the simulated comparator. It implements graph.Store.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex // deliberately coarse
+	vertices map[graph.VertexID]map[graph.VertexType]graph.Properties
+	adj      map[adjKey][]edge
+}
+
+type edge struct {
+	dst   graph.VertexID
+	props graph.Properties
+}
+
+var _ graph.Store = (*Store)(nil)
+
+// New creates an empty simulator.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:      cfg.withDefaults(),
+		vertices: make(map[graph.VertexID]map[graph.VertexType]graph.Properties),
+		adj:      make(map[adjKey][]edge),
+	}
+}
+
+// spin burns the configured per-op cost while holding the lock. A busy
+// wait (rather than sleep) models CPU-bound query-path overhead.
+func (s *Store) spin() {
+	end := time.Now().Add(s.cfg.OpCost)
+	for time.Now().Before(end) {
+	}
+}
+
+// AddVertex implements graph.Store.
+func (s *Store) AddVertex(v graph.Vertex) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	m := s.vertices[v.ID]
+	if m == nil {
+		m = make(map[graph.VertexType]graph.Properties)
+		s.vertices[v.ID] = m
+	}
+	m[v.Type] = v.Props
+	return nil
+}
+
+// GetVertex implements graph.Store.
+func (s *Store) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	props, ok := s.vertices[id][typ]
+	if !ok {
+		return graph.Vertex{}, false, nil
+	}
+	return graph.Vertex{ID: id, Type: typ, Props: props}, true, nil
+}
+
+// AddEdge implements graph.Store. The whole adjacency record is rewritten
+// (copied), modelling a non-paged adjacency representation.
+func (s *Store) AddEdge(e graph.Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	k := adjKey{src: e.Src, typ: e.Type}
+	old := s.adj[k]
+	idx := sort.Search(len(old), func(i int) bool { return old[i].dst >= e.Dst })
+	rewritten := make([]edge, 0, len(old)+1) // full-list rewrite
+	rewritten = append(rewritten, old[:idx]...)
+	if idx < len(old) && old[idx].dst == e.Dst {
+		rewritten = append(rewritten, edge{dst: e.Dst, props: e.Props})
+		rewritten = append(rewritten, old[idx+1:]...)
+	} else {
+		rewritten = append(rewritten, edge{dst: e.Dst, props: e.Props})
+		rewritten = append(rewritten, old[idx:]...)
+	}
+	s.adj[k] = rewritten
+	return nil
+}
+
+// GetEdge implements graph.Store.
+func (s *Store) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	adj := s.adj[adjKey{src: src, typ: typ}]
+	idx := sort.Search(len(adj), func(i int) bool { return adj[i].dst >= dst })
+	if idx >= len(adj) || adj[idx].dst != dst {
+		return graph.Edge{}, false, nil
+	}
+	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: adj[idx].props}, true, nil
+}
+
+// DeleteEdge implements graph.Store.
+func (s *Store) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	k := adjKey{src: src, typ: typ}
+	old := s.adj[k]
+	idx := sort.Search(len(old), func(i int) bool { return old[i].dst >= dst })
+	if idx >= len(old) || old[idx].dst != dst {
+		return nil
+	}
+	rewritten := make([]edge, 0, len(old)-1)
+	rewritten = append(rewritten, old[:idx]...)
+	rewritten = append(rewritten, old[idx+1:]...)
+	s.adj[k] = rewritten
+	return nil
+}
+
+// Neighbors implements graph.Store.
+func (s *Store) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	s.mu.Lock()
+	s.spin()
+	adj := s.adj[adjKey{src: src, typ: typ}] // snapshot; lists are immutable
+	s.mu.Unlock()
+	for i, e := range adj {
+		if limit > 0 && i >= limit {
+			return nil
+		}
+		if !fn(e.dst, e.props) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Degree implements graph.Store.
+func (s *Store) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spin()
+	return len(s.adj[adjKey{src: src, typ: typ}]), nil
+}

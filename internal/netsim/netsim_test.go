@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLosslessLinkDeliversEverything(t *testing.T) {
+	l := NewLink(0, 0, 0, 1)
+	var got atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !l.Send(func() { got.Add(1) }) {
+			t.Fatal("lossless link dropped a message")
+		}
+	}
+	if got.Load() != 100 {
+		t.Fatalf("delivered = %d, want 100", got.Load())
+	}
+	s := l.Stats()
+	if s.Sent != 100 || s.Dropped != 0 || s.Delivered != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFullLossDropsEverything(t *testing.T) {
+	l := NewLink(1.0, 0, 0, 1)
+	for i := 0; i < 50; i++ {
+		if l.Send(func() { t.Error("delivered through a 100%-loss link") }) {
+			t.Fatal("Send reported survival on a 100%-loss link")
+		}
+	}
+	if s := l.Stats(); s.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", s.Dropped)
+	}
+}
+
+func TestLossRateApproximation(t *testing.T) {
+	const n, p = 20000, 0.1
+	l := NewLink(p, 0, 0, 42)
+	for i := 0; i < n; i++ {
+		l.Send(func() {})
+	}
+	got := float64(l.Stats().Dropped) / n
+	if math.Abs(got-p) > 0.02 {
+		t.Fatalf("empirical loss = %.3f, want ~%.2f", got, p)
+	}
+}
+
+func TestLatencyDefersDelivery(t *testing.T) {
+	l := NewLink(0, 20*time.Millisecond, 0, 1)
+	var delivered atomic.Bool
+	start := time.Now()
+	done := make(chan struct{})
+	l.Send(func() { delivered.Store(true); close(done) })
+	if delivered.Load() {
+		t.Fatal("delivery happened synchronously despite latency")
+	}
+	<-done
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~20ms", elapsed)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	l := NewLink(0.5, 0, 0, 7)
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Send(func() { delivered.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Sent != workers*per {
+		t.Fatalf("sent = %d, want %d", s.Sent, workers*per)
+	}
+	if s.Delivered+s.Dropped != s.Sent {
+		t.Fatalf("delivered(%d)+dropped(%d) != sent(%d)", s.Delivered, s.Dropped, s.Sent)
+	}
+	if delivered.Load() != s.Delivered {
+		t.Fatalf("callbacks = %d, stats say %d", delivered.Load(), s.Delivered)
+	}
+}
+
+func TestJitterSpreadsDelivery(t *testing.T) {
+	l := NewLink(0, 5*time.Millisecond, 10*time.Millisecond, 3)
+	var times []time.Duration
+	var mu sync.Mutex
+	done := make(chan struct{}, 16)
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		l.Send(func() {
+			mu.Lock()
+			times = append(times, time.Since(start))
+			mu.Unlock()
+			done <- struct{}{}
+		})
+	}
+	for i := 0; i < 16; i++ {
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var min, max time.Duration = time.Hour, 0
+	for _, d := range times {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 2*time.Millisecond {
+		t.Fatalf("jitter did not spread deliveries: min=%v max=%v", min, max)
+	}
+}

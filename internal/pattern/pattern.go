@@ -1,0 +1,222 @@
+// Package pattern implements the subgraph pattern matching and cycle
+// (loop) detection used by the financial-risk-control workload (§4.1):
+// anti-money-laundering checks run small query patterns — most notably
+// transfer loops — against the continuously ingested transaction graph,
+// typically on RO nodes so the matching scales out.
+//
+// The matcher is a backtracking embedder in the style of in-memory
+// subgraph matching studies [32]: pattern vertices are bound one at a
+// time, each new vertex reached through an out-edge from an already-bound
+// vertex, with candidate sets drawn from the data graph's adjacency lists.
+package pattern
+
+import (
+	"fmt"
+
+	"bg3/internal/graph"
+)
+
+// PEdge is one edge of a query pattern between pattern-vertex indices.
+type PEdge struct {
+	From int
+	To   int
+	Type graph.EdgeType
+}
+
+// Pattern is a small query graph. Pattern vertices are indices 0..N-1;
+// vertex 0 is the anchor bound to a seed vertex of the data graph.
+type Pattern struct {
+	N     int
+	Edges []PEdge
+}
+
+// Validate checks that the pattern is well-formed and forward-connected:
+// every vertex other than the anchor must be reachable from vertex 0
+// following pattern edges in their direction (the matcher only expands
+// out-edges).
+func (p Pattern) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("pattern: need at least one vertex")
+	}
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= p.N || e.To < 0 || e.To >= p.N {
+			return fmt.Errorf("pattern: edge %d->%d out of range", e.From, e.To)
+		}
+	}
+	reach := make([]bool, p.N)
+	reach[0] = true
+	for changed := true; changed; {
+		changed = false
+		for _, e := range p.Edges {
+			if reach[e.From] && !reach[e.To] {
+				reach[e.To] = true
+				changed = true
+			}
+		}
+	}
+	for i, r := range reach {
+		if !r {
+			return fmt.Errorf("pattern: vertex %d unreachable from anchor via forward edges", i)
+		}
+	}
+	return nil
+}
+
+// Match finds embeddings of p anchored at each seed, returning up to
+// maxMatches bindings (maxMatches <= 0: unlimited). A binding maps pattern
+// vertex i to binding[i]. Bindings are injective (isomorphic matching).
+func Match(s graph.Store, p Pattern, seeds []graph.VertexID, maxMatches int) ([][]graph.VertexID, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &matcher{s: s, p: p, max: maxMatches}
+	// Matching order: anchor first, then repeatedly pick an unbound vertex
+	// reachable via a forward edge from a bound one.
+	order, parents := planOrder(p)
+	for _, seed := range seeds {
+		binding := make([]graph.VertexID, p.N)
+		used := map[graph.VertexID]bool{seed: true}
+		binding[0] = seed
+		if err := m.extend(binding, used, order, parents, 1); err != nil {
+			return m.results, err
+		}
+		if m.max > 0 && len(m.results) >= m.max {
+			break
+		}
+	}
+	return m.results, nil
+}
+
+// planOrder returns the binding order (starting with 0) and, for each
+// position after the first, the pattern edge used to generate candidates.
+func planOrder(p Pattern) (order []int, parents []PEdge) {
+	bound := make([]bool, p.N)
+	bound[0] = true
+	order = []int{0}
+	parents = []PEdge{{}} // placeholder for the anchor
+	for len(order) < p.N {
+		for _, e := range p.Edges {
+			if bound[e.From] && !bound[e.To] {
+				bound[e.To] = true
+				order = append(order, e.To)
+				parents = append(parents, e)
+				break
+			}
+		}
+	}
+	return order, parents
+}
+
+type matcher struct {
+	s       graph.Store
+	p       Pattern
+	max     int
+	results [][]graph.VertexID
+}
+
+func (m *matcher) extend(binding []graph.VertexID, used map[graph.VertexID]bool, order []int, parents []PEdge, pos int) error {
+	if m.max > 0 && len(m.results) >= m.max {
+		return nil
+	}
+	if pos == len(order) {
+		// All vertices bound; verify the pattern edges not used for
+		// candidate generation.
+		ok, err := m.verify(binding)
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.results = append(m.results, append([]graph.VertexID(nil), binding...))
+		}
+		return nil
+	}
+	pv := order[pos]
+	pe := parents[pos]
+	src := binding[pe.From]
+	var cands []graph.VertexID
+	if err := m.s.Neighbors(src, pe.Type, 0, func(dst graph.VertexID, _ graph.Properties) bool {
+		if !used[dst] {
+			cands = append(cands, dst)
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, c := range cands {
+		binding[pv] = c
+		used[c] = true
+		if err := m.extend(binding, used, order, parents, pos+1); err != nil {
+			return err
+		}
+		delete(used, c)
+		if m.max > 0 && len(m.results) >= m.max {
+			return nil
+		}
+	}
+	return nil
+}
+
+// verify checks every pattern edge against the data graph.
+func (m *matcher) verify(binding []graph.VertexID) (bool, error) {
+	for _, e := range m.p.Edges {
+		_, ok, err := m.s.GetEdge(binding[e.From], e.Type, binding[e.To])
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FindCycles returns simple cycles through start of length 2..maxLen over
+// edges of the given type — the anti-money-laundering loop detection. Each
+// cycle is reported as the vertex sequence beginning and ending at start
+// (the final element is omitted). maxCycles bounds the result (<= 0:
+// unlimited).
+func FindCycles(s graph.Store, start graph.VertexID, typ graph.EdgeType, maxLen, maxCycles int) ([][]graph.VertexID, error) {
+	var out [][]graph.VertexID
+	path := []graph.VertexID{start}
+	onPath := map[graph.VertexID]bool{start: true}
+	var dfs func(cur graph.VertexID) error
+	dfs = func(cur graph.VertexID) error {
+		if maxCycles > 0 && len(out) >= maxCycles {
+			return nil
+		}
+		var nexts []graph.VertexID
+		if err := s.Neighbors(cur, typ, 0, func(dst graph.VertexID, _ graph.Properties) bool {
+			nexts = append(nexts, dst)
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, nxt := range nexts {
+			if nxt == start && len(path) >= 2 {
+				out = append(out, append([]graph.VertexID(nil), path...))
+				if maxCycles > 0 && len(out) >= maxCycles {
+					return nil
+				}
+				continue
+			}
+			if onPath[nxt] || len(path) >= maxLen {
+				continue
+			}
+			path = append(path, nxt)
+			onPath[nxt] = true
+			if err := dfs(nxt); err != nil {
+				return err
+			}
+			onPath[nxt] = false
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	if maxLen < 2 {
+		return nil, nil
+	}
+	if err := dfs(start); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package pattern
+
+import (
+	"testing"
+
+	"bg3/internal/core"
+	"bg3/internal/graph"
+)
+
+func newStore(t *testing.T, edges []graph.Edge) graph.Store {
+	t.Helper()
+	e, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	for _, ed := range edges {
+		if err := e.AddEdge(ed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func tedge(from, to graph.VertexID) graph.Edge {
+	return graph.Edge{Src: from, Dst: to, Type: graph.ETypeTransfer}
+}
+
+func TestPatternValidate(t *testing.T) {
+	ok := Pattern{N: 3, Edges: []PEdge{{0, 1, 1}, {1, 2, 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Pattern{N: 3, Edges: []PEdge{{0, 1, 1}}} // vertex 2 unreachable
+	if err := bad.Validate(); err == nil {
+		t.Fatal("disconnected pattern validated")
+	}
+	oob := Pattern{N: 2, Edges: []PEdge{{0, 5, 1}}}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range edge validated")
+	}
+	if err := (Pattern{N: 0}).Validate(); err == nil {
+		t.Fatal("empty pattern validated")
+	}
+}
+
+func TestMatchPath(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		tedge(1, 2), tedge(2, 3), tedge(1, 4), tedge(4, 3),
+	})
+	// Two-hop path pattern a->b->c anchored at 1: (1,2,3) and (1,4,3).
+	p := Pattern{N: 3, Edges: []PEdge{
+		{0, 1, graph.ETypeTransfer}, {1, 2, graph.ETypeTransfer},
+	}}
+	matches, err := Match(s, p, []graph.VertexID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v, want 2", matches)
+	}
+	for _, m := range matches {
+		if m[0] != 1 || m[2] != 3 {
+			t.Fatalf("bad binding %v", m)
+		}
+	}
+}
+
+func TestMatchTriangle(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		tedge(1, 2), tedge(2, 3), tedge(3, 1), // triangle
+		tedge(1, 5), tedge(5, 6), // dead end
+	})
+	tri := Pattern{N: 3, Edges: []PEdge{
+		{0, 1, graph.ETypeTransfer},
+		{1, 2, graph.ETypeTransfer},
+		{2, 0, graph.ETypeTransfer}, // closing edge: checked at verify time
+	}}
+	matches, err := Match(s, tri, []graph.VertexID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0][0] != 1 || matches[0][1] != 2 || matches[0][2] != 3 {
+		t.Fatalf("triangle matches = %v", matches)
+	}
+}
+
+func TestMatchInjective(t *testing.T) {
+	// a->b->c must not bind b and c to the same data vertex.
+	s := newStore(t, []graph.Edge{tedge(1, 2), tedge(2, 2)}) // self-loop on 2
+	p := Pattern{N: 3, Edges: []PEdge{
+		{0, 1, graph.ETypeTransfer}, {1, 2, graph.ETypeTransfer},
+	}}
+	matches, err := Match(s, p, []graph.VertexID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("non-injective match accepted: %v", matches)
+	}
+}
+
+func TestMatchMaxMatches(t *testing.T) {
+	var edges []graph.Edge
+	for i := 2; i < 12; i++ {
+		edges = append(edges, tedge(1, graph.VertexID(i)))
+	}
+	s := newStore(t, edges)
+	p := Pattern{N: 2, Edges: []PEdge{{0, 1, graph.ETypeTransfer}}}
+	matches, err := Match(s, p, []graph.VertexID{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("matches = %d, want 3 (capped)", len(matches))
+	}
+}
+
+func TestMatchTypeSensitive(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		{Src: 1, Dst: 2, Type: graph.ETypeFollow},
+		{Src: 1, Dst: 3, Type: graph.ETypeTransfer},
+	})
+	p := Pattern{N: 2, Edges: []PEdge{{0, 1, graph.ETypeTransfer}}}
+	matches, err := Match(s, p, []graph.VertexID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0][1] != 3 {
+		t.Fatalf("matches = %v, want only the transfer edge", matches)
+	}
+}
+
+func TestFindCycles(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		tedge(1, 2), tedge(2, 3), tedge(3, 1), // 3-cycle
+		tedge(1, 4), tedge(4, 1), // 2-cycle
+		tedge(3, 5), tedge(5, 6), // dead end
+	})
+	cycles, err := FindCycles(s, 1, graph.ETypeTransfer, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v, want 2", cycles)
+	}
+	lens := map[int]bool{}
+	for _, c := range cycles {
+		if c[0] != 1 {
+			t.Fatalf("cycle %v does not start at 1", c)
+		}
+		lens[len(c)] = true
+	}
+	if !lens[2] || !lens[3] {
+		t.Fatalf("expected a 2-cycle and a 3-cycle, got %v", cycles)
+	}
+}
+
+func TestFindCyclesLengthBound(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		tedge(1, 2), tedge(2, 3), tedge(3, 4), tedge(4, 1), // 4-cycle
+	})
+	cycles, err := FindCycles(s, 1, graph.ETypeTransfer, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 0 {
+		t.Fatalf("length bound 3 found %v", cycles)
+	}
+	cycles, _ = FindCycles(s, 1, graph.ETypeTransfer, 4, 0)
+	if len(cycles) != 1 {
+		t.Fatalf("length bound 4 found %v", cycles)
+	}
+}
+
+func TestFindCyclesMaxCycles(t *testing.T) {
+	var edges []graph.Edge
+	for i := 2; i < 10; i++ {
+		edges = append(edges, tedge(1, graph.VertexID(i)), tedge(graph.VertexID(i), 1))
+	}
+	s := newStore(t, edges)
+	cycles, err := FindCycles(s, 1, graph.ETypeTransfer, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 4 {
+		t.Fatalf("cycles = %d, want 4 (capped)", len(cycles))
+	}
+}
+
+func TestFindCyclesNoCycle(t *testing.T) {
+	s := newStore(t, []graph.Edge{tedge(1, 2), tedge(2, 3)})
+	cycles, err := FindCycles(s, 1, graph.ETypeTransfer, 5, 0)
+	if err != nil || len(cycles) != 0 {
+		t.Fatalf("cycles = %v, %v", cycles, err)
+	}
+}
+
+func TestMatchMultipleSeeds(t *testing.T) {
+	s := newStore(t, []graph.Edge{
+		tedge(1, 10), tedge(2, 20), tedge(3, 30),
+	})
+	p := Pattern{N: 2, Edges: []PEdge{{0, 1, graph.ETypeTransfer}}}
+	matches, err := Match(s, p, []graph.VertexID{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("matches = %v", matches)
+	}
+}
+
+func TestMatchDiamond(t *testing.T) {
+	// Diamond: a->b, a->c, b->d, c->d — pattern with two paths converging.
+	s := newStore(t, []graph.Edge{
+		tedge(1, 2), tedge(1, 3), tedge(2, 4), tedge(3, 4),
+	})
+	p := Pattern{N: 4, Edges: []PEdge{
+		{0, 1, graph.ETypeTransfer},
+		{0, 2, graph.ETypeTransfer},
+		{1, 3, graph.ETypeTransfer},
+		{2, 3, graph.ETypeTransfer},
+	}}
+	matches, err := Match(s, p, []graph.VertexID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two bindings: (b,c) = (2,3) and (3,2).
+	if len(matches) != 2 {
+		t.Fatalf("diamond matches = %v", matches)
+	}
+	for _, m := range matches {
+		if m[0] != 1 || m[3] != 4 {
+			t.Fatalf("bad diamond binding %v", m)
+		}
+	}
+}

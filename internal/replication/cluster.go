@@ -1,0 +1,230 @@
+package replication
+
+import (
+	"time"
+
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+)
+
+// Cluster is a multi-RW deployment (§3.1): write requests are distributed
+// across distinct RW nodes by hashing the source vertex, each RW node owns
+// its own shared-storage volume and WAL, and read-only nodes attach per
+// shard. The Cluster itself implements graph.Store for the write/serve
+// path; ReadView bundles one RO node per shard for scale-out reads.
+type Cluster struct {
+	shards []*RWNode
+	stores []*storage.Store
+}
+
+// NewCluster creates n RW shards with identical options. storageOpts may
+// be nil for defaults.
+func NewCluster(n int, storageOpts *storage.Options, opts RWOptions) (*Cluster, error) {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		var so storage.Options
+		if storageOpts != nil {
+			so = *storageOpts
+		}
+		st := storage.Open(&so)
+		rw, err := NewRWNode(st, opts)
+		if err != nil {
+			c.Stop()
+			st.Close()
+			return nil, err
+		}
+		c.shards = append(c.shards, rw)
+		c.stores = append(c.stores, st)
+	}
+	return c, nil
+}
+
+// Stop halts every shard.
+func (c *Cluster) Stop() {
+	for i, rw := range c.shards {
+		rw.Stop()
+		c.stores[i].Close()
+	}
+	c.shards = nil
+	c.stores = nil
+}
+
+// Shards returns the number of RW nodes.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// shard routes a vertex to its owning RW node (Fibonacci hashing).
+func (c *Cluster) shard(id graph.VertexID) *RWNode {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+func (c *Cluster) shardIndex(id graph.VertexID) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(c.shards)))
+}
+
+// AddVertex implements graph.Store.
+func (c *Cluster) AddVertex(v graph.Vertex) error { return c.shard(v.ID).AddVertex(v) }
+
+// GetVertex implements graph.Store.
+func (c *Cluster) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return c.shard(id).GetVertex(id, typ)
+}
+
+// AddEdge implements graph.Store: edges live with their source vertex.
+func (c *Cluster) AddEdge(e graph.Edge) error { return c.shard(e.Src).AddEdge(e) }
+
+// GetEdge implements graph.Store.
+func (c *Cluster) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return c.shard(src).GetEdge(src, typ, dst)
+}
+
+// DeleteEdge implements graph.Store.
+func (c *Cluster) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	return c.shard(src).DeleteEdge(src, typ, dst)
+}
+
+// Neighbors implements graph.Store.
+func (c *Cluster) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return c.shard(src).Neighbors(src, typ, limit, fn)
+}
+
+// Degree implements graph.Store.
+func (c *Cluster) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return c.shard(src).Degree(src, typ)
+}
+
+var _ graph.Store = (*Cluster)(nil)
+
+// Checkpoint checkpoints every shard.
+func (c *Cluster) Checkpoint() error {
+	for _, rw := range c.shards {
+		if err := rw.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LastLSNs returns each shard's assigned-LSN horizon, index-aligned with
+// the shard order.
+func (c *Cluster) LastLSNs() []uint64 {
+	out := make([]uint64, len(c.shards))
+	for i, rw := range c.shards {
+		out[i] = uint64(rw.LastLSN())
+	}
+	return out
+}
+
+// ReadView is one read-only node per shard, routing reads by the same
+// hash as the cluster routes writes. Multiple ReadViews scale read
+// throughput, each with strong consistency against its shard's WAL.
+type ReadView struct {
+	cluster *Cluster
+	ros     []*RONode
+}
+
+// OpenReadView attaches one RO node to every shard.
+func (c *Cluster) OpenReadView(pollInterval time.Duration, cacheCapacity int) (*ReadView, error) {
+	v := &ReadView{cluster: c}
+	for _, st := range c.stores {
+		ro, err := NewRONodeFromSnapshot(st, pollInterval, cacheCapacity)
+		if err != nil {
+			v.Stop()
+			return nil, err
+		}
+		v.ros = append(v.ros, ro)
+	}
+	return v, nil
+}
+
+// Stop detaches every RO node.
+func (v *ReadView) Stop() {
+	for _, ro := range v.ros {
+		ro.Stop()
+	}
+	v.ros = nil
+}
+
+// Sync drains every shard's WAL so subsequent reads observe everything
+// the cluster has acknowledged.
+func (v *ReadView) Sync() error {
+	for _, ro := range v.ros {
+		if err := ro.Poll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitVisible blocks until every shard replica reaches its shard's current
+// horizon or the timeout elapses.
+func (v *ReadView) WaitVisible(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for i, ro := range v.ros {
+		lsn := v.cluster.shards[i].LastLSN()
+		rem := time.Until(deadline)
+		if rem <= 0 || !ro.WaitVisible(lsn, rem) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *ReadView) replica(src graph.VertexID) *core.Replica {
+	return v.ros[v.cluster.shardIndex(src)].Replica()
+}
+
+// GetVertex reads a vertex from the owning shard's replica.
+func (v *ReadView) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return v.replica(id).GetVertex(id, typ)
+}
+
+// GetEdge reads one edge.
+func (v *ReadView) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return v.replica(src).GetEdge(src, typ, dst)
+}
+
+// Neighbors streams out-neighbors.
+func (v *ReadView) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return v.replica(src).Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns out-degree.
+func (v *ReadView) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return v.replica(src).Degree(src, typ)
+}
+
+// AsStore returns a read-only graph.Store view for traversal helpers and
+// pattern matching across shards.
+func (v *ReadView) AsStore() graph.Store { return roView{v} }
+
+type roView struct{ v *ReadView }
+
+func (s roView) AddVertex(graph.Vertex) error { return errViewReadOnly }
+func (s roView) AddEdge(graph.Edge) error     { return errViewReadOnly }
+func (s roView) DeleteEdge(graph.VertexID, graph.EdgeType, graph.VertexID) error {
+	return errViewReadOnly
+}
+func (s roView) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return s.v.GetVertex(id, typ)
+}
+func (s roView) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return s.v.GetEdge(src, typ, dst)
+}
+func (s roView) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return s.v.Neighbors(src, typ, limit, fn)
+}
+func (s roView) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return s.v.Degree(src, typ)
+}
+
+type viewError string
+
+func (e viewError) Error() string { return string(e) }
+
+const errViewReadOnly = viewError("replication: read view is read-only")

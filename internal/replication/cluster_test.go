@@ -1,0 +1,143 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"bg3/internal/graph"
+)
+
+func newTestCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(shards, nil, RWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterShardsWrites(t *testing.T) {
+	c := newTestCluster(t, 3)
+	for i := 0; i < 120; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every shard received a share (Fibonacci hashing over sequential IDs).
+	lsns := c.LastLSNs()
+	if len(lsns) != 3 {
+		t.Fatalf("shards = %d", len(lsns))
+	}
+	for i, l := range lsns {
+		if l == 0 {
+			t.Fatalf("shard %d received no writes", i)
+		}
+	}
+	// Reads through the cluster see everything.
+	for i := 0; i < 120; i++ {
+		if _, ok, _ := c.GetEdge(graph.VertexID(i), graph.ETypeFollow, graph.VertexID(i+1)); !ok {
+			t.Fatalf("edge %d lost", i)
+		}
+	}
+}
+
+func TestReadViewStrongConsistency(t *testing.T) {
+	c := newTestCluster(t, 2)
+	view, err := c.OpenReadView(time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Stop()
+
+	for i := 0; i < 200; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i % 10), Dst: graph.VertexID(i), Type: graph.ETypeTransfer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := view.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for src := 0; src < 10; src++ {
+		deg, err := view.Degree(graph.VertexID(src), graph.ETypeTransfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Degree(graph.VertexID(src), graph.ETypeTransfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg != want {
+			t.Fatalf("src %d: view %d vs cluster %d", src, deg, want)
+		}
+		total += deg
+	}
+	if total != 200 {
+		t.Fatalf("total = %d", total)
+	}
+	// The read-only adapter rejects writes.
+	if err := view.AsStore().AddEdge(graph.Edge{Src: 1, Dst: 2, Type: 1}); err == nil {
+		t.Fatal("read view accepted a write")
+	}
+}
+
+func TestReadViewCrossShardTraversal(t *testing.T) {
+	c := newTestCluster(t, 4)
+	// A chain whose hops land on different shards.
+	for i := 0; i < 12; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view, err := c.OpenReadView(time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Stop()
+	if !view.WaitVisible(2 * time.Second) {
+		t.Fatal("view lagging")
+	}
+	reached, err := graph.KHop(view.AsStore(), 0, graph.ETypeFollow, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reached) != 12 {
+		t.Fatalf("cross-shard traversal reached %d, want 12", len(reached))
+	}
+}
+
+func TestReadViewAfterSnapshots(t *testing.T) {
+	c := newTestCluster(t, 2)
+	for i := 0; i < 100; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i % 6), Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rw := range c.shards {
+		if _, err := rw.WriteSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		rw.TrimWAL()
+	}
+	// Views opened after snapshot+trim bootstrap from the snapshots.
+	view, err := c.OpenReadView(time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Stop()
+	if !view.WaitVisible(2 * time.Second) {
+		t.Fatal("view lagging")
+	}
+	total := 0
+	for src := 0; src < 6; src++ {
+		d, err := view.Degree(graph.VertexID(src), graph.ETypeLike)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+}

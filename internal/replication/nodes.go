@@ -1,0 +1,364 @@
+package replication
+
+import (
+	"sync"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// RWOptions configures a read-write node.
+type RWOptions struct {
+	// Engine options; FlushMode is forced to FlushAsync and the Logger is
+	// installed by NewRWNode.
+	Engine core.Options
+
+	// CommitWindow is the group-commit accumulation window (0: immediate).
+	CommitWindow time.Duration
+
+	// MaxBatch caps a commit batch (0: 512).
+	MaxBatch int
+
+	// FlushInterval drives the background dirty-page flusher; 0 disables
+	// the background thread (call Checkpoint manually).
+	FlushInterval time.Duration
+
+	// FlushThreshold additionally triggers a flush when this many dirty
+	// pages accumulate (0: interval only) — the paper's "once the
+	// accumulated dirty pages reach a specific threshold".
+	FlushThreshold int
+}
+
+// RWNode is BG3's read-write node: a core.Engine in async-flush mode whose
+// every modification is group-committed to the WAL, plus the background
+// flusher that persists dirty pages and publishes checkpoints. Writes go
+// through the node (not the engine directly) so checkpoint LSNs are
+// computed against a quiesced write pipeline.
+type RWNode struct {
+	engine *core.Engine
+	store  *storage.Store
+	writer *wal.Writer
+	logger *GroupCommitLogger
+	opts   RWOptions
+
+	// applyBarrier serializes checkpoint horizon computation against
+	// in-flight writes: writers hold it shared across (WAL log + memory
+	// apply), the flusher takes it exclusively for an instant to establish
+	// "every committed LSN is applied and dirty-marked".
+	applyBarrier sync.RWMutex
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu          sync.Mutex
+	checkpoints int64
+	lastCkpt    wal.LSN
+
+	snap snapshotState
+}
+
+// NewRWNode creates the RW node on a shared store.
+func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
+	writer := wal.NewWriter(st)
+	logger := NewGroupCommitLogger(writer, opts.CommitWindow, opts.MaxBatch)
+	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
+	opts.Engine.Logger = logger
+	engine, err := core.NewWithStore(st, opts.Engine)
+	if err != nil {
+		logger.Stop()
+		return nil, err
+	}
+	n := &RWNode{
+		engine: engine,
+		store:  st,
+		writer: writer,
+		logger: logger,
+		opts:   opts,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if opts.FlushInterval > 0 {
+		go n.flushLoop()
+	} else {
+		close(n.done)
+	}
+	return n, nil
+}
+
+// Engine exposes the underlying engine (stats, GC).
+func (n *RWNode) Engine() *core.Engine { return n.engine }
+
+// Writer exposes the WAL writer (experiments).
+func (n *RWNode) Writer() *wal.Writer { return n.writer }
+
+// LastLSN returns the most recently assigned WAL LSN — the horizon an RO
+// node must reach to observe every write acknowledged so far.
+func (n *RWNode) LastLSN() wal.LSN { return n.logger.LastLSN() }
+
+// Stop halts the flusher and the commit pipeline.
+func (n *RWNode) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+	n.logger.Stop()
+	n.engine.Close()
+}
+
+func (n *RWNode) flushLoop() {
+	defer close(n.done)
+	// Tick at a fraction of the flush interval so the dirty-page
+	// threshold is noticed promptly between interval flushes.
+	tick := n.opts.FlushInterval / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			due := time.Since(last) >= n.opts.FlushInterval ||
+				(n.opts.FlushThreshold > 0 && n.engine.DirtyCount() >= n.opts.FlushThreshold)
+			if due {
+				// Errors mean the store is closing; the loop keeps
+				// ticking until stopped.
+				_ = n.Checkpoint()
+				last = time.Now()
+			}
+		}
+	}
+}
+
+// Checkpoint flushes all dirty pages and appends a checkpoint record
+// declaring the flushed horizon (§3.4 steps 7–8). Safe to call manually
+// when no background flusher runs.
+func (n *RWNode) Checkpoint() error {
+	// Quiesce in-flight writes so "assigned LSN" implies "applied and
+	// dirty-marked" (writers hold the barrier shared across LSN
+	// assignment + memory apply + dirty-marking).
+	n.applyBarrier.Lock()
+	ckptLSN := n.logger.LastLSN()
+	n.applyBarrier.Unlock()
+
+	updates, err := n.engine.FlushDirty()
+	if err != nil {
+		return err
+	}
+	// Pages GC relocated since the last checkpoint must also reach the
+	// replicas, or their old locations would dangle once the condemned
+	// extents are released.
+	updates = append(updates, n.engine.Mapping().TakeRelocated()...)
+	if len(updates) == 0 && ckptLSN == n.lastCheckpoint() {
+		return nil // nothing new
+	}
+	if err := n.appendCheckpoint(ckptLSN, updates); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.checkpoints++
+	n.lastCkpt = ckptLSN
+	n.mu.Unlock()
+	return nil
+}
+
+// appendCheckpoint publishes a checkpoint, chunking the mapping updates so
+// each WAL record fits an extent. Replicas apply repeated checkpoint
+// records with the same horizon idempotently.
+func (n *RWNode) appendCheckpoint(ckptLSN wal.LSN, updates []bwtree.MappingUpdate) error {
+	// Rough per-update encoded size: ids(16) + base loc(17) + delta count
+	// and a handful of delta locs. Cap chunks well under the extent size.
+	maxPer := (n.store.ExtentSize() - 512) / 64
+	if maxPer < 8 {
+		maxPer = 8
+	}
+	for start := 0; ; start += maxPer {
+		end := start + maxPer
+		if end > len(updates) {
+			end = len(updates)
+		}
+		chunk := updates[start:end]
+		if _, err := n.logger.Log(&wal.Record{
+			Type:    wal.RecordCheckpoint,
+			CkptLSN: ckptLSN,
+			Value:   bwtree.EncodeMappingUpdates(chunk),
+		}); err != nil {
+			return err
+		}
+		if end >= len(updates) {
+			return nil
+		}
+	}
+}
+
+func (n *RWNode) lastCheckpoint() wal.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastCkpt
+}
+
+// Checkpoints returns the number of checkpoints published.
+func (n *RWNode) Checkpoints() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.checkpoints
+}
+
+// Write-path wrappers: graph.Store's mutating half, wrapped in the apply
+// barrier.
+
+// AddVertex writes a vertex through the replicated pipeline.
+func (n *RWNode) AddVertex(v graph.Vertex) error {
+	n.applyBarrier.RLock()
+	defer n.applyBarrier.RUnlock()
+	return n.engine.AddVertex(v)
+}
+
+// AddEdge writes an edge through the replicated pipeline.
+func (n *RWNode) AddEdge(e graph.Edge) error {
+	n.applyBarrier.RLock()
+	defer n.applyBarrier.RUnlock()
+	return n.engine.AddEdge(e)
+}
+
+// DeleteEdge deletes an edge through the replicated pipeline.
+func (n *RWNode) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	n.applyBarrier.RLock()
+	defer n.applyBarrier.RUnlock()
+	return n.engine.DeleteEdge(src, typ, dst)
+}
+
+// Read methods delegate to the engine directly (the RW node serves reads
+// from its own memory).
+
+// GetVertex reads a vertex.
+func (n *RWNode) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return n.engine.GetVertex(id, typ)
+}
+
+// GetEdge reads an edge.
+func (n *RWNode) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return n.engine.GetEdge(src, typ, dst)
+}
+
+// Neighbors streams out-neighbors.
+func (n *RWNode) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return n.engine.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns out-degree.
+func (n *RWNode) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return n.engine.Degree(src, typ)
+}
+
+var _ graph.Store = (*RWNode)(nil)
+
+// RONode is a read-only node: a core.Replica fed by a WAL tailing loop.
+type RONode struct {
+	replica *core.Replica
+	reader  *wal.Reader
+
+	// minLSN skips records a snapshot bootstrap already covers.
+	minLSN wal.LSN
+
+	// pollMu serializes WAL polls: the background loop and manual Poll
+	// calls share one reader cursor and must apply records in LSN order.
+	pollMu sync.Mutex
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NewRONode attaches a replica to the shared store, polling the WAL every
+// interval. cacheCapacity bounds the replica's page cache (0 = unlimited).
+func NewRONode(st *storage.Store, interval time.Duration, cacheCapacity int) *RONode {
+	n := &RONode{
+		replica: core.NewReplica(st, cacheCapacity),
+		reader:  wal.NewReader(st),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go n.pollLoop(interval)
+	return n
+}
+
+func (n *RONode) pollLoop(interval time.Duration) {
+	defer close(n.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			if err := n.Poll(); err != nil {
+				n.mu.Lock()
+				n.lastErr = err
+				n.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Poll synchronously drains the WAL into the replica.
+func (n *RONode) Poll() error {
+	n.pollMu.Lock()
+	defer n.pollMu.Unlock()
+	recs, err := n.reader.Poll()
+	if err != nil {
+		return err
+	}
+	if n.minLSN > 0 {
+		filtered := recs[:0]
+		for _, r := range recs {
+			if r.LSN > n.minLSN {
+				filtered = append(filtered, r)
+			}
+		}
+		recs = filtered
+	}
+	return n.replica.ApplyAll(recs)
+}
+
+// Err returns the last background polling error, if any.
+func (n *RONode) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// Stop halts the polling loop.
+func (n *RONode) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+// Replica exposes the underlying replica for reads.
+func (n *RONode) Replica() *core.Replica { return n.replica }
+
+// WaitVisible blocks until the replica has incorporated WAL records up to
+// lsn or the timeout elapses; it reports whether the horizon was reached.
+// Used to measure leader-follower synchronization latency (Fig. 13).
+func (n *RONode) WaitVisible(lsn wal.LSN, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.replica.HighLSN() >= lsn {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return n.replica.HighLSN() >= lsn
+}
+
+// LoggerStats exposes the group-commit batch counters (experiments).
+func (n *RWNode) LoggerStats() (batches, records int64) { return n.logger.BatchStats() }

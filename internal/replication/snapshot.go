@@ -1,0 +1,448 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/forest"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// Snapshots let fresh RO nodes attach without replaying the WAL from the
+// beginning, and let the RW node truncate the WAL prefix the snapshot
+// covers. A snapshot is a group of records in the meta stream — one per
+// tree plus a footer — identified by a generation number; the footer
+// records the WAL horizon (every record at or below it is reflected in the
+// snapshot) and the WAL cursor a bootstrapping replica should tail from.
+
+const (
+	snapRecTree   = 1
+	snapRecFooter = 2
+)
+
+// snapshotMeta is the decoded footer.
+type snapshotMeta struct {
+	generation uint64
+	horizon    wal.LSN
+	treeCount  int
+	walCursor  storage.Cursor
+}
+
+func appendLoc(buf []byte, l storage.Loc) []byte {
+	buf = append(buf, byte(l.Stream))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.Extent))
+	buf = binary.LittleEndian.AppendUint32(buf, l.Offset)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Length)
+	return buf
+}
+
+func readLoc(buf []byte) (storage.Loc, []byte, error) {
+	if len(buf) < 17 {
+		return storage.Loc{}, nil, fmt.Errorf("replication: truncated loc in snapshot")
+	}
+	l := storage.Loc{
+		Stream: storage.StreamID(buf[0]),
+		Extent: storage.ExtentID(binary.LittleEndian.Uint64(buf[1:])),
+		Offset: binary.LittleEndian.Uint32(buf[9:]),
+		Length: binary.LittleEndian.Uint32(buf[13:]),
+	}
+	return l, buf[17:], nil
+}
+
+// encodeTreeSnapshot: kind[1] gen[8] tree[8] hasOwner[1] owner[8] init[1]
+// nleaves[4] { loLen[2] lo base[17] nd[2] deltas[17]* }*
+func encodeTreeSnapshot(gen uint64, ts core.TreeSnapshot, isInit bool) []byte {
+	buf := []byte{snapRecTree}
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts.Tree))
+	if ts.HasOwner {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts.Owner))
+	if isInit {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts.Leaves)))
+	for _, lf := range ts.Leaves {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lf.Lo)))
+		buf = append(buf, lf.Lo...)
+		buf = appendLoc(buf, lf.Base)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lf.Deltas)))
+		for _, d := range lf.Deltas {
+			buf = appendLoc(buf, d)
+		}
+	}
+	return buf
+}
+
+func decodeTreeSnapshot(buf []byte) (gen uint64, ts core.TreeSnapshot, isInit bool, err error) {
+	if len(buf) < 31 || buf[0] != snapRecTree {
+		return 0, ts, false, fmt.Errorf("replication: malformed tree snapshot record")
+	}
+	gen = binary.LittleEndian.Uint64(buf[1:])
+	ts.Tree = bwtree.TreeID(binary.LittleEndian.Uint64(buf[9:]))
+	ts.HasOwner = buf[17] == 1
+	ts.Owner = forest.OwnerID(binary.LittleEndian.Uint64(buf[18:]))
+	isInit = buf[26] == 1
+	n := binary.LittleEndian.Uint32(buf[27:])
+	buf = buf[31:]
+	for i := uint32(0); i < n; i++ {
+		if len(buf) < 2 {
+			return 0, ts, false, fmt.Errorf("replication: truncated leaf %d", i)
+		}
+		loLen := binary.LittleEndian.Uint16(buf)
+		buf = buf[2:]
+		if len(buf) < int(loLen) {
+			return 0, ts, false, fmt.Errorf("replication: truncated leaf lo %d", i)
+		}
+		var lf bwtree.LeafInfo
+		if loLen > 0 {
+			lf.Lo = append([]byte(nil), buf[:loLen]...)
+		}
+		buf = buf[loLen:]
+		lf.Base, buf, err = readLoc(buf)
+		if err != nil {
+			return 0, ts, false, err
+		}
+		if len(buf) < 2 {
+			return 0, ts, false, fmt.Errorf("replication: truncated delta count %d", i)
+		}
+		nd := binary.LittleEndian.Uint16(buf)
+		buf = buf[2:]
+		for j := uint16(0); j < nd; j++ {
+			var d storage.Loc
+			d, buf, err = readLoc(buf)
+			if err != nil {
+				return 0, ts, false, err
+			}
+			lf.Deltas = append(lf.Deltas, d)
+		}
+		// Page ID travels in the leaf's Page field appended after deltas in
+		// LeafInfo; encode/decode it explicitly below.
+		ts.Leaves = append(ts.Leaves, lf)
+	}
+	return gen, ts, isInit, nil
+}
+
+// encodeFooter: kind[1] gen[8] horizon[8] treeCount[4] curExt[8] curIdx[4]
+func encodeFooter(m snapshotMeta) []byte {
+	buf := []byte{snapRecFooter}
+	buf = binary.LittleEndian.AppendUint64(buf, m.generation)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.horizon))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.treeCount))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.walCursor.Extent))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.walCursor.Index))
+	return buf
+}
+
+func decodeFooter(buf []byte) (snapshotMeta, error) {
+	if len(buf) != 33 || buf[0] != snapRecFooter {
+		return snapshotMeta{}, fmt.Errorf("replication: malformed snapshot footer")
+	}
+	return snapshotMeta{
+		generation: binary.LittleEndian.Uint64(buf[1:]),
+		horizon:    wal.LSN(binary.LittleEndian.Uint64(buf[9:])),
+		treeCount:  int(binary.LittleEndian.Uint32(buf[17:])),
+		walCursor: storage.Cursor{
+			Extent: storage.ExtentID(binary.LittleEndian.Uint64(buf[21:])),
+			Index:  int(binary.LittleEndian.Uint32(buf[29:])),
+		},
+	}, nil
+}
+
+// snapshotState is tracked per RW node for TrimWAL.
+type snapshotState struct {
+	mu        sync.Mutex
+	lastGen   uint64
+	lastMeta  snapshotMeta
+	hasSnap   bool
+	snapCount int64
+}
+
+// WriteSnapshot quiesces writes, flushes dirty pages, and persists a full
+// snapshot of the engine's durable shape to the meta stream, returning the
+// WAL horizon it reflects. Fresh RO nodes created with
+// NewRONodeFromSnapshot bootstrap from the latest snapshot; TrimWAL can
+// afterwards drop the WAL prefix it covers.
+func (n *RWNode) WriteSnapshot() (wal.LSN, error) {
+	// Quiesce: with the barrier held exclusively, every assigned LSN is
+	// applied, and FlushDirty makes the durable state equal memory.
+	n.applyBarrier.Lock()
+	horizon := n.logger.LastLSN()
+	updates, err := n.engine.FlushDirty()
+	if err != nil {
+		n.applyBarrier.Unlock()
+		return 0, err
+	}
+	state := n.engine.SnapshotState()
+	cursor := n.store.TailCursor(storage.StreamWAL)
+	n.applyBarrier.Unlock()
+
+	// Publish the flush to existing replicas as a normal checkpoint.
+	if err := n.appendCheckpoint(horizon, updates); err != nil {
+		return 0, err
+	}
+
+	gen := uint64(horizon) // horizons are unique and monotonic per node
+	// Large trees are chunked so every record fits an extent.
+	budget := n.store.ExtentSize() - 256
+	if budget < 1024 {
+		budget = 1024
+	}
+	records := 0
+	for _, ts := range state.Trees {
+		for _, chunk := range chunkLeaves(ts.Leaves, budget) {
+			part := ts
+			part.Leaves = chunk
+			buf := encodeTreeSnapshot(gen, part, ts.Tree == state.Init)
+			buf = appendLeafPageIDs(buf, chunk)
+			if _, err := n.store.Append(storage.StreamMeta, gen, buf); err != nil {
+				return 0, err
+			}
+			records++
+		}
+	}
+	meta := snapshotMeta{
+		generation: gen,
+		horizon:    horizon,
+		treeCount:  records,
+		walCursor:  cursor,
+	}
+	if _, err := n.store.Append(storage.StreamMeta, gen, encodeFooter(meta)); err != nil {
+		return 0, err
+	}
+	n.snap.mu.Lock()
+	n.snap.lastGen = gen
+	n.snap.lastMeta = meta
+	n.snap.hasSnap = true
+	n.snap.snapCount++
+	n.snap.mu.Unlock()
+	return horizon, nil
+}
+
+// chunkLeaves splits a leaf directory into chunks whose encoded size stays
+// within budget (at least one leaf per chunk).
+func chunkLeaves(leaves []bwtree.LeafInfo, budget int) [][]bwtree.LeafInfo {
+	var out [][]bwtree.LeafInfo
+	var cur []bwtree.LeafInfo
+	size := 64 // record header
+	for _, lf := range leaves {
+		leafSize := 2 + len(lf.Lo) + 17 + 2 + 17*len(lf.Deltas) + 8
+		if len(cur) > 0 && size+leafSize > budget {
+			out = append(out, cur)
+			cur, size = nil, 64
+		}
+		cur = append(cur, lf)
+		size += leafSize
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// appendLeafPageIDs appends the page IDs of each leaf (kept out of the
+// main record layout for backwards-compatible decoding).
+func appendLeafPageIDs(buf []byte, leaves []bwtree.LeafInfo) []byte {
+	for _, lf := range leaves {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(lf.Page))
+	}
+	return buf
+}
+
+// TrimWAL drops every sealed WAL extent fully covered by the most recent
+// snapshot. RO nodes that attached before the snapshot are unaffected
+// (their cursors are past the trimmed prefix); new RO nodes must bootstrap
+// from the snapshot.
+func (n *RWNode) TrimWAL() (dropped int) {
+	n.snap.mu.Lock()
+	meta, ok := n.snap.lastMeta, n.snap.hasSnap
+	n.snap.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return len(n.store.DropBefore(storage.StreamWAL, meta.walCursor.Extent))
+}
+
+// LoadLatestSnapshot scans the meta stream for the newest complete
+// snapshot and decodes it. found is false when no snapshot exists.
+func LoadLatestSnapshot(st *storage.Store) (state core.SnapshotState, meta snapshotMeta, found bool, err error) {
+	entries, _, err := st.Scan(storage.StreamMeta, storage.Cursor{}, 0)
+	if err != nil {
+		return state, meta, false, err
+	}
+	// Find the newest footer, then collect its generation's tree records.
+	var best snapshotMeta
+	for _, e := range entries {
+		if len(e.Data) > 0 && e.Data[0] == snapRecFooter {
+			m, err := decodeFooter(e.Data)
+			if err != nil {
+				return state, meta, false, err
+			}
+			if !found || m.generation > best.generation {
+				best = m
+				found = true
+			}
+		}
+	}
+	if !found {
+		return state, meta, false, nil
+	}
+	chunks := 0
+	for _, e := range entries {
+		if len(e.Data) == 0 || e.Data[0] != snapRecTree || e.Tag != best.generation {
+			continue
+		}
+		gen, ts, isInit, err := decodeTreeSnapshot(e.Data)
+		if err != nil {
+			return state, meta, false, err
+		}
+		if gen != best.generation {
+			continue
+		}
+		// Recover the page IDs appended after the main layout.
+		if err := recoverLeafPageIDs(e.Data, &ts); err != nil {
+			return state, meta, false, err
+		}
+		if isInit {
+			state.Init = ts.Tree
+		}
+		// Chunks of one tree are written consecutively: merge with the
+		// previous entry when the tree matches.
+		if n := len(state.Trees); n > 0 && state.Trees[n-1].Tree == ts.Tree {
+			state.Trees[n-1].Leaves = append(state.Trees[n-1].Leaves, ts.Leaves...)
+		} else {
+			state.Trees = append(state.Trees, ts)
+		}
+		chunks++
+	}
+	if chunks != best.treeCount {
+		return state, meta, false, fmt.Errorf("replication: snapshot %d incomplete: %d/%d records",
+			best.generation, chunks, best.treeCount)
+	}
+	return state, best, true, nil
+}
+
+// recoverLeafPageIDs reads the trailing page-ID array of a tree record.
+func recoverLeafPageIDs(buf []byte, ts *core.TreeSnapshot) error {
+	need := 8 * len(ts.Leaves)
+	if len(buf) < need {
+		return fmt.Errorf("replication: snapshot record missing page IDs")
+	}
+	tail := buf[len(buf)-need:]
+	for i := range ts.Leaves {
+		ts.Leaves[i].Page = bwtree.PageID(binary.LittleEndian.Uint64(tail[i*8:]))
+	}
+	return nil
+}
+
+// NewRONodeFromSnapshot attaches a replica bootstrapped from the latest
+// snapshot: it installs the snapshot state and tails the WAL from the
+// snapshot's cursor, skipping records the snapshot already reflects. If no
+// snapshot exists it behaves like NewRONode (full WAL replay).
+func NewRONodeFromSnapshot(st *storage.Store, interval time.Duration, cacheCapacity int) (*RONode, error) {
+	state, meta, found, err := LoadLatestSnapshot(st)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return NewRONode(st, interval, cacheCapacity), nil
+	}
+	replica := core.NewReplica(st, cacheCapacity)
+	if err := replica.LoadSnapshot(state, meta.horizon); err != nil {
+		return nil, err
+	}
+	n := &RONode{
+		replica: replica,
+		reader:  wal.NewReaderAt(st, meta.walCursor),
+		minLSN:  meta.horizon,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go n.pollLoop(interval)
+	return n, nil
+}
+
+// RecoverRWNode reconstructs a read-write node on an existing store after
+// a restart: the engine rebuilds from the latest snapshot, the WAL suffix
+// beyond the snapshot replays logically, the WAL writer resumes past the
+// highest existing LSN, a fresh snapshot is written (the recovered engine
+// has a new physical page-ID space, so replicas must bootstrap from it —
+// use NewRONodeFromSnapshot), and the node then serves reads and writes as
+// usual. An error is returned when the store holds no snapshot (a fresh
+// store should use NewRWNode).
+func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
+	state, meta, found, err := LoadLatestSnapshot(st)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("replication: recover: no snapshot on store")
+	}
+	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
+	engineOpts := opts.Engine
+	engineOpts.Logger = nil
+	engine, err := core.RecoverWithStore(st, engineOpts, state)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay the WAL suffix (records the snapshot does not cover).
+	reader := wal.NewReaderAt(st, meta.walCursor)
+	recs, err := reader.Poll()
+	if err != nil {
+		return nil, err
+	}
+	maxLSN := meta.horizon
+	for _, rec := range recs {
+		if rec.LSN <= meta.horizon {
+			continue
+		}
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+		if err := engine.ReplayRecord(rec); err != nil {
+			return nil, fmt.Errorf("replication: recover: replay LSN %d: %w", rec.LSN, err)
+		}
+	}
+
+	writer := wal.NewWriterFrom(st, maxLSN+1)
+	logger := NewGroupCommitLogger(writer, opts.CommitWindow, opts.MaxBatch)
+	engine.AttachLogger(logger)
+
+	n := &RWNode{
+		engine: engine,
+		store:  st,
+		writer: writer,
+		logger: logger,
+		opts:   opts,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n.snap.lastMeta = meta
+	n.snap.lastGen = meta.generation
+	n.snap.hasSnap = true
+	if opts.FlushInterval > 0 {
+		go n.flushLoop()
+	} else {
+		close(n.done)
+	}
+	// The replayed engine has fresh page IDs; old WAL records reference
+	// the pre-crash ones. A new snapshot makes the recovered state the
+	// bootstrap point, so replicas attached from here (always via
+	// NewRONodeFromSnapshot after a recovery) see one coherent ID space.
+	if _, err := n.WriteSnapshot(); err != nil {
+		n.Stop()
+		return nil, err
+	}
+	return n, nil
+}

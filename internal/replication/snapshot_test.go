@@ -1,0 +1,372 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+)
+
+func TestSnapshotBootstrapMatchesFullReplay(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	rw, err := NewRWNode(st, RWOptions{
+		Engine: core.Options{SplitThreshold: 50, Tree: bwtree.Config{MaxPageEntries: 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	// Phase 1: data before the snapshot, including a forest migration.
+	for i := 0; i < 120; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: 7, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for src := 0; src < 10; src++ {
+		if err := rw.AddEdge(graph.Edge{Src: graph.VertexID(src), Dst: 999, Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.AddVertex(graph.Vertex{ID: 7, Type: graph.VTypeUser,
+		Props: graph.Properties{{Name: "n", Value: []byte("hot")}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	horizon, err := rw.WriteSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon == 0 {
+		t.Fatal("snapshot horizon is zero")
+	}
+
+	// Phase 2: more writes after the snapshot.
+	for i := 120; i < 160; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: 7, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A replica bootstrapped from the snapshot and one replaying the full
+	// WAL must agree on everything.
+	snapRO, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snapRO.Stop()
+	fullRO := NewRONode(st, time.Millisecond, 0)
+	defer fullRO.Stop()
+
+	lsn := rw.LastLSN()
+	if !snapRO.WaitVisible(lsn, 2*time.Second) || !fullRO.WaitVisible(lsn, 2*time.Second) {
+		t.Fatal("replicas lagging")
+	}
+	for _, ro := range []*RONode{snapRO, fullRO} {
+		if deg, err := ro.Replica().Degree(7, graph.ETypeLike); err != nil || deg != 160 {
+			t.Fatalf("degree = %d %v, want 160", deg, err)
+		}
+		if v, ok, _ := ro.Replica().GetVertex(7, graph.VTypeUser); !ok {
+			t.Fatal("vertex missing")
+		} else if n, _ := v.Props.Get("n"); string(n) != "hot" {
+			t.Fatalf("props = %+v", v.Props)
+		}
+		for src := 0; src < 10; src++ {
+			if _, ok, _ := ro.Replica().GetEdge(graph.VertexID(src), graph.ETypeFollow, 999); !ok {
+				t.Fatalf("edge %d->999 missing", src)
+			}
+		}
+	}
+}
+
+func TestSnapshotWithoutSnapshotFallsBack(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	rw, err := NewRWNode(st, RWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+	if err := rw.AddEdge(graph.Edge{Src: 1, Dst: 2, Type: graph.ETypeFollow}); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Stop()
+	if !ro.WaitVisible(rw.LastLSN(), 2*time.Second) {
+		t.Fatal("fallback replica lagging")
+	}
+	if _, ok, _ := ro.Replica().GetEdge(1, graph.ETypeFollow, 2); !ok {
+		t.Fatal("edge missing via fallback replay")
+	}
+}
+
+func TestTrimWALAfterSnapshot(t *testing.T) {
+	// Small WAL extents so trimming has something to drop (and small pages
+	// so base images fit the extents).
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 10})
+	rw, err := NewRWNode(st, RWOptions{
+		Engine: core.Options{Tree: bwtree.Config{MaxPageEntries: 16, MaxInnerEntries: 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	for i := 0; i < 500; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: graph.VertexID(i % 5), Dst: graph.VertexID(i), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rw.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if rw.TrimWAL() == 0 {
+		t.Fatal("trim dropped nothing despite a covering snapshot")
+	}
+	// Post-trim writes still replicate; a new snapshot-bootstrapped
+	// replica sees everything.
+	for i := 500; i < 550; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: 1, Dst: graph.VertexID(i), Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ro, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Stop()
+	if !ro.WaitVisible(rw.LastLSN(), 2*time.Second) {
+		t.Fatal("replica lagging after trim")
+	}
+	for src := 0; src < 5; src++ {
+		deg, err := ro.Replica().Degree(graph.VertexID(src), graph.ETypeFollow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100
+		if src == 1 {
+			want = 150
+		}
+		if deg != want {
+			t.Fatalf("degree(%d) = %d, want %d", src, deg, want)
+		}
+	}
+	if err := ro.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimWithoutSnapshotIsNoop(t *testing.T) {
+	st := storage.Open(nil)
+	rw, err := NewRWNode(st, RWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+	if got := rw.TrimWAL(); got != 0 {
+		t.Fatalf("trim without snapshot dropped %d extents", got)
+	}
+}
+
+func TestRepeatedSnapshots(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 14})
+	rw, err := NewRWNode(st, RWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	var lastHorizon uint64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			if err := rw.AddEdge(graph.Edge{
+				Src: graph.VertexID(round), Dst: graph.VertexID(i), Type: graph.ETypeLike,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := rw.WriteSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(h) <= lastHorizon {
+			t.Fatalf("horizon not monotonic: %d then %d", lastHorizon, h)
+		}
+		lastHorizon = uint64(h)
+	}
+	// The newest snapshot wins.
+	ro, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Stop()
+	if !ro.WaitVisible(rw.LastLSN(), 2*time.Second) {
+		t.Fatal("replica lagging")
+	}
+	for round := 0; round < 3; round++ {
+		deg, err := ro.Replica().Degree(graph.VertexID(round), graph.ETypeLike)
+		if err != nil || deg != 100 {
+			t.Fatalf("round %d degree = %d %v", round, deg, err)
+		}
+	}
+}
+
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	rw, err := NewRWNode(st, RWOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Stop()
+
+	stop := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				done <- n
+				return
+			default:
+				if err := rw.AddEdge(graph.Edge{
+					Src: 9, Dst: graph.VertexID(n), Type: graph.ETypeFollow,
+				}); err == nil {
+					n++
+				}
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, err := rw.WriteSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	total := <-done
+
+	ro, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Stop()
+	if !ro.WaitVisible(rw.LastLSN(), 2*time.Second) {
+		t.Fatal("replica lagging")
+	}
+	deg, err := ro.Replica().Degree(9, graph.ETypeFollow)
+	if err != nil || deg != total {
+		t.Fatalf("degree = %d %v, want %d", deg, err, total)
+	}
+}
+
+func TestRecoverRWNode(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	rw, err := NewRWNode(st, RWOptions{
+		Engine: core.Options{SplitThreshold: 30, Tree: bwtree.Config{MaxPageEntries: 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: durable state under a snapshot (includes a forest
+	// migration so the owner directory must survive recovery).
+	for i := 0; i < 80; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: 5, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for src := 0; src < 4; src++ {
+		if err := rw.AddEdge(graph.Edge{Src: graph.VertexID(src), Dst: 1000, Type: graph.ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rw.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a WAL suffix past the snapshot — data records, a deletion,
+	// and another migration (new tree + owner assignment in the suffix).
+	for i := 80; i < 120; i++ {
+		if err := rw.AddEdge(graph.Edge{Src: 5, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.DeleteEdge(5, graph.ETypeLike, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // owner 6 crosses the threshold post-snapshot
+		if err := rw.AddEdge(graph.Edge{Src: 6, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: stop pipelines without a final checkpoint or snapshot.
+	rw.Stop()
+
+	// Recover on the same store.
+	rec, err := RecoverRWNode(st, RWOptions{
+		Engine: core.Options{SplitThreshold: 30, Tree: bwtree.Config{MaxPageEntries: 16}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Stop()
+
+	if deg, err := rec.Degree(5, graph.ETypeLike); err != nil || deg != 119 {
+		t.Fatalf("recovered degree(5) = %d %v, want 119", deg, err)
+	}
+	if _, ok, _ := rec.GetEdge(5, graph.ETypeLike, 0); ok {
+		t.Fatal("deleted edge resurrected by recovery")
+	}
+	if deg, err := rec.Degree(6, graph.ETypeLike); err != nil || deg != 40 {
+		t.Fatalf("recovered degree(6) = %d %v, want 40", deg, err)
+	}
+	for src := 0; src < 4; src++ {
+		if _, ok, _ := rec.GetEdge(graph.VertexID(src), graph.ETypeFollow, 1000); !ok {
+			t.Fatalf("edge %d->1000 lost in recovery", src)
+		}
+	}
+
+	// The recovered node keeps working: new writes, checkpoints, replicas.
+	for i := 120; i < 140; i++ {
+		if err := rec.AddEdge(graph.Edge{Src: 5, Dst: graph.VertexID(i), Type: graph.ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ro := NewRONode(st, time.Millisecond, 0)
+	defer ro.Stop()
+	if !ro.WaitVisible(rec.LastLSN(), 2*time.Second) {
+		t.Fatal("replica lagging behind recovered node")
+	}
+	// NOTE: a full-replay replica would replay pre-crash records too; the
+	// degree check below therefore uses a fresh snapshot bootstrap.
+	if _, err := rec.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	snapRO, err := NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snapRO.Stop()
+	if !snapRO.WaitVisible(rec.LastLSN(), 2*time.Second) {
+		t.Fatal("snapshot replica lagging")
+	}
+	if deg, err := snapRO.Replica().Degree(5, graph.ETypeLike); err != nil || deg != 139 {
+		t.Fatalf("replica degree(5) = %d %v, want 139", deg, err)
+	}
+}
+
+func TestRecoverWithoutSnapshotFails(t *testing.T) {
+	st := storage.Open(nil)
+	if _, err := RecoverRWNode(st, RWOptions{}); err == nil {
+		t.Fatal("recovery without a snapshot succeeded")
+	}
+}

@@ -1,0 +1,130 @@
+package storage
+
+// Cursor marks a position in a stream for sequential tailing. The zero
+// Cursor points at the beginning of the stream. Cursors remain valid across
+// extent reclamation and TTL expiry: scanning simply resumes at the next
+// surviving extent.
+type Cursor struct {
+	Extent ExtentID
+	Index  int // record index within the extent
+}
+
+// Entry is one record yielded by Scan.
+type Entry struct {
+	Loc  Loc
+	Tag  uint64
+	Data []byte
+}
+
+// Scan returns up to max records appended at or after the cursor, in append
+// order, along with the cursor positioned after the last returned record.
+// max <= 0 means no limit. A scan counts as a single sequential read
+// operation regardless of batch size — tailing a log is the cheap access
+// pattern the WAL design of §3.4 exploits.
+func (s *Store) Scan(id StreamID, cur Cursor, max int) ([]Entry, Cursor, error) {
+	st, err := s.stream(id)
+	if err != nil {
+		return nil, cur, err
+	}
+	pause(s.opts.ReadLatency)
+	entries, next := st.scan(cur, max)
+	var bytes int64
+	for _, e := range entries {
+		bytes += int64(len(e.Data))
+	}
+	if len(entries) > 0 {
+		s.readOps.add(1)
+		s.bytesRead.add(bytes)
+	}
+	return entries, next, nil
+}
+
+// TailCursor returns the cursor positioned after the last record currently
+// in the stream: a Scan from it yields only records appended later.
+func (s *Store) TailCursor(id StreamID) Cursor {
+	st, err := s.stream(id)
+	if err != nil {
+		return Cursor{}
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.order) == 0 {
+		return Cursor{}
+	}
+	last := st.order[len(st.order)-1]
+	e := st.extents[last]
+	if e == nil {
+		return Cursor{Extent: last + 1}
+	}
+	if e.sealed {
+		return Cursor{Extent: last + 1}
+	}
+	return Cursor{Extent: last, Index: len(e.records)}
+}
+
+// DropBefore removes every sealed extent of the stream with ID below
+// bound — WAL truncation once a snapshot covers the prefix. It returns the
+// dropped extent IDs.
+func (s *Store) DropBefore(id StreamID, bound ExtentID) []ExtentID {
+	st, err := s.stream(id)
+	if err != nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var dropped []ExtentID
+	remaining := st.order[:0]
+	for _, eid := range st.order {
+		e := st.extents[eid]
+		if e != nil && e.sealed && eid < bound {
+			delete(st.extents, eid)
+			dropped = append(dropped, eid)
+			st.extentsExpired++
+			continue
+		}
+		remaining = append(remaining, eid)
+	}
+	st.order = remaining
+	return dropped
+}
+
+func (s *stream) scan(cur Cursor, max int) ([]Entry, Cursor) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for _, id := range s.order {
+		if id < cur.Extent {
+			continue
+		}
+		e := s.extents[id]
+		if e == nil {
+			continue
+		}
+		start := 0
+		if id == cur.Extent {
+			start = cur.Index
+		}
+		for i := start; i < len(e.records); i++ {
+			r := e.records[i]
+			data := make([]byte, r.len)
+			copy(data, e.buf[r.off:r.off+r.len])
+			out = append(out, Entry{
+				Loc:  Loc{Stream: s.id, Extent: id, Offset: r.off, Length: r.len},
+				Tag:  r.tag,
+				Data: data,
+			})
+			cur = Cursor{Extent: id, Index: i + 1}
+			if max > 0 && len(out) >= max {
+				return out, cur
+			}
+		}
+		if e.sealed {
+			cur = Cursor{Extent: id + 1, Index: 0}
+		} else {
+			// The active extent may still grow; leave the cursor parked
+			// after its last record so later appends are picked up.
+			cur = Cursor{Extent: id, Index: len(e.records)}
+		}
+	}
+	return out, cur
+}

@@ -1,0 +1,358 @@
+// Package storage implements the append-only shared cloud storage substrate
+// that BG3 persists to (the paper uses ByteDance's internal Pangu-like
+// service; see DESIGN.md §4 for the substitution).
+//
+// The store exposes several independent append-only streams (base pages,
+// delta pages, WAL, mapping table snapshots). Each stream is divided into
+// uniformly sized extents, mirroring ArkDB's layout, and every extent tracks
+// the usage statistics that workload-aware space reclamation needs: latest
+// update time, valid/invalid record counts, and the update-gradient samples
+// of §3.3.
+//
+// The store is strongly consistent: a record returned by Append is
+// immediately visible to every reader, which is the property the
+// I/O-efficient synchronization mechanism of §3.4 relies on. Millisecond
+// cloud-storage latency can be injected per operation via Options.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StreamID identifies one append-only stream inside the store.
+type StreamID uint8
+
+// The streams BG3 uses. Separating base and delta data into distinct
+// streams follows ArkDB: delta pages die young, so segregating them keeps
+// extent-level reclamation cheap.
+const (
+	StreamBase StreamID = iota
+	StreamDelta
+	StreamWAL
+	StreamMeta
+	numStreams
+)
+
+// String returns the stream's conventional name.
+func (s StreamID) String() string {
+	switch s {
+	case StreamBase:
+		return "base"
+	case StreamDelta:
+		return "delta"
+	case StreamWAL:
+		return "wal"
+	case StreamMeta:
+		return "meta"
+	default:
+		return fmt.Sprintf("stream(%d)", uint8(s))
+	}
+}
+
+// ExtentID identifies an extent within a stream. IDs increase monotonically
+// in append order, so they double as a coarse timestamp.
+type ExtentID uint64
+
+// Loc is the durable address of one record.
+type Loc struct {
+	Stream StreamID
+	Extent ExtentID
+	Offset uint32
+	Length uint32
+}
+
+// IsZero reports whether l is the zero location (never returned by Append,
+// usable as a sentinel for "not persisted").
+func (l Loc) IsZero() bool { return l == Loc{} }
+
+func (l Loc) String() string {
+	return fmt.Sprintf("%s/%d@%d+%d", l.Stream, l.Extent, l.Offset, l.Length)
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound    = errors.New("storage: record not found")
+	ErrReclaimed   = errors.New("storage: extent has been reclaimed")
+	ErrRecordStale = errors.New("storage: record invalidated")
+	ErrTooLarge    = errors.New("storage: record larger than extent size")
+	ErrClosed      = errors.New("storage: store closed")
+)
+
+// Options configures a Store.
+type Options struct {
+	// ExtentSize is the capacity, in bytes, of each extent. Appends that
+	// would overflow the active extent seal it and open a new one.
+	ExtentSize int
+
+	// ReadLatency and WriteLatency simulate the round-trip time of the
+	// cloud storage service. Zero disables the simulation (the default for
+	// unit tests); replication experiments use millisecond values.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// Now supplies timestamps for extent usage tracking. Tests inject a
+	// fake clock to exercise TTL expiry without sleeping. Nil means
+	// time.Now.
+	Now func() time.Time
+
+	// GradientDecay is the idle half-scale of the update gradient: an
+	// extent untouched for GradientDecay reads at half its last
+	// invalidation rate, so long-quiet extents classify as cold.
+	// Default 10s.
+	GradientDecay time.Duration
+
+	// ReclaimGrace keeps reclaimed extents readable (condemned, excluded
+	// from usage and space accounting) for this long before their memory
+	// is released. Replicated deployments need it: RO nodes keep reading
+	// old page versions until a checkpoint ships the relocated locations
+	// (§3.4), so the old extent must outlive that window. 0 frees
+	// immediately (single-node default).
+	ReclaimGrace time.Duration
+}
+
+const defaultExtentSize = 1 << 20 // 1 MiB
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.ExtentSize <= 0 {
+		out.ExtentSize = defaultExtentSize
+	}
+	if out.Now == nil {
+		out.Now = time.Now
+	}
+	if out.GradientDecay <= 0 {
+		out.GradientDecay = 10 * time.Second
+	}
+	return out
+}
+
+// Metrics aggregates the store's I/O accounting. All fields are safe for
+// concurrent access through the Stats snapshot.
+type Metrics struct {
+	ReadOps          int64
+	WriteOps         int64
+	BytesRead        int64
+	BytesWritten     int64
+	GCBytesMoved     int64 // bytes relocated by space reclamation
+	GCRecordsMoved   int64
+	ExtentsReclaimed int64
+	ExtentsExpired   int64 // extents dropped wholesale by TTL
+	LiveBytes        int64 // valid record bytes currently stored
+	TotalBytes       int64 // capacity of all resident extents
+	ExtentCount      int64
+}
+
+// Store is an in-process, strongly consistent, append-only shared store.
+// It is safe for concurrent use by any number of goroutines; the paper's
+// RW node and all RO nodes share a single Store instance.
+type Store struct {
+	opts    Options
+	streams [numStreams]*stream
+
+	mu     sync.Mutex
+	closed bool
+
+	readOps      counter
+	writeOps     counter
+	bytesRead    counter
+	bytesWritten counter
+}
+
+// counter is a tiny internal atomic counter; the storage package avoids
+// importing metrics to stay a leaf dependency.
+type counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *counter) add(n int64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+func (c *counter) load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// pause injects simulated storage latency by blocking the calling
+// goroutine. Blocking (rather than spinning) matters: concurrent callers
+// overlap their waits exactly like concurrent requests against a real
+// storage service, independent of host core count. Note that the OS timer
+// floor (~1ms) makes sub-millisecond values behave as roughly 1ms;
+// experiments use millisecond-class latencies, like the paper's storage.
+func pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}
+
+// Open creates an empty store.
+func Open(opts *Options) *Store {
+	o := opts.withDefaults()
+	s := &Store{opts: o}
+	for i := range s.streams {
+		s.streams[i] = newStream(StreamID(i), o)
+	}
+	return s
+}
+
+// Close marks the store closed. Subsequent appends fail; reads of already
+// written data continue to work so that draining readers can finish.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+func (s *Store) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Store) stream(id StreamID) (*stream, error) {
+	if int(id) >= len(s.streams) {
+		return nil, fmt.Errorf("storage: unknown stream %d", id)
+	}
+	return s.streams[id], nil
+}
+
+// Append durably writes data to the tail of the given stream and returns
+// its location. tag is an opaque owner token (BG3 uses the page ID) that
+// space reclamation hands back through RelocateFunc.
+func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
+	if s.isClosed() {
+		return Loc{}, ErrClosed
+	}
+	st, err := s.stream(id)
+	if err != nil {
+		return Loc{}, err
+	}
+	if len(data) > s.opts.ExtentSize {
+		return Loc{}, fmt.Errorf("%w: %d > extent size %d (stream %v, tag %d)", ErrTooLarge, len(data), s.opts.ExtentSize, id, tag)
+	}
+	pause(s.opts.WriteLatency)
+	loc, err := st.append(tag, data)
+	if err != nil {
+		return Loc{}, err
+	}
+	s.writeOps.add(1)
+	s.bytesWritten.add(int64(len(data)))
+	return loc, nil
+}
+
+// Read returns a copy of the record at loc. Reading an invalidated record
+// succeeds as long as its extent is still resident: BG3's RO nodes depend
+// on old page versions remaining readable until the mapping table advances
+// (§3.4); reclamation is what finally destroys them.
+func (s *Store) Read(loc Loc) ([]byte, error) {
+	st, err := s.stream(loc.Stream)
+	if err != nil {
+		return nil, err
+	}
+	pause(s.opts.ReadLatency)
+	data, err := st.read(loc)
+	if err != nil {
+		return nil, err
+	}
+	s.readOps.add(1)
+	s.bytesRead.add(int64(len(data)))
+	return data, nil
+}
+
+// Invalidate marks the record at loc dead, updating its extent's
+// fragmentation statistics and update-gradient samples. Invalidating a
+// record twice, or a record in an already reclaimed extent, is a no-op.
+func (s *Store) Invalidate(loc Loc) {
+	st, err := s.stream(loc.Stream)
+	if err != nil {
+		return
+	}
+	st.invalidate(loc, s.opts.Now())
+}
+
+// Stats returns a snapshot of the store's metrics.
+func (s *Store) Stats() Metrics {
+	m := Metrics{
+		ReadOps:      s.readOps.load(),
+		WriteOps:     s.writeOps.load(),
+		BytesRead:    s.bytesRead.load(),
+		BytesWritten: s.bytesWritten.load(),
+	}
+	for _, st := range s.streams {
+		sm := st.stats()
+		m.GCBytesMoved += sm.GCBytesMoved
+		m.GCRecordsMoved += sm.GCRecordsMoved
+		m.ExtentsReclaimed += sm.ExtentsReclaimed
+		m.ExtentsExpired += sm.ExtentsExpired
+		m.LiveBytes += sm.LiveBytes
+		m.TotalBytes += sm.TotalBytes
+		m.ExtentCount += sm.ExtentCount
+	}
+	return m
+}
+
+// ResetIOStats zeroes the read/write operation counters (extent-level usage
+// tracking is untouched). Benchmarks call this after loading a dataset so
+// measurements cover only the steady state.
+func (s *Store) ResetIOStats() {
+	for _, c := range []*counter{&s.readOps, &s.writeOps, &s.bytesRead, &s.bytesWritten} {
+		c.mu.Lock()
+		c.v = 0
+		c.mu.Unlock()
+	}
+}
+
+// Usage returns the usage records of all resident extents in a stream,
+// ordered by extent ID (oldest first). GC policies consume this.
+func (s *Store) Usage(id StreamID) []ExtentUsage {
+	st, err := s.stream(id)
+	if err != nil {
+		return nil
+	}
+	return st.usage()
+}
+
+// RelocateFunc is invoked by Reclaim for every valid record moved out of a
+// reclaimed extent. The callback must atomically repoint the owner's
+// reference from old to new (BG3 updates the Bw-tree mapping table) and
+// report whether it did; returning false means the record went stale while
+// being moved, and the new copy is immediately invalidated.
+type RelocateFunc func(tag uint64, old, new Loc) bool
+
+// Reclaim rewrites all still-valid records of the given extent to the tail
+// of its stream, then drops the extent. It returns the number of bytes
+// relocated (the write amplification the GC experiments measure).
+func (s *Store) Reclaim(id StreamID, ext ExtentID, relocate RelocateFunc) (movedBytes int64, err error) {
+	st, errs := s.stream(id)
+	if errs != nil {
+		return 0, errs
+	}
+	return st.reclaim(s, ext, relocate)
+}
+
+// DropExpired removes whole extents whose newest record is older than
+// deadline — the TTL fast path of §3.3 ("allow it to expire naturally"):
+// no data is moved, so expiry contributes zero write amplification.
+// It returns the IDs of the dropped extents. The active (unsealed) extent
+// is never dropped.
+func (s *Store) DropExpired(id StreamID, deadline time.Time) []ExtentID {
+	st, err := s.stream(id)
+	if err != nil {
+		return nil
+	}
+	return st.dropExpired(deadline)
+}
+
+// ExtentSize returns the configured extent capacity.
+func (s *Store) ExtentSize() int { return s.opts.ExtentSize }

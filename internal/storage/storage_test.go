@@ -1,0 +1,458 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAppendRead(t *testing.T) {
+	s := Open(nil)
+	loc, err := s.Append(StreamBase, 1, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read = %q, want hello", got)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s := Open(nil)
+	loc, _ := s.Append(StreamBase, 1, []byte("abc"))
+	got, _ := s.Read(loc)
+	got[0] = 'X'
+	again, _ := s.Read(loc)
+	if string(again) != "abc" {
+		t.Fatalf("mutating a read buffer corrupted the store: %q", again)
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	s := Open(nil)
+	l1, _ := s.Append(StreamBase, 1, []byte("base"))
+	l2, _ := s.Append(StreamDelta, 1, []byte("delta"))
+	if l1.Stream == l2.Stream {
+		t.Fatal("streams collided")
+	}
+	b, _ := s.Read(l1)
+	d, _ := s.Read(l2)
+	if string(b) != "base" || string(d) != "delta" {
+		t.Fatalf("cross-stream corruption: %q %q", b, d)
+	}
+}
+
+func TestExtentRollover(t *testing.T) {
+	s := Open(&Options{ExtentSize: 32})
+	var locs []Loc
+	for i := 0; i < 10; i++ {
+		loc, err := s.Append(StreamBase, uint64(i), []byte("0123456789")) // 10 bytes, 3 per extent
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	if locs[0].Extent == locs[9].Extent {
+		t.Fatal("expected rollover across extents")
+	}
+	for _, loc := range locs {
+		if _, err := s.Read(loc); err != nil {
+			t.Fatalf("read %v: %v", loc, err)
+		}
+	}
+	u := s.Usage(StreamBase)
+	if len(u) < 3 {
+		t.Fatalf("extent count = %d, want >= 3", len(u))
+	}
+	for _, e := range u[:len(u)-1] {
+		if !e.Sealed {
+			t.Fatalf("non-final extent %d not sealed", e.Extent)
+		}
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	s := Open(&Options{ExtentSize: 8})
+	if _, err := s.Append(StreamBase, 0, make([]byte, 9)); err == nil {
+		t.Fatal("oversized append should fail")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	s := Open(nil)
+	loc, _ := s.Append(StreamBase, 0, []byte("x"))
+	s.Close()
+	if _, err := s.Append(StreamBase, 0, []byte("y")); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	// Reads still work for draining readers.
+	if _, err := s.Read(loc); err != nil {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestInvalidateTracking(t *testing.T) {
+	s := Open(&Options{ExtentSize: 1 << 16})
+	var locs []Loc
+	for i := 0; i < 4; i++ {
+		loc, _ := s.Append(StreamBase, uint64(i), []byte("data"))
+		locs = append(locs, loc)
+	}
+	s.Invalidate(locs[0])
+	s.Invalidate(locs[1])
+	s.Invalidate(locs[1]) // double-invalidate is a no-op
+
+	u := s.Usage(StreamBase)
+	if len(u) != 1 {
+		t.Fatalf("extents = %d, want 1", len(u))
+	}
+	if u[0].ValidRecords != 2 || u[0].InvalidRecords != 2 {
+		t.Fatalf("valid/invalid = %d/%d, want 2/2", u[0].ValidRecords, u[0].InvalidRecords)
+	}
+	if got := u[0].FragmentationRate(); got != 0.5 {
+		t.Fatalf("fragmentation = %f, want 0.5", got)
+	}
+	// Invalidated records remain readable until reclamation (RO nodes
+	// depend on this).
+	if _, err := s.Read(locs[0]); err != nil {
+		t.Fatalf("read invalidated record: %v", err)
+	}
+}
+
+func TestReclaimMovesOnlyValid(t *testing.T) {
+	s := Open(&Options{ExtentSize: 64})
+	var locs []Loc
+	for i := 0; i < 8; i++ {
+		loc, _ := s.Append(StreamBase, uint64(i), bytes.Repeat([]byte{byte(i)}, 8))
+		locs = append(locs, loc)
+	}
+	ext := locs[0].Extent
+	// Invalidate odd records of the first extent.
+	var expectValid []uint64
+	for i, loc := range locs {
+		if loc.Extent != ext {
+			continue
+		}
+		if i%2 == 1 {
+			s.Invalidate(loc)
+		} else {
+			expectValid = append(expectValid, uint64(i))
+		}
+	}
+	moved := map[uint64]Loc{}
+	n, err := s.Reclaim(StreamBase, ext, func(tag uint64, old, new Loc) bool {
+		moved[tag] = new
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != len(expectValid) {
+		t.Fatalf("moved %d records, want %d", len(moved), len(expectValid))
+	}
+	if n != int64(8*len(expectValid)) {
+		t.Fatalf("moved bytes = %d, want %d", n, 8*len(expectValid))
+	}
+	// Old extent gone.
+	if _, err := s.Read(locs[0]); err != ErrReclaimed {
+		t.Fatalf("read from reclaimed extent = %v, want ErrReclaimed", err)
+	}
+	// New copies hold the original data.
+	for tag, loc := range moved {
+		got, err := s.Read(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(tag)}, 8)) {
+			t.Fatalf("tag %d: relocated data mismatch", tag)
+		}
+	}
+}
+
+func TestReclaimRejectedRelocation(t *testing.T) {
+	s := Open(&Options{ExtentSize: 64})
+	loc, _ := s.Append(StreamBase, 7, []byte("payload!"))
+	_, err := s.Reclaim(StreamBase, loc.Extent, func(tag uint64, old, new Loc) bool {
+		return false // owner says the record went stale
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GCBytesMoved != 0 {
+		t.Fatalf("GCBytesMoved = %d, want 0 when relocation rejected", st.GCBytesMoved)
+	}
+	// The fresh copy must be marked invalid so a later reclaim can drop it.
+	u := s.Usage(StreamBase)
+	var valid int
+	for _, e := range u {
+		valid += e.ValidRecords
+	}
+	if valid != 0 {
+		t.Fatalf("valid records = %d, want 0", valid)
+	}
+}
+
+func TestReclaimUnknownExtent(t *testing.T) {
+	s := Open(nil)
+	if _, err := s.Reclaim(StreamBase, 42, nil); err != ErrReclaimed {
+		t.Fatalf("err = %v, want ErrReclaimed", err)
+	}
+}
+
+func TestDropExpired(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := Open(&Options{ExtentSize: 16, Now: clock})
+
+	// Fill two extents at t=1000.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(StreamBase, uint64(i), []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance and write into a third.
+	now = time.Unix(2000, 0)
+	if _, err := s.Append(StreamBase, 9, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+
+	dropped := s.DropExpired(StreamBase, time.Unix(1500, 0))
+	if len(dropped) == 0 {
+		t.Fatal("expected extents to expire")
+	}
+	st := s.Stats()
+	if st.ExtentsExpired != int64(len(dropped)) {
+		t.Fatalf("ExtentsExpired = %d, want %d", st.ExtentsExpired, len(dropped))
+	}
+	// Active extent never dropped even if old.
+	dropped2 := s.DropExpired(StreamBase, time.Unix(3000, 0))
+	u := s.Usage(StreamBase)
+	if len(u) != 1 {
+		t.Fatalf("extents remaining = %d, want just the active one (dropped2=%v)", len(u), dropped2)
+	}
+	if u[0].Sealed {
+		t.Fatal("remaining extent should be the unsealed active one")
+	}
+}
+
+func TestUpdateGradientOrdering(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := Open(&Options{ExtentSize: 1 << 16, Now: clock})
+
+	var hotLocs, coldLocs []Loc
+	for i := 0; i < 10; i++ {
+		loc, _ := s.Append(StreamBase, uint64(i), []byte("hot-data"))
+		hotLocs = append(hotLocs, loc)
+	}
+	// Hot extent: invalidations arrive quickly.
+	now = now.Add(time.Second)
+	for _, l := range hotLocs[:5] {
+		s.Invalidate(l)
+	}
+	u := s.Usage(StreamBase)
+	if len(u) != 1 {
+		t.Fatalf("extents = %d, want 1", len(u))
+	}
+	if u[0].UpdateGradient <= 0 {
+		t.Fatalf("hot extent gradient = %f, want > 0", u[0].UpdateGradient)
+	}
+	_ = coldLocs
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := Open(&Options{ExtentSize: 1 << 16})
+	loc, _ := s.Append(StreamBase, 1, make([]byte, 100))
+	if _, err := s.Read(loc); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WriteOps != 1 || st.BytesWritten != 100 {
+		t.Fatalf("write stats = %d ops %d bytes", st.WriteOps, st.BytesWritten)
+	}
+	if st.ReadOps != 1 || st.BytesRead != 100 {
+		t.Fatalf("read stats = %d ops %d bytes", st.ReadOps, st.BytesRead)
+	}
+	if st.LiveBytes != 100 {
+		t.Fatalf("LiveBytes = %d, want 100", st.LiveBytes)
+	}
+	s.ResetIOStats()
+	st = s.Stats()
+	if st.WriteOps != 0 || st.ReadOps != 0 {
+		t.Fatal("ResetIOStats did not clear counters")
+	}
+	if st.LiveBytes != 100 {
+		t.Fatal("ResetIOStats must not clear space accounting")
+	}
+}
+
+func TestConcurrentAppendRead(t *testing.T) {
+	s := Open(&Options{ExtentSize: 1 << 12})
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				payload := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				loc, err := s.Append(StreamBase, uint64(w), payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Read(loc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("w%d i%d: got %q want %q", w, i, got, payload)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WriteOps != workers*per {
+		t.Fatalf("WriteOps = %d, want %d", st.WriteOps, workers*per)
+	}
+}
+
+// Property: any sequence of appends is readable back verbatim, and
+// LiveBytes equals the sum of appended record sizes.
+func TestPropertyAppendReadRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		s := Open(&Options{ExtentSize: 1 << 12})
+		var total int64
+		type pair struct {
+			loc  Loc
+			data []byte
+		}
+		var pairs []pair
+		for i, p := range payloads {
+			if len(p) > 1<<12 {
+				p = p[:1<<12]
+			}
+			loc, err := s.Append(StreamBase, uint64(i), p)
+			if err != nil {
+				return false
+			}
+			pairs = append(pairs, pair{loc, p})
+			total += int64(len(p))
+		}
+		for _, pr := range pairs {
+			got, err := s.Read(pr.loc)
+			if err != nil || !bytes.Equal(got, pr.data) {
+				return false
+			}
+		}
+		return s.Stats().LiveBytes == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: invalidating k distinct records yields fragmentation k/n.
+func TestPropertyFragmentation(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		total := int(n%32) + 1
+		kill := int(k) % (total + 1)
+		s := Open(&Options{ExtentSize: 1 << 16})
+		var locs []Loc
+		for i := 0; i < total; i++ {
+			loc, _ := s.Append(StreamDelta, uint64(i), []byte("x"))
+			locs = append(locs, loc)
+		}
+		for i := 0; i < kill; i++ {
+			s.Invalidate(locs[i])
+		}
+		u := s.Usage(StreamDelta)
+		if len(u) != 1 {
+			return false
+		}
+		want := float64(kill) / float64(total)
+		got := u[0].FragmentationRate()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s := Open(&Options{WriteLatency: 5 * time.Millisecond, ReadLatency: 5 * time.Millisecond})
+	start := time.Now()
+	loc, _ := s.Append(StreamBase, 0, []byte("x"))
+	if _, err := s.Read(loc); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 10ms with injected latency", elapsed)
+	}
+}
+
+func TestLocString(t *testing.T) {
+	l := Loc{Stream: StreamDelta, Extent: 3, Offset: 16, Length: 8}
+	if got := l.String(); got != "delta/3@16+8" {
+		t.Fatalf("String = %q", got)
+	}
+	if !(Loc{}).IsZero() || l.IsZero() {
+		t.Fatal("IsZero misbehaves")
+	}
+}
+
+func TestReclaimGraceKeepsCondemnedReadable(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := Open(&Options{ExtentSize: 64, Now: clock, ReclaimGrace: 10 * time.Second})
+	var locs []Loc
+	for i := 0; i < 17; i++ { // extents A and B sealed, third active
+		loc, _ := s.Append(StreamBase, uint64(i), bytes.Repeat([]byte{byte(i)}, 8))
+		locs = append(locs, loc)
+	}
+	ext := locs[0].Extent
+	s.Invalidate(locs[0])
+	s.Invalidate(locs[9]) // fragment extent B too
+	if _, err := s.Reclaim(StreamBase, ext, func(tag uint64, old, new Loc) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	// Old locations in the condemned extent remain readable during grace.
+	if _, err := s.Read(locs[1]); err != nil {
+		t.Fatalf("condemned read during grace: %v", err)
+	}
+	// Space accounting excludes the condemned extent.
+	for _, u := range s.Usage(StreamBase) {
+		if u.Extent == ext {
+			t.Fatal("condemned extent still in usage")
+		}
+	}
+	// Re-reclaiming a condemned extent is rejected.
+	if _, err := s.Reclaim(StreamBase, ext, nil); err != ErrReclaimed {
+		t.Fatalf("double reclaim = %v, want ErrReclaimed", err)
+	}
+	// After the grace period (purged on the next reclaim cycle) the old
+	// locations finally die.
+	now = now.Add(time.Minute)
+	if _, err := s.Reclaim(StreamBase, locs[9].Extent, func(uint64, Loc, Loc) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(locs[1]); err != ErrReclaimed {
+		t.Fatalf("read after grace = %v, want ErrReclaimed", err)
+	}
+}

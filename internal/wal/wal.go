@@ -1,0 +1,315 @@
+// Package wal implements the write-ahead log that BG3's I/O-efficient
+// leader–follower synchronization ships through shared storage (§3.4).
+//
+// The RW node appends every Bw-tree modification — logical page updates,
+// page splits, new-page creations — as WAL records with monotonically
+// increasing log sequence numbers (LSNs). RO nodes tail the log from the
+// shared store and lazily replay it onto cached pages. After the RW node's
+// background flusher persists dirty pages and advances the durable mapping
+// table, it appends a checkpoint record ("storage has completed all
+// modifications up to LSN x"), letting RO nodes truncate their replay
+// buffers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bg3/internal/storage"
+)
+
+// LSN is a log sequence number. LSN 0 is reserved and never assigned.
+type LSN uint64
+
+// RecordType discriminates WAL records.
+type RecordType uint8
+
+const (
+	// RecordPut logs a logical key-value upsert applied to a page.
+	RecordPut RecordType = iota + 1
+	// RecordDelete logs a logical key deletion applied to a page.
+	RecordDelete
+	// RecordSplit logs a structural split: page PageID moved all keys >=
+	// Key to the new page AuxPage.
+	RecordSplit
+	// RecordNewPage logs the creation of a page that does not exist in the
+	// durable mapping table yet; RO nodes materialize it directly in memory.
+	RecordNewPage
+	// RecordNewRoot logs a root change for a tree: AuxPage is the new root.
+	RecordNewRoot
+	// RecordCheckpoint declares that shared storage (pages + mapping table)
+	// reflects every modification with LSN <= CheckpointLSN. RO nodes drop
+	// buffered records up to that point.
+	RecordCheckpoint
+	// RecordNewTree logs creation of a Bw-tree (forest growth): TreeID is
+	// the new tree, AuxPage its root page.
+	RecordNewTree
+	// RecordOwnerAssign logs a forest owner migration: the owner encoded in
+	// Key (8-byte big endian) is now served by TreeID. It is emitted after
+	// the owner's data has been copied into the dedicated tree and before
+	// it is deleted from INIT, so replicas that switch routing at this
+	// record always observe a complete copy.
+	RecordOwnerAssign
+)
+
+// String returns the record type's name.
+func (t RecordType) String() string {
+	switch t {
+	case RecordPut:
+		return "put"
+	case RecordDelete:
+		return "delete"
+	case RecordSplit:
+		return "split"
+	case RecordNewPage:
+		return "new-page"
+	case RecordNewRoot:
+		return "new-root"
+	case RecordCheckpoint:
+		return "checkpoint"
+	case RecordNewTree:
+		return "new-tree"
+	case RecordOwnerAssign:
+		return "owner-assign"
+	default:
+		return fmt.Sprintf("record(%d)", uint8(t))
+	}
+}
+
+// Record is one WAL entry.
+type Record struct {
+	LSN     LSN
+	Type    RecordType
+	TreeID  uint64
+	PageID  uint64
+	AuxPage uint64 // split target / new root / new tree root
+	CkptLSN LSN    // checkpoint horizon, for RecordCheckpoint
+	Key     []byte
+	Value   []byte
+}
+
+// ErrCorrupt is returned when a WAL record fails to decode.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Encode serializes r. Layout (little endian):
+//
+//	type[1] lsn[8] tree[8] page[8] aux[8] ckpt[8] klen[4] vlen[4] key value
+func Encode(r *Record) []byte {
+	buf := make([]byte, 1+8*5+4+4+len(r.Key)+len(r.Value))
+	buf[0] = byte(r.Type)
+	binary.LittleEndian.PutUint64(buf[1:], uint64(r.LSN))
+	binary.LittleEndian.PutUint64(buf[9:], r.TreeID)
+	binary.LittleEndian.PutUint64(buf[17:], r.PageID)
+	binary.LittleEndian.PutUint64(buf[25:], r.AuxPage)
+	binary.LittleEndian.PutUint64(buf[33:], uint64(r.CkptLSN))
+	binary.LittleEndian.PutUint32(buf[41:], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(buf[45:], uint32(len(r.Value)))
+	copy(buf[49:], r.Key)
+	copy(buf[49+len(r.Key):], r.Value)
+	return buf
+}
+
+// Decode parses a record previously produced by Encode.
+func Decode(buf []byte) (*Record, error) {
+	if len(buf) < 49 {
+		return nil, fmt.Errorf("%w: short record (%d bytes)", ErrCorrupt, len(buf))
+	}
+	r := &Record{
+		Type:    RecordType(buf[0]),
+		LSN:     LSN(binary.LittleEndian.Uint64(buf[1:])),
+		TreeID:  binary.LittleEndian.Uint64(buf[9:]),
+		PageID:  binary.LittleEndian.Uint64(buf[17:]),
+		AuxPage: binary.LittleEndian.Uint64(buf[25:]),
+		CkptLSN: LSN(binary.LittleEndian.Uint64(buf[33:])),
+	}
+	klen := binary.LittleEndian.Uint32(buf[41:])
+	vlen := binary.LittleEndian.Uint32(buf[45:])
+	if int(klen)+int(vlen)+49 != len(buf) {
+		return nil, fmt.Errorf("%w: length mismatch klen=%d vlen=%d total=%d", ErrCorrupt, klen, vlen, len(buf))
+	}
+	if klen > 0 {
+		r.Key = append([]byte(nil), buf[49:49+klen]...)
+	}
+	if vlen > 0 {
+		r.Value = append([]byte(nil), buf[49+klen:]...)
+	}
+	if r.Type == 0 || r.Type > RecordOwnerAssign {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, buf[0])
+	}
+	return r, nil
+}
+
+// Writer appends WAL records to the shared store, assigning LSNs. It is
+// safe for concurrent use; LSN order equals storage append order because
+// both happen under one mutex (the paper's WAL writes are tiny and the
+// shared store guarantees low write latency, so serializing here models the
+// same commit point).
+type Writer struct {
+	store *storage.Store
+
+	mu      sync.Mutex
+	nextLSN LSN
+}
+
+// NewWriter returns a writer that appends to the store's WAL stream.
+func NewWriter(store *storage.Store) *Writer {
+	return &Writer{store: store, nextLSN: 1}
+}
+
+// NewWriterFrom returns a writer whose next LSN is the given value —
+// recovery resumes the sequence past the highest LSN already in the WAL.
+func NewWriterFrom(store *storage.Store, next LSN) *Writer {
+	if next < 1 {
+		next = 1
+	}
+	return &Writer{store: store, nextLSN: next}
+}
+
+// frame prefixes an encoded record with its length so several records can
+// share one storage append (group commit pays one storage round trip for
+// the whole batch).
+func frame(buf []byte, rec []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	return append(buf, rec...)
+}
+
+// unframe splits a storage entry back into encoded records.
+func unframe(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < n {
+			return nil, fmt.Errorf("%w: truncated frame body", ErrCorrupt)
+		}
+		out = append(out, buf[:n])
+		buf = buf[n:]
+	}
+	return out, nil
+}
+
+// Append assigns the next LSN to r, persists it, and returns the LSN.
+func (w *Writer) Append(r *Record) (LSN, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r.LSN = w.nextLSN
+	if _, err := w.store.Append(storage.StreamWAL, r.PageID, frame(nil, Encode(r))); err != nil {
+		return 0, err
+	}
+	w.nextLSN++
+	return r.LSN, nil
+}
+
+// AppendBatch persists records as one atomic group with consecutive LSNs
+// and a single storage append — the group-commit path. It returns the LSN
+// of the last record.
+func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var buf []byte
+	var last LSN
+	for _, r := range recs {
+		r.LSN = w.nextLSN
+		w.nextLSN++
+		last = r.LSN
+		buf = frame(buf, Encode(r))
+	}
+	if _, err := w.store.Append(storage.StreamWAL, 0, buf); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// AppendAssigned persists records whose LSNs were assigned by an external
+// authority (the group-commit logger) as one storage append. Records must
+// continue the writer's LSN sequence in order; the writer's own counter
+// advances past them.
+func (w *Writer) AppendAssigned(recs []*Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// A batch must fit one storage append (an extent); split oversized
+	// batches into several appends, preserving order under the lock.
+	limit := w.store.ExtentSize() - 64
+	if limit < 256 {
+		limit = 256
+	}
+	var buf []byte
+	for _, r := range recs {
+		if r.LSN < w.nextLSN {
+			return fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, w.nextLSN)
+		}
+		w.nextLSN = r.LSN + 1
+		encoded := Encode(r)
+		if len(buf) > 0 && len(buf)+4+len(encoded) > limit {
+			if _, err := w.store.Append(storage.StreamWAL, 0, buf); err != nil {
+				return err
+			}
+			buf = nil
+		}
+		buf = frame(buf, encoded)
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	_, err := w.store.Append(storage.StreamWAL, 0, buf)
+	return err
+}
+
+// NextLSN returns the LSN the next record will receive.
+func (w *Writer) NextLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Reader tails the WAL stream of a shared store. Each RO node owns one.
+type Reader struct {
+	store *storage.Store
+	cur   storage.Cursor
+}
+
+// NewReader returns a reader positioned at the beginning of the WAL.
+func NewReader(store *storage.Store) *Reader {
+	return &Reader{store: store}
+}
+
+// NewReaderAt returns a reader positioned at the given cursor (snapshot
+// bootstrap: tail only the WAL suffix the snapshot does not cover).
+func NewReaderAt(store *storage.Store, cur storage.Cursor) *Reader {
+	return &Reader{store: store, cur: cur}
+}
+
+// Poll returns all records appended since the previous Poll, in LSN order.
+func (r *Reader) Poll() ([]*Record, error) {
+	entries, next, err := r.store.Scan(storage.StreamWAL, r.cur, 0)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*Record, 0, len(entries))
+	for _, e := range entries {
+		frames, err := unframe(e.Data)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range frames {
+			rec, err := Decode(f)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, rec)
+		}
+	}
+	r.cur = next
+	return recs, nil
+}

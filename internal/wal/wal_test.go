@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"bg3/internal/storage"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := &Record{
+		LSN: 30, Type: RecordSplit, TreeID: 7, PageID: 12, AuxPage: 13,
+		Key: []byte("split-key"), Value: []byte("v"),
+	}
+	out, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestEncodeDecodeEmptyKeyValue(t *testing.T) {
+	in := &Record{LSN: 1, Type: RecordCheckpoint, CkptLSN: 34}
+	out, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CkptLSN != 34 || out.Type != RecordCheckpoint || out.Key != nil || out.Value != nil {
+		t.Fatalf("decode = %+v", out)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 49), // type 0
+		append(Encode(&Record{Type: RecordPut, Key: []byte("k")}), 0xFF),
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Fatalf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(typ uint8, tree, page, aux uint64, key, value []byte) bool {
+		rt := RecordType(typ%7) + 1
+		in := &Record{Type: rt, TreeID: tree, PageID: page, AuxPage: aux, Key: key, Value: value}
+		out, err := Decode(Encode(in))
+		if err != nil {
+			return false
+		}
+		return out.Type == rt && out.TreeID == tree && out.PageID == page &&
+			out.AuxPage == aux && bytes.Equal(out.Key, key) && bytes.Equal(out.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterAssignsSequentialLSNs(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	for i := 1; i <= 5; i++ {
+		lsn, err := w.Append(&Record{Type: RecordPut, Key: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if w.NextLSN() != 6 {
+		t.Fatalf("NextLSN = %d, want 6", w.NextLSN())
+	}
+}
+
+func TestReaderTailsWriter(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	r := NewReader(st)
+
+	if _, err := w.Append(&Record{Type: RecordPut, PageID: 1, Key: []byte("a"), Value: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 1 || string(recs[0].Key) != "a" {
+		t.Fatalf("poll 1 = %+v", recs)
+	}
+
+	if _, err := w.AppendBatch([]*Record{
+		{Type: RecordSplit, PageID: 2, AuxPage: 3},
+		{Type: RecordNewPage, PageID: 3},
+		{Type: RecordCheckpoint, CkptLSN: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = r.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("poll 2 = %d records, want 3", len(recs))
+	}
+	if recs[0].LSN != 2 || recs[1].LSN != 3 || recs[2].LSN != 4 {
+		t.Fatalf("batch LSNs = %d,%d,%d", recs[0].LSN, recs[1].LSN, recs[2].LSN)
+	}
+	// Polling again yields nothing.
+	recs, _ = r.Poll()
+	if len(recs) != 0 {
+		t.Fatalf("empty poll returned %d records", len(recs))
+	}
+}
+
+func TestConcurrentWritersProduceDistinctOrderedLSNs(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := w.Append(&Record{Type: RecordPut, Key: []byte("k")}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	r := NewReader(st)
+	recs, err := r.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != workers*per {
+		t.Fatalf("records = %d, want %d", len(recs), workers*per)
+	}
+	for i, rec := range recs {
+		if rec.LSN != LSN(i+1) {
+			t.Fatalf("record %d has LSN %d: storage order must equal LSN order", i, rec.LSN)
+		}
+	}
+}
+
+func TestMultipleIndependentReaders(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	r1, r2 := NewReader(st), NewReader(st)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(&Record{Type: RecordPut, Key: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := r1.Poll()
+	b, _ := r2.Poll()
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("readers saw %d and %d records, want 10 each", len(a), len(b))
+	}
+}
+
+func TestAppendAssignedRejectsStaleLSN(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	if _, err := w.Append(&Record{Type: RecordPut}); err != nil {
+		t.Fatal(err)
+	}
+	// LSN 1 is already consumed; re-appending it must fail.
+	if err := w.AppendAssigned([]*Record{{Type: RecordPut, LSN: 1}}); err == nil {
+		t.Fatal("stale assigned LSN accepted")
+	}
+	if err := w.AppendAssigned(nil); err != nil {
+		t.Fatalf("empty assigned batch: %v", err)
+	}
+}
+
+func TestAppendAssignedSplitsOversizedBatches(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 256})
+	w := NewWriter(st)
+	recs := make([]*Record, 16)
+	for i := range recs {
+		recs[i] = &Record{Type: RecordPut, LSN: LSN(i + 1), Key: bytes.Repeat([]byte("k"), 40)}
+	}
+	if err := w.AppendAssigned(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(st).Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != LSN(i+1) {
+			t.Fatalf("record %d LSN = %d", i, r.LSN)
+		}
+	}
+}
+
+func TestNewReaderAt(t *testing.T) {
+	st := storage.Open(nil)
+	w := NewWriter(st)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(&Record{Type: RecordPut, Key: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := st.TailCursor(storage.StreamWAL)
+	if _, err := w.Append(&Record{Type: RecordPut, Key: []byte("tail")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := NewReaderAt(st, cur).Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Key) != "tail" {
+		t.Fatalf("reader-at = %v", recs)
+	}
+}
+
+func TestRecordTypeStrings(t *testing.T) {
+	for _, rt := range []RecordType{RecordPut, RecordDelete, RecordSplit, RecordNewPage,
+		RecordNewRoot, RecordCheckpoint, RecordNewTree, RecordOwnerAssign, RecordType(99)} {
+		if rt.String() == "" {
+			t.Fatalf("empty string for %d", rt)
+		}
+	}
+}

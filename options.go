@@ -1,0 +1,158 @@
+package bg3
+
+import (
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/gc"
+	"bg3/internal/storage"
+)
+
+// DeltaPolicy selects how the Bw-tree persists updates.
+type DeltaPolicy int
+
+// Delta policies.
+const (
+	// ReadOptimized keeps at most one merged delta per page, capping a
+	// cold read at two storage accesses (BG3's default, §3.2.2).
+	ReadOptimized DeltaPolicy = iota
+	// Traditional chains one delta per update (the classic Bw-tree / SLED
+	// behaviour), provided for comparison.
+	Traditional
+)
+
+// GCPolicy selects the space-reclamation policy.
+type GCPolicy int
+
+// Space reclamation policies (§3.3).
+const (
+	// GCWorkloadAware prefers cold extents (low update gradient), breaks
+	// ties by fragmentation, and skips extents TTL is about to free.
+	GCWorkloadAware GCPolicy = iota
+	// GCDirtyRatio always reclaims the most fragmented extent (ArkDB).
+	GCDirtyRatio
+	// GCFIFO reclaims the oldest extent (traditional Bw-tree systems).
+	GCFIFO
+)
+
+// Options configures a DB. The zero value is a usable single-node,
+// non-replicated database with BG3's defaults.
+type Options struct {
+	// DeltaPolicy selects the Bw-tree delta strategy. Default ReadOptimized.
+	DeltaPolicy DeltaPolicy
+
+	// ConsolidateNum is the delta count triggering page consolidation.
+	// Default 10.
+	ConsolidateNum int
+
+	// MaxPageEntries is the leaf-page split threshold. Default 128.
+	MaxPageEntries int
+
+	// CacheCapacity bounds the number of leaf pages with resident content
+	// (0 = unlimited).
+	CacheCapacity int
+
+	// ForestSplitThreshold moves a vertex to a dedicated Bw-tree once its
+	// edge count exceeds it (§3.2.1). 0 keeps all vertices in the shared
+	// INIT tree.
+	ForestSplitThreshold int
+
+	// ForestInitSizeThreshold caps the INIT tree's total key count,
+	// evicting the largest vertex beyond it. 0 disables.
+	ForestInitSizeThreshold int
+
+	// GC selects the reclamation policy. Default GCWorkloadAware.
+	GC GCPolicy
+
+	// GCInterval runs background reclamation at this period (0: manual
+	// via RunGC only). GCBatch extents are reclaimed per cycle.
+	GCInterval time.Duration
+	GCBatch    int
+
+	// TTL expires data wholesale after this lifetime (0: keep forever).
+	TTL time.Duration
+
+	// ExtentSize is the shared-store extent capacity in bytes.
+	// Default 1 MiB.
+	ExtentSize int
+
+	// StorageReadLatency / StorageWriteLatency simulate cloud-storage
+	// round trips (0: none).
+	StorageReadLatency  time.Duration
+	StorageWriteLatency time.Duration
+
+	// Replicated enables the WAL pipeline so read-only replicas can be
+	// attached with DB.OpenReplica. Writes are group-committed to the WAL
+	// and pages are flushed in the background.
+	Replicated bool
+
+	// CommitWindow is the WAL group-commit accumulation window
+	// (replicated mode; 0: commit as soon as the queue drains).
+	CommitWindow time.Duration
+
+	// FlushInterval drives the background dirty-page flusher (replicated
+	// mode; default 50ms). FlushThreshold additionally triggers a flush at
+	// that many dirty pages.
+	FlushInterval  time.Duration
+	FlushThreshold int
+
+	// ReplicaPollInterval is how often replicas tail the WAL.
+	// Default 5ms.
+	ReplicaPollInterval time.Duration
+
+	// ReplicaCacheCapacity bounds each replica's page cache
+	// (0 = unlimited).
+	ReplicaCacheCapacity int
+
+	// SnapshotInterval periodically persists a snapshot of the durable
+	// state and trims the covered WAL prefix (replicated mode; 0 disables).
+	// Snapshots bound both the WAL a new replica must replay and the
+	// shared-storage space the WAL occupies.
+	SnapshotInterval time.Duration
+}
+
+func (o Options) treeConfig() bwtree.Config {
+	policy := bwtree.ReadOptimized
+	if o.DeltaPolicy == Traditional {
+		policy = bwtree.Traditional
+	}
+	return bwtree.Config{
+		Policy:         policy,
+		ConsolidateNum: o.ConsolidateNum,
+		MaxPageEntries: o.MaxPageEntries,
+		CacheCapacity:  o.CacheCapacity,
+	}
+}
+
+func (o Options) gcPolicy() gc.Policy {
+	switch o.GC {
+	case GCDirtyRatio:
+		return gc.DirtyRatio{}
+	case GCFIFO:
+		return gc.FIFO{}
+	default:
+		return gc.WorkloadAware{TTL: o.TTL}
+	}
+}
+
+func (o Options) storageOptions() *storage.Options {
+	return &storage.Options{
+		ExtentSize:   o.ExtentSize,
+		ReadLatency:  o.StorageReadLatency,
+		WriteLatency: o.StorageWriteLatency,
+	}
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Storage:           o.storageOptions(),
+		Tree:              o.treeConfig(),
+		SplitThreshold:    o.ForestSplitThreshold,
+		InitSizeThreshold: o.ForestInitSizeThreshold,
+		GCPolicy:          o.gcPolicy(),
+		TTL:               o.TTL,
+		GCInterval:        o.GCInterval,
+		GCBatch:           o.GCBatch,
+	}
+}

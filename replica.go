@@ -1,0 +1,106 @@
+package bg3
+
+import (
+	"time"
+
+	"bg3/internal/graph"
+	"bg3/internal/pattern"
+	"bg3/internal/replication"
+)
+
+// WriteSnapshot persists a snapshot of the database's durable shape so
+// that future replicas bootstrap without replaying the whole WAL, and so
+// TrimWAL can drop the covered WAL prefix. Only valid on a replicated DB.
+func (db *DB) WriteSnapshot() error {
+	if db.rw == nil {
+		return ErrNotReplicated
+	}
+	_, err := db.rw.WriteSnapshot()
+	return err
+}
+
+// TrimWAL drops the WAL prefix covered by the most recent snapshot,
+// returning the number of extents freed. Replicas attached before the
+// snapshot are unaffected; replicas opened afterwards bootstrap from the
+// snapshot automatically.
+func (db *DB) TrimWAL() int {
+	if db.rw == nil {
+		return 0
+	}
+	return db.rw.TrimWAL()
+}
+
+// Replica is a read-only BG3 node attached to a replicated DB. It tails
+// the write-ahead log on the shared store and serves strongly consistent
+// reads: any write acknowledged by the DB becomes visible on every
+// replica within the WAL shipping delay, with no data loss regardless of
+// network conditions (§3.4).
+type Replica struct {
+	ro *replication.RONode
+}
+
+// OpenReplica attaches a new read-only replica. The DB must have been
+// opened with Options.Replicated.
+func (db *DB) OpenReplica() (*Replica, error) {
+	if db.rw == nil {
+		return nil, ErrNotReplicated
+	}
+	interval := db.opts.ReplicaPollInterval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	// Bootstrap from the latest snapshot when one exists (falls back to a
+	// full WAL replay otherwise).
+	ro, err := replication.NewRONodeFromSnapshot(db.store, interval, db.opts.ReplicaCacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{ro: ro}
+	db.mu.Lock()
+	db.replicas = append(db.replicas, r)
+	db.mu.Unlock()
+	return r, nil
+}
+
+// Stop detaches the replica and halts its WAL tailing.
+func (r *Replica) Stop() { r.ro.Stop() }
+
+// Sync synchronously drains the WAL so subsequent reads reflect every
+// write the DB has acknowledged so far.
+func (r *Replica) Sync() error { return r.ro.Poll() }
+
+// GetVertex fetches a vertex.
+func (r *Replica) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return r.ro.Replica().GetVertex(id, typ)
+}
+
+// GetEdge fetches one edge.
+func (r *Replica) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return r.ro.Replica().GetEdge(src, typ, dst)
+}
+
+// Neighbors streams src's out-neighbors, like DB.Neighbors.
+func (r *Replica) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return r.ro.Replica().Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns src's out-degree for the given edge type.
+func (r *Replica) Degree(src VertexID, typ EdgeType) (int, error) {
+	return r.ro.Replica().Degree(src, typ)
+}
+
+// KHop expands hops levels of out-neighbors from start on the replica.
+func (r *Replica) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	return graph.KHop(r.ro.Replica().AsStore(), start, typ, hops, perVertexLimit)
+}
+
+// MatchPattern runs subgraph matching on the replica — the scale-out
+// read path of the financial-risk-control workload.
+func (r *Replica) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
+	return pattern.Match(r.ro.Replica().AsStore(), p, seeds, maxMatches)
+}
+
+// FindCycles runs loop detection on the replica.
+func (r *Replica) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
+	return pattern.FindCycles(r.ro.Replica().AsStore(), start, typ, maxLen, maxCycles)
+}
