@@ -3,8 +3,28 @@ package bwtree
 import (
 	"fmt"
 
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 )
+
+// flushRetry bounds the retries a flush spends absorbing transient storage
+// failures before giving up and leaving the page dirty for the next cycle.
+func flushRetry() storage.RetryPolicy {
+	p := storage.DefaultRetry
+	p.OnRetry = func(int, error) { metrics.Faults.Retries.Inc() }
+	return p
+}
+
+// flushAppend persists one record on the flush path with bounded retry.
+func (t *Tree) flushAppend(stream storage.StreamID, tag uint64, data []byte) (storage.Loc, error) {
+	var loc storage.Loc
+	err := flushRetry().Do("bwtree: flush append", func() error {
+		var aerr error
+		loc, aerr = t.store.Append(stream, tag, data)
+		return aerr
+	})
+	return loc, err
+}
 
 // MappingUpdate describes the new durable location of one page after a
 // group-commit flush. The RW node encodes these into the checkpoint WAL
@@ -48,7 +68,7 @@ func (t *Tree) FlushDirty() ([]MappingUpdate, error) {
 	t.dirtyMu.Unlock()
 
 	updates := make([]MappingUpdate, 0, len(ids))
-	for _, id := range ids {
+	for i, id := range ids {
 		e := t.m.get(id)
 		if e == nil {
 			continue
@@ -57,7 +77,15 @@ func (t *Tree) FlushDirty() ([]MappingUpdate, error) {
 		up, err := t.flushPageLocked(e)
 		e.mu.Unlock()
 		if err != nil {
-			return updates, err
+			// Put the failed page and every page not yet attempted back in
+			// the dirty set: a flush aborted by a storage failure must stay
+			// retryable, or those pages would never reach durable storage.
+			t.dirtyMu.Lock()
+			for _, rid := range ids[i:] {
+				t.dirtySet[rid] = struct{}{}
+			}
+			t.dirtyMu.Unlock()
+			return updates, fmt.Errorf("bwtree: flush page %d: %w", id, err)
 		}
 		if up != nil {
 			updates = append(updates, *up)
@@ -79,7 +107,7 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		len(e.deltaOps)+len(e.pending) > t.cfg.ConsolidateNum
 
 	if rewriteBase {
-		loc, err := t.store.Append(storage.StreamBase, uint64(e.id), encodeLeaf(e.cached))
+		loc, err := t.flushAppend(storage.StreamBase, uint64(e.id), encodeLeaf(e.cached))
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +127,7 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		merged := make([]op, 0, len(e.deltaOps)+len(e.pending))
 		merged = append(merged, e.deltaOps...)
 		merged = append(merged, e.pending...)
-		loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps(merged))
+		loc, err := t.flushAppend(storage.StreamDelta, uint64(e.id), encodeOps(merged))
 		if err != nil {
 			return nil, err
 		}
@@ -111,11 +139,15 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		e.deltaOps = merged
 	} else {
 		// Traditional policy under async flushing: one delta per pending op.
-		for _, o := range e.pending {
-			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
+		// Ops already persisted are shifted out of pending as we go, so a
+		// mid-loop failure leaves exactly the unflushed suffix for retry.
+		for len(e.pending) > 0 {
+			o := e.pending[0]
+			loc, err := t.flushAppend(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
 			if err != nil {
 				return nil, err
 			}
+			e.pending = e.pending[1:]
 			e.deltaLocs = append(e.deltaLocs, loc)
 			e.deltaOps = append(e.deltaOps, o)
 		}

@@ -1,0 +1,304 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/metrics"
+	"bg3/internal/replication"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// propName is the single edge property the workload writes and the oracle
+// compares.
+const propName = "v"
+
+// Config parameterizes one harness run. The zero value is filled with
+// small-but-meaningful defaults by Run.
+type Config struct {
+	// Seed drives the workload RNG (op mix, keys, crash spacing). The
+	// fault plan has its own seed in Faults.Seed; together they make a run
+	// reproducible.
+	Seed int64
+
+	// Ops is the number of workload operations (default 2000).
+	Ops int
+
+	// Owners, EdgeTypes and Dsts bound the key space: edges are drawn as
+	// (owner, type, dst) over [1..Owners] x [1..EdgeTypes] x [1..Dsts].
+	// Defaults 12, 3, 24.
+	Owners, EdgeTypes, Dsts int
+
+	// DeleteFrac is the fraction of ops that are deletes (default 0.2).
+	DeleteFrac float64
+
+	// CheckpointEvery / SnapshotEvery run a manual checkpoint / full
+	// snapshot (plus WAL trim) every N ops (defaults 40 and 350; 0
+	// disables). GCEvery runs a synchronous reclamation cycle (default 0).
+	CheckpointEvery, SnapshotEvery, GCEvery int
+
+	// CrashAppends is the mean number of storage appends between injected
+	// crash points (0: no crashes). Each gap is drawn uniformly from
+	// [CrashAppends/2, 3*CrashAppends/2).
+	CrashAppends int64
+
+	// ExtentSize is the store's extent capacity (default 8 KiB — small, so
+	// runs seal many extents and exercise the tail-of-extent paths).
+	ExtentSize int
+
+	// Faults configures the injected storage misbehaviour. SealLossProb
+	// must be 0 here: the harness runs a single-copy store, so losing an
+	// extent that holds acknowledged data is genuine data loss, which the
+	// recovery path correctly refuses to paper over. Extent-loss handling
+	// is exercised by the follower-resync tests instead.
+	Faults storage.FaultConfig
+
+	// Logf, when non-nil, receives progress lines (tests pass t.Logf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Owners <= 0 {
+		c.Owners = 12
+	}
+	if c.EdgeTypes <= 0 {
+		c.EdgeTypes = 3
+	}
+	if c.Dsts <= 0 {
+		c.Dsts = 24
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.2
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 40
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 350
+	}
+	if c.ExtentSize <= 0 {
+		c.ExtentSize = 8 << 10
+	}
+	return c
+}
+
+// Report summarizes a run for assertions and logging.
+type Report struct {
+	Ops    int // workload operations issued
+	Acked  int // operations acknowledged (must survive recovery)
+	Failed int // operations that returned an error (may or may not survive)
+
+	Crashes    int // node deaths (injected crash points + fail-stopped writers)
+	Recoveries int // successful RecoverRWNode reopens
+
+	CertainKeys   int // oracle keys with exact expected state
+	UncertainKeys int // oracle keys carrying failed-op residue
+
+	Faults storage.FaultStats // what the plan actually injected
+}
+
+// Run executes one crash-recovery chaos run and returns its report. Any
+// returned error is a property violation (lost acknowledged write, phantom
+// state, failed recovery) — a nil error means every crash was survived
+// with the durability contract intact.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Faults.SealLossProb != 0 {
+		return nil, fmt.Errorf("chaos: SealLossProb is not survivable on a single-copy store")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{}
+	oracle := NewOracle()
+
+	plan := storage.NewFaultPlan(cfg.Faults)
+	plan.OnInject = func(storage.FaultKind) { metrics.Faults.FaultsInjected.Inc() }
+	plan.SetEnabled(false) // quiet while the node bootstraps
+	st := storage.Open(&storage.Options{
+		ExtentSize: cfg.ExtentSize,
+		// Keep reclaimed extents readable for the whole run: snapshots may
+		// reference pre-relocation locations until the next snapshot.
+		ReclaimGrace: time.Hour,
+		Faults:       plan,
+	})
+	defer st.Close()
+
+	rwOpts := replication.RWOptions{
+		Engine: core.Options{
+			Tree: bwtree.Config{
+				Policy:         bwtree.ReadOptimized,
+				MaxPageEntries: 24, // small pages: splits happen early
+			},
+			// Forest migrations stay off: everything lives in INIT, which
+			// still exercises page splits, flushes, and replay.
+		},
+		// CommitWindow 0: every op is its own durability decision, so
+		// acked-vs-failed attribution in the oracle is exact.
+	}
+
+	rw, err := replication.NewRWNode(st, rwOpts)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: bootstrap: %w", err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			rw.Stop()
+		}
+	}()
+	// RecoverRWNode needs a snapshot to exist; write the empty baseline.
+	if _, err := rw.WriteSnapshot(); err != nil {
+		return rep, fmt.Errorf("chaos: baseline snapshot: %w", err)
+	}
+
+	crashGap := func() int64 {
+		return cfg.CrashAppends/2 + rng.Int63n(cfg.CrashAppends+1)
+	}
+	plan.SetEnabled(true)
+	if cfg.CrashAppends > 0 {
+		plan.ScheduleCrash(crashGap())
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		k := EdgeKey{
+			Src: graph.VertexID(1 + rng.Intn(cfg.Owners)),
+			Typ: graph.EdgeType(1 + rng.Intn(cfg.EdgeTypes)),
+			Dst: graph.VertexID(1 + rng.Intn(cfg.Dsts)),
+		}
+		rep.Ops++
+		if rng.Float64() < cfg.DeleteFrac {
+			if err := rw.DeleteEdge(k.Src, k.Typ, k.Dst); err != nil {
+				rep.Failed++
+				oracle.FailDelete(k)
+			} else {
+				rep.Acked++
+				oracle.CommitDelete(k)
+			}
+		} else {
+			val := fmt.Sprintf("s%d.%d", cfg.Seed, i)
+			e := graph.Edge{Src: k.Src, Dst: k.Dst, Type: k.Typ,
+				Props: graph.Properties{{Name: propName, Value: []byte(val)}}}
+			if err := rw.AddEdge(e); err != nil {
+				rep.Failed++
+				oracle.FailPut(k, val)
+			} else {
+				rep.Acked++
+				oracle.CommitPut(k, val)
+			}
+		}
+		if i == 10 {
+			// Guarantee at least one torn tail-write per run, independent
+			// of the probabilistic draws.
+			plan.TearNext()
+		}
+		if i%7 == 3 {
+			// Exercise the read path under injected read faults; results
+			// are unverifiable mid-fault, so only hard state is asserted
+			// after recovery.
+			_, _, _ = rw.GetEdge(k.Src, k.Typ, k.Dst)
+		}
+		if cfg.CheckpointEvery > 0 && i%cfg.CheckpointEvery == cfg.CheckpointEvery-1 {
+			_ = rw.Checkpoint() // a failed checkpoint just defers the flush
+		}
+		if cfg.SnapshotEvery > 0 && i%cfg.SnapshotEvery == cfg.SnapshotEvery-1 {
+			// A failed snapshot never publishes its footer, so the previous
+			// one stays authoritative; trimming is bounded by the last
+			// published footer either way.
+			if _, err := rw.WriteSnapshot(); err == nil {
+				rw.TrimWAL()
+			}
+		}
+		if cfg.GCEvery > 0 && i%cfg.GCEvery == cfg.GCEvery-1 {
+			_, _ = rw.Engine().RunGC(1)
+		}
+
+		if plan.Crashed() || writerDead(rw) {
+			rep.Crashes++
+			logf("chaos: crash %d at op %d (acked %d, failed %d)", rep.Crashes, i, rep.Acked, rep.Failed)
+			rw.Stop()
+			stopped = true
+			// The node is gone; shared storage survives. Recovery runs in
+			// a quiet window (a real reopen races no injected workload).
+			plan.ClearCrash()
+			plan.SetEnabled(false)
+			rw, err = replication.RecoverRWNode(st, rwOpts)
+			if err != nil {
+				return rep, fmt.Errorf("chaos: recovery after crash %d: %w", rep.Crashes, err)
+			}
+			stopped = false
+			rep.Recoveries++
+			metrics.Faults.Recoveries.Inc()
+			if err := oracle.Verify(rw.Engine()); err != nil {
+				return rep, fmt.Errorf("chaos: after crash %d: %w", rep.Crashes, err)
+			}
+			plan.SetEnabled(true)
+			if cfg.CrashAppends > 0 {
+				plan.ScheduleCrash(crashGap())
+			}
+		}
+	}
+
+	// Final pass: quiesce faults, restart once more (a clean shutdown is
+	// still a crash from storage's point of view — the WAL suffix beyond
+	// the last snapshot must replay), and verify leader and a follower.
+	plan.ClearCrash()
+	plan.SetEnabled(false)
+	rep.CertainKeys = oracle.Certain()
+	rep.UncertainKeys = oracle.Uncertain()
+	if err := oracle.Verify(rw.Engine()); err != nil {
+		return rep, fmt.Errorf("chaos: final live verify: %w", err)
+	}
+	rw.Stop()
+	stopped = true
+	rw, err = replication.RecoverRWNode(st, rwOpts)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: final recovery: %w", err)
+	}
+	stopped = false
+	rep.Recoveries++
+	metrics.Faults.Recoveries.Inc()
+	if err := oracle.Verify(rw.Engine()); err != nil {
+		return rep, fmt.Errorf("chaos: final recovered verify: %w", err)
+	}
+
+	// A follower bootstrapped from the recovery snapshot must agree.
+	ro, err := replication.NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: follower bootstrap: %w", err)
+	}
+	if err := ro.Poll(); err != nil {
+		ro.Stop()
+		return rep, fmt.Errorf("chaos: follower poll: %w", err)
+	}
+	verr := oracle.Verify(ro.Replica())
+	ro.Stop()
+	if verr != nil {
+		return rep, fmt.Errorf("chaos: follower verify: %w", verr)
+	}
+
+	rep.Faults = plan.Stats()
+	logf("chaos: done: %d ops (%d acked, %d failed), %d crashes, %d recoveries, faults %+v",
+		rep.Ops, rep.Acked, rep.Failed, rep.Crashes, rep.Recoveries, rep.Faults)
+	return rep, nil
+}
+
+// writerDead reports whether the node's WAL writer has fail-stopped
+// (retries exhausted without an injected crash). The fail-stop is what
+// keeps the LSN sequence gapless, so the harness treats it exactly like a
+// crash: stop the node, recover from shared storage.
+func writerDead(rw *replication.RWNode) bool {
+	err := rw.Writer().Err()
+	return err != nil && errors.Is(err, wal.ErrWriterFailed)
+}

@@ -123,6 +123,34 @@ func beUint64(b []byte) uint64 {
 	return v
 }
 
+// ReplayWAL drains the reader and applies every record with LSN beyond
+// horizon to the recovering engine, returning the highest LSN applied (the
+// point a resumed WAL writer continues from). Torn entry tails and retry
+// duplicates are absorbed by the reader; an LSN gap aborts the recovery —
+// a hole beyond the snapshot horizon means acknowledged writes are gone,
+// and restarting into silent data loss is worse than failing loudly.
+func (e *Engine) ReplayWAL(r *wal.Reader, horizon wal.LSN) (wal.LSN, error) {
+	r.SetBase(horizon)
+	max := horizon
+	for {
+		recs, err := r.Poll()
+		for _, rec := range recs {
+			if rec.LSN > max {
+				max = rec.LSN
+			}
+			if aerr := e.ReplayRecord(rec); aerr != nil {
+				return max, fmt.Errorf("core: recover: replay LSN %d: %w", rec.LSN, aerr)
+			}
+		}
+		if err != nil {
+			return max, fmt.Errorf("core: recover: WAL suffix beyond lsn %d: %w", horizon, err)
+		}
+		if len(recs) == 0 {
+			return max, nil
+		}
+	}
+}
+
 // AttachLogger wires the WAL logger into the recovered forest once replay
 // is complete.
 func (e *Engine) AttachLogger(l bwtree.WALLogger) {

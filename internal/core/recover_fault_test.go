@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// Torn-write recovery table: a node writes a durable base (flushed pages +
+// snapshot state), keeps appending WAL records, and dies with the log tail
+// in a per-case condition. Recovery must rebuild the base, replay exactly
+// the acknowledged suffix, and absorb whatever garbage the death left at
+// the tail of the log.
+func TestRecoverTornWALTable(t *testing.T) {
+	const (
+		src  = graph.VertexID(1)
+		typ  = graph.ETypeFollow
+		base = 5 // edges written before the snapshot
+	)
+	edge := func(dst int) graph.Edge {
+		return graph.Edge{Src: src, Dst: graph.VertexID(dst), Type: typ,
+			Props: graph.Properties{{Name: "v", Value: []byte{byte(dst)}}}}
+	}
+
+	cases := []struct {
+		name string
+		// suffix runs the post-snapshot workload; the writer has retries
+		// disabled, so every injected fault is terminal for its append.
+		suffix func(t *testing.T, e *Engine, w *wal.Writer, plan *storage.FaultPlan)
+
+		wantPresent  []int   // dsts that must exist after recovery
+		wantAbsent   []int   // dsts that must not exist after recovery
+		wantMaxDelta wal.LSN // durable WAL records beyond the snapshot horizon
+		wantTorn     int64   // torn WAL entries the recovery reader must absorb
+	}{
+		{
+			name: "clean tail",
+			suffix: func(t *testing.T, e *Engine, w *wal.Writer, plan *storage.FaultPlan) {
+				for dst := base + 1; dst <= base+3; dst++ {
+					if err := e.AddEdge(edge(dst)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			wantPresent:  []int{1, 2, 3, 4, 5, 6, 7, 8},
+			wantMaxDelta: 3,
+			wantTorn:     0,
+		},
+		{
+			name: "torn last record",
+			suffix: func(t *testing.T, e *Engine, w *wal.Writer, plan *storage.FaultPlan) {
+				for dst := base + 1; dst <= base+2; dst++ {
+					if err := e.AddEdge(edge(dst)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				plan.TearNext()
+				if err := e.AddEdge(edge(base + 3)); !errors.Is(err, storage.ErrTornWrite) {
+					t.Fatalf("torn append err = %v, want ErrTornWrite", err)
+				}
+			},
+			wantPresent:  []int{1, 2, 3, 4, 5, 6, 7},
+			wantAbsent:   []int{8},
+			wantMaxDelta: 2,
+			wantTorn:     1,
+		},
+		{
+			name: "torn checkpoint record",
+			suffix: func(t *testing.T, e *Engine, w *wal.Writer, plan *storage.FaultPlan) {
+				for dst := base + 1; dst <= base+3; dst++ {
+					if err := e.AddEdge(edge(dst)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// The flusher's checkpoint declaration is the record that
+				// dies mid-append: data must be unaffected.
+				plan.TearNext()
+				_, err := w.Append(&wal.Record{Type: wal.RecordCheckpoint, CkptLSN: base})
+				if !errors.Is(err, storage.ErrTornWrite) {
+					t.Fatalf("torn checkpoint err = %v, want ErrTornWrite", err)
+				}
+			},
+			wantPresent:  []int{1, 2, 3, 4, 5, 6, 7, 8},
+			wantMaxDelta: 3,
+			wantTorn:     1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := storage.NewFaultPlan(storage.FaultConfig{Seed: 17})
+			st := storage.Open(&storage.Options{Faults: plan})
+			w := wal.NewWriter(st)
+			// No retries: a torn append stays torn, modelling a node that
+			// died inside the write instead of one that got to retry it.
+			w.SetRetry(storage.RetryPolicy{MaxAttempts: 1})
+			opts := Options{
+				Tree:   bwtree.Config{FlushMode: bwtree.FlushAsync, MaxPageEntries: 8},
+				Logger: loggerFunc(func(rec *wal.Record) (wal.LSN, error) { return w.Append(rec) }),
+			}
+			e, err := NewWithStore(st, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dst := 1; dst <= base; dst++ {
+				if err := e.AddEdge(edge(dst)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := e.FlushDirty(); err != nil {
+				t.Fatal(err)
+			}
+			state := e.SnapshotState()
+			horizon := w.NextLSN() - 1 // every record so far is covered by the flush
+
+			tc.suffix(t, e, w, plan)
+			e.Close() // the node dies; shared storage survives
+
+			recovered, err := RecoverWithStore(st, Options{
+				Tree: bwtree.Config{FlushMode: bwtree.FlushAsync, MaxPageEntries: 8},
+			}, state)
+			if err != nil {
+				t.Fatalf("RecoverWithStore: %v", err)
+			}
+			defer recovered.Close()
+			reader := wal.NewReader(st)
+			maxLSN, err := recovered.ReplayWAL(reader, horizon)
+			if err != nil {
+				t.Fatalf("ReplayWAL: %v", err)
+			}
+			if want := horizon + tc.wantMaxDelta; maxLSN != want {
+				t.Errorf("maxLSN = %d, want %d", maxLSN, want)
+			}
+			if torn, _ := reader.Stats(); torn != tc.wantTorn {
+				t.Errorf("torn entries = %d, want %d", torn, tc.wantTorn)
+			}
+			for _, dst := range tc.wantPresent {
+				ed, ok, err := recovered.GetEdge(src, typ, graph.VertexID(dst))
+				if err != nil || !ok {
+					t.Fatalf("edge %d missing after recovery (err=%v)", dst, err)
+				}
+				if v, _ := ed.Props.Get("v"); len(v) != 1 || v[0] != byte(dst) {
+					t.Errorf("edge %d value = %v", dst, v)
+				}
+			}
+			for _, dst := range tc.wantAbsent {
+				if _, ok, _ := recovered.GetEdge(src, typ, graph.VertexID(dst)); ok {
+					t.Errorf("unacknowledged edge %d resurrected by recovery", dst)
+				}
+			}
+		})
+	}
+}
+
+// A hole in the replayed suffix means acknowledged records vanished from
+// the log (trim raced recovery, or an extent was destroyed). Recovery must
+// refuse to proceed rather than silently lose the writes after the hole.
+func TestReplayWALGapAborts(t *testing.T) {
+	st := storage.Open(nil)
+	w := wal.NewWriter(st)
+	opts := Options{
+		Tree:   bwtree.Config{FlushMode: bwtree.FlushAsync, MaxPageEntries: 8},
+		Logger: loggerFunc(func(rec *wal.Record) (wal.LSN, error) { return w.Append(rec) }),
+	}
+	e, err := NewWithStore(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddEdge(graph.Edge{Src: 1, Dst: 1, Type: graph.ETypeFollow}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	state := e.SnapshotState()
+	e.Close()
+
+	// Forge a suffix with a hole: LSN 2 exists, LSN 3 is missing, LSN 4
+	// present. (A real writer can never do this — it fails stop — so this
+	// models external log damage.)
+	for _, lsn := range []wal.LSN{2, 4} {
+		rec := &wal.Record{Type: wal.RecordPut, LSN: lsn, TreeID: uint64(state.Init), Key: []byte("k")}
+		if err := wal.NewWriterFrom(st, lsn).AppendAssigned([]*wal.Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recovered, err := RecoverWithStore(st, Options{Tree: bwtree.Config{FlushMode: bwtree.FlushAsync}}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	var gap *wal.GapError
+	if _, err := recovered.ReplayWAL(wal.NewReader(st), 1); !errors.As(err, &gap) {
+		t.Fatalf("ReplayWAL with a hole returned %v, want *GapError", err)
+	}
+}

@@ -147,6 +147,26 @@ func (h *Histogram) Snapshot() string {
 		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
 }
 
+// FaultCounters aggregates the fault-injection and resilience accounting
+// shared across subsystems: faults injected by the storage fault plan,
+// bounded retries spent by the WAL and flush paths absorbing them, and
+// successful recoveries (crash recovery, follower resync).
+type FaultCounters struct {
+	FaultsInjected Counter
+	Retries        Counter
+	Recoveries     Counter
+}
+
+// Snapshot returns a one-line summary.
+func (c *FaultCounters) Snapshot() string {
+	return fmt.Sprintf("faults_injected=%d retries=%d recoveries=%d",
+		c.FaultsInjected.Load(), c.Retries.Load(), c.Recoveries.Load())
+}
+
+// Faults is the process-wide fault accounting instance. Counters are
+// monotonic, so concurrent tests sharing it stay correct.
+var Faults FaultCounters
+
 // Meter measures event throughput over its lifetime.
 type Meter struct {
 	start time.Time

@@ -1,12 +1,15 @@
 package replication
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"bg3/internal/bwtree"
 	"bg3/internal/core"
 	"bg3/internal/graph"
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -260,11 +263,17 @@ func (n *RWNode) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
 var _ graph.Store = (*RWNode)(nil)
 
 // RONode is a read-only node: a core.Replica fed by a WAL tailing loop.
+// When tailing hits a hole — an LSN gap after a WAL trim outran this
+// follower, or a lost WAL extent — the node resynchronizes by
+// re-bootstrapping from the latest snapshot instead of serving a view with
+// missing writes.
 type RONode struct {
-	replica *core.Replica
-	reader  *wal.Reader
+	store    *storage.Store
+	cacheCap int
 
-	// minLSN skips records a snapshot bootstrap already covers.
+	// reader and minLSN are touched only under pollMu; minLSN skips records
+	// a snapshot bootstrap already covers.
+	reader *wal.Reader
 	minLSN wal.LSN
 
 	// pollMu serializes WAL polls: the background loop and manual Poll
@@ -275,18 +284,23 @@ type RONode struct {
 	stop     chan struct{}
 	done     chan struct{}
 
+	// mu guards the fields below; replica is swapped wholesale by a resync.
 	mu      sync.Mutex
+	replica *core.Replica
 	lastErr error
+	resyncs int64
 }
 
 // NewRONode attaches a replica to the shared store, polling the WAL every
 // interval. cacheCapacity bounds the replica's page cache (0 = unlimited).
 func NewRONode(st *storage.Store, interval time.Duration, cacheCapacity int) *RONode {
 	n := &RONode{
-		replica: core.NewReplica(st, cacheCapacity),
-		reader:  wal.NewReader(st),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		store:    st,
+		cacheCap: cacheCapacity,
+		replica:  core.NewReplica(st, cacheCapacity),
+		reader:   wal.NewReader(st),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go n.pollLoop(interval)
 	return n
@@ -310,14 +324,14 @@ func (n *RONode) pollLoop(interval time.Duration) {
 	}
 }
 
-// Poll synchronously drains the WAL into the replica.
+// Poll synchronously drains the WAL into the replica. Torn entries and
+// retry duplicates are absorbed by the reader; on a log hole (LSN gap or
+// lost WAL extent) the node applies what it read and then resyncs from the
+// latest snapshot.
 func (n *RONode) Poll() error {
 	n.pollMu.Lock()
 	defer n.pollMu.Unlock()
 	recs, err := n.reader.Poll()
-	if err != nil {
-		return err
-	}
 	if n.minLSN > 0 {
 		filtered := recs[:0]
 		for _, r := range recs {
@@ -327,7 +341,54 @@ func (n *RONode) Poll() error {
 		}
 		recs = filtered
 	}
-	return n.replica.ApplyAll(recs)
+	if aerr := n.Replica().ApplyAll(recs); aerr != nil {
+		return aerr
+	}
+	if err != nil {
+		var gap *wal.GapError
+		if errors.As(err, &gap) || errors.Is(err, storage.ErrExtentLost) {
+			if rerr := n.resyncLocked(); rerr != nil {
+				return fmt.Errorf("replication: follower hit %v and resync failed: %w", err, rerr)
+			}
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// resyncLocked re-bootstraps the follower from the latest snapshot: fresh
+// replica, fresh reader at the snapshot's WAL cursor. Caller holds pollMu.
+func (n *RONode) resyncLocked() error {
+	state, meta, found, err := LoadLatestSnapshot(n.store)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("replication: resync: no snapshot on store")
+	}
+	replica := core.NewReplica(n.store, n.cacheCap)
+	if err := replica.LoadSnapshot(state, meta.horizon); err != nil {
+		return err
+	}
+	reader := wal.NewReaderAt(n.store, meta.walCursor)
+	reader.SetBase(meta.horizon)
+	n.reader = reader
+	n.minLSN = meta.horizon
+	n.mu.Lock()
+	n.replica = replica
+	n.resyncs++
+	n.mu.Unlock()
+	metrics.Faults.Recoveries.Inc()
+	return nil
+}
+
+// Resyncs returns how many times the follower re-bootstrapped from a
+// snapshot after hitting a log hole.
+func (n *RONode) Resyncs() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resyncs
 }
 
 // Err returns the last background polling error, if any.
@@ -343,8 +404,13 @@ func (n *RONode) Stop() {
 	<-n.done
 }
 
-// Replica exposes the underlying replica for reads.
-func (n *RONode) Replica() *core.Replica { return n.replica }
+// Replica exposes the underlying replica for reads. The pointer is
+// re-fetched per call: a resync replaces the replica wholesale.
+func (n *RONode) Replica() *core.Replica {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replica
+}
 
 // WaitVisible blocks until the replica has incorporated WAL records up to
 // lsn or the timeout elapses; it reports whether the horizon was reached.
@@ -352,12 +418,12 @@ func (n *RONode) Replica() *core.Replica { return n.replica }
 func (n *RONode) WaitVisible(lsn wal.LSN, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if n.replica.HighLSN() >= lsn {
+		if n.Replica().HighLSN() >= lsn {
 			return true
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
-	return n.replica.HighLSN() >= lsn
+	return n.Replica().HighLSN() >= lsn
 }
 
 // LoggerStats exposes the group-commit batch counters (experiments).

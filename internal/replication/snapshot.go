@@ -3,12 +3,14 @@ package replication
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
 	"bg3/internal/bwtree"
 	"bg3/internal/core"
 	"bg3/internal/forest"
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -24,6 +26,47 @@ const (
 	snapRecTree   = 1
 	snapRecFooter = 2
 )
+
+// Snapshot records are sealed with a CRC32 prefix before they hit the meta
+// stream: a torn tail-of-extent append persists only a prefix of the
+// record, and without a checksum that garbage is indistinguishable from a
+// short-but-valid record. Readers drop records whose checksum does not
+// cover their payload exactly, the same way the WAL drops torn frames.
+func sealSnapRecord(payload []byte) []byte {
+	out := make([]byte, 0, 4+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// openSnapRecord returns the payload of a sealed record, or ok=false for
+// torn or foreign data.
+func openSnapRecord(data []byte) (payload []byte, ok bool) {
+	if len(data) < 5 {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE(data[4:]) != binary.LittleEndian.Uint32(data) {
+		return nil, false
+	}
+	return data[4:], true
+}
+
+// metaRetry bounds the retries a snapshot write spends absorbing transient
+// storage failures. A snapshot that still fails is harmless — its footer
+// never lands, so the previous snapshot stays authoritative — but cheap
+// retries keep the snapshot cadence under fault injection.
+func metaRetry() storage.RetryPolicy {
+	p := storage.DefaultRetry
+	p.OnRetry = func(int, error) { metrics.Faults.Retries.Inc() }
+	return p
+}
+
+// appendMeta appends one sealed snapshot record with bounded retry.
+func appendMeta(st *storage.Store, gen uint64, payload []byte) error {
+	return metaRetry().Do("replication: snapshot append", func() error {
+		_, err := st.Append(storage.StreamMeta, gen, sealSnapRecord(payload))
+		return err
+	})
+}
 
 // snapshotMeta is the decoded footer.
 type snapshotMeta struct {
@@ -161,11 +204,15 @@ func decodeFooter(buf []byte) (snapshotMeta, error) {
 
 // snapshotState is tracked per RW node for TrimWAL.
 type snapshotState struct {
-	mu        sync.Mutex
-	lastGen   uint64
-	lastMeta  snapshotMeta
-	hasSnap   bool
-	snapCount int64
+	mu sync.Mutex
+	// attemptGen is bumped before each snapshot attempt so a failed
+	// attempt's stray records can never share a generation with a later
+	// complete snapshot; lastGen tracks the last published generation.
+	attemptGen uint64
+	lastGen    uint64
+	lastMeta   snapshotMeta
+	hasSnap    bool
+	snapCount  int64
 }
 
 // WriteSnapshot quiesces writes, flushes dirty pages, and persists a full
@@ -192,7 +239,19 @@ func (n *RWNode) WriteSnapshot() (wal.LSN, error) {
 		return 0, err
 	}
 
-	gen := uint64(horizon) // horizons are unique and monotonic per node
+	// Generations are unique per attempt (not per horizon): a snapshot
+	// aborted by a storage fault leaves durable tree records behind, and a
+	// retry at the same horizon must not mix with them.
+	n.snap.mu.Lock()
+	if n.snap.attemptGen < n.snap.lastGen {
+		n.snap.attemptGen = n.snap.lastGen
+	}
+	if n.snap.attemptGen < uint64(horizon) {
+		n.snap.attemptGen = uint64(horizon)
+	}
+	n.snap.attemptGen++
+	gen := n.snap.attemptGen
+	n.snap.mu.Unlock()
 	// Large trees are chunked so every record fits an extent.
 	budget := n.store.ExtentSize() - 256
 	if budget < 1024 {
@@ -205,7 +264,7 @@ func (n *RWNode) WriteSnapshot() (wal.LSN, error) {
 			part.Leaves = chunk
 			buf := encodeTreeSnapshot(gen, part, ts.Tree == state.Init)
 			buf = appendLeafPageIDs(buf, chunk)
-			if _, err := n.store.Append(storage.StreamMeta, gen, buf); err != nil {
+			if err := appendMeta(n.store, gen, buf); err != nil {
 				return 0, err
 			}
 			records++
@@ -217,7 +276,7 @@ func (n *RWNode) WriteSnapshot() (wal.LSN, error) {
 		treeCount:  records,
 		walCursor:  cursor,
 	}
-	if _, err := n.store.Append(storage.StreamMeta, gen, encodeFooter(meta)); err != nil {
+	if err := appendMeta(n.store, gen, encodeFooter(meta)); err != nil {
 		return 0, err
 	}
 	n.snap.mu.Lock()
@@ -274,43 +333,67 @@ func (n *RWNode) TrimWAL() (dropped int) {
 }
 
 // LoadLatestSnapshot scans the meta stream for the newest complete
-// snapshot and decodes it. found is false when no snapshot exists.
+// snapshot and decodes it. found is false when no snapshot exists. Records
+// whose checksum fails — torn tails of snapshot attempts aborted by a
+// storage fault — are skipped: an aborted attempt never published its
+// footer, so dropping its debris can never drop a published snapshot.
 func LoadLatestSnapshot(st *storage.Store) (state core.SnapshotState, meta snapshotMeta, found bool, err error) {
 	entries, _, err := st.Scan(storage.StreamMeta, storage.Cursor{}, 0)
 	if err != nil {
 		return state, meta, false, err
 	}
-	// Find the newest footer, then collect its generation's tree records.
-	var best snapshotMeta
-	for _, e := range entries {
-		if len(e.Data) > 0 && e.Data[0] == snapRecFooter {
-			m, err := decodeFooter(e.Data)
-			if err != nil {
-				return state, meta, false, err
-			}
-			if !found || m.generation > best.generation {
-				best = m
-				found = true
-			}
+	payloads := make([][]byte, len(entries))
+	for i, e := range entries {
+		if p, ok := openSnapRecord(e.Data); ok {
+			payloads[i] = p
 		}
 	}
-	if !found {
-		return state, meta, false, nil
-	}
-	chunks := 0
-	for _, e := range entries {
-		if len(e.Data) == 0 || e.Data[0] != snapRecTree || e.Tag != best.generation {
+	// Find the newest footer.
+	var best snapshotMeta
+	footerIdx := -1
+	for i, p := range payloads {
+		if len(p) == 0 || p[0] != snapRecFooter {
 			continue
 		}
-		gen, ts, isInit, err := decodeTreeSnapshot(e.Data)
+		m, err := decodeFooter(p)
+		if err != nil {
+			return state, meta, false, err
+		}
+		if footerIdx < 0 || m.generation > best.generation {
+			best = m
+			footerIdx = i
+		}
+	}
+	if footerIdx < 0 {
+		return state, meta, false, nil
+	}
+	// Collect the footer's own tree records: the treeCount generation-
+	// tagged records written immediately before it. Walking back from the
+	// footer keeps debris of earlier attempts that happen to share the
+	// generation (possible only across a recovery) out of the snapshot.
+	idxs := make([]int, 0, best.treeCount)
+	for i := footerIdx - 1; i >= 0 && len(idxs) < best.treeCount; i-- {
+		p := payloads[i]
+		if len(p) == 0 || p[0] != snapRecTree || entries[i].Tag != best.generation {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) != best.treeCount {
+		return state, meta, false, fmt.Errorf("replication: snapshot %d incomplete: %d/%d records",
+			best.generation, len(idxs), best.treeCount)
+	}
+	for i := len(idxs) - 1; i >= 0; i-- { // restore write order
+		p := payloads[idxs[i]]
+		gen, ts, isInit, err := decodeTreeSnapshot(p)
 		if err != nil {
 			return state, meta, false, err
 		}
 		if gen != best.generation {
-			continue
+			return state, meta, false, fmt.Errorf("replication: snapshot record generation %d under footer %d", gen, best.generation)
 		}
 		// Recover the page IDs appended after the main layout.
-		if err := recoverLeafPageIDs(e.Data, &ts); err != nil {
+		if err := recoverLeafPageIDs(p, &ts); err != nil {
 			return state, meta, false, err
 		}
 		if isInit {
@@ -323,11 +406,6 @@ func LoadLatestSnapshot(st *storage.Store) (state core.SnapshotState, meta snaps
 		} else {
 			state.Trees = append(state.Trees, ts)
 		}
-		chunks++
-	}
-	if chunks != best.treeCount {
-		return state, meta, false, fmt.Errorf("replication: snapshot %d incomplete: %d/%d records",
-			best.generation, chunks, best.treeCount)
 	}
 	return state, best, true, nil
 }
@@ -361,12 +439,16 @@ func NewRONodeFromSnapshot(st *storage.Store, interval time.Duration, cacheCapac
 	if err := replica.LoadSnapshot(state, meta.horizon); err != nil {
 		return nil, err
 	}
+	reader := wal.NewReaderAt(st, meta.walCursor)
+	reader.SetBase(meta.horizon)
 	n := &RONode{
-		replica: replica,
-		reader:  wal.NewReaderAt(st, meta.walCursor),
-		minLSN:  meta.horizon,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		store:    st,
+		cacheCap: cacheCapacity,
+		replica:  replica,
+		reader:   reader,
+		minLSN:   meta.horizon,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go n.pollLoop(interval)
 	return n, nil
@@ -396,23 +478,13 @@ func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 		return nil, err
 	}
 
-	// Replay the WAL suffix (records the snapshot does not cover).
+	// Replay the WAL suffix (records the snapshot does not cover). Torn
+	// tails and retry duplicates are tolerated; an LSN gap aborts the
+	// recovery — it would mean acknowledged writes are missing.
 	reader := wal.NewReaderAt(st, meta.walCursor)
-	recs, err := reader.Poll()
+	maxLSN, err := engine.ReplayWAL(reader, meta.horizon)
 	if err != nil {
 		return nil, err
-	}
-	maxLSN := meta.horizon
-	for _, rec := range recs {
-		if rec.LSN <= meta.horizon {
-			continue
-		}
-		if rec.LSN > maxLSN {
-			maxLSN = rec.LSN
-		}
-		if err := engine.ReplayRecord(rec); err != nil {
-			return nil, fmt.Errorf("replication: recover: replay LSN %d: %w", rec.LSN, err)
-		}
 	}
 
 	writer := wal.NewWriterFrom(st, maxLSN+1)

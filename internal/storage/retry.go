@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// IsTransient reports whether err is worth retrying: the operation failed
+// without durable effect (ErrTransient) or with a detectable partial effect
+// a retry supersedes (ErrTornWrite — readers discard torn prefixes by
+// checksum, so appending a fresh copy is safe).
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTornWrite)
+}
+
+// RetryPolicy bounds retries of transient storage failures with
+// exponential backoff. The zero value retries nothing; DefaultRetry is the
+// policy the WAL and flush paths use.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values <= 1 mean a single attempt.
+	MaxAttempts int
+
+	// BaseBackoff is slept after the first failure and doubles per retry,
+	// capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// OnRetry, when non-nil, observes each retry (attempt is the 1-based
+	// number of the attempt that just failed). Metrics hook.
+	OnRetry func(attempt int, err error)
+
+	// Sleep overrides time.Sleep in tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the bounded retry applied to WAL appends and page
+// flushes: 5 attempts, 100µs..2ms backoff — a few storage round trips, far
+// below any client-visible timeout.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 5,
+	BaseBackoff: 100 * time.Microsecond,
+	MaxBackoff:  2 * time.Millisecond,
+}
+
+// Do runs fn, retrying transient failures within the policy's bounds. The
+// final error (wrapped with the attempt count when retries are exhausted)
+// preserves the cause for errors.Is.
+func (p RetryPolicy) Do(op string, fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := p.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= attempts {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if backoff > 0 {
+			sleep(backoff)
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+	}
+	return fmt.Errorf("%s: %d attempts exhausted: %w", op, attempts, err)
+}

@@ -1,5 +1,7 @@
 package storage
 
+import "fmt"
+
 // Cursor marks a position in a stream for sequential tailing. The zero
 // Cursor points at the beginning of the stream. Cursors remain valid across
 // extent reclamation and TTL expiry: scanning simply resumes at the next
@@ -26,8 +28,20 @@ func (s *Store) Scan(id StreamID, cur Cursor, max int) ([]Entry, Cursor, error) 
 	if err != nil {
 		return nil, cur, err
 	}
+	var lost func(ExtentID) bool
+	if p := s.opts.Faults; p != nil {
+		spike, ferr := p.readDecision(id, cur.Extent)
+		pause(spike)
+		if ferr != nil {
+			return nil, cur, ferr
+		}
+		lost = func(ext ExtentID) bool { return p.extentLost(id, ext) }
+	}
 	pause(s.opts.ReadLatency)
-	entries, next := st.scan(cur, max)
+	entries, next, err := st.scan(cur, max, lost)
+	if err != nil {
+		return entries, next, err
+	}
 	var bytes int64
 	for _, e := range entries {
 		bytes += int64(len(e.Data))
@@ -88,13 +102,20 @@ func (s *Store) DropBefore(id StreamID, bound ExtentID) []ExtentID {
 	return dropped
 }
 
-func (s *stream) scan(cur Cursor, max int) ([]Entry, Cursor) {
+// scan collects records at or after cur. lost, when non-nil, reports
+// extents the fault plan has destroyed: hitting one aborts the scan with
+// ErrExtentLost and a cursor parked on the lost extent, so the caller can
+// surface the gap (a tailing follower resyncs from a snapshot).
+func (s *stream) scan(cur Cursor, max int, lost func(ExtentID) bool) ([]Entry, Cursor, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Entry
 	for _, id := range s.order {
 		if id < cur.Extent {
 			continue
+		}
+		if lost != nil && lost(id) {
+			return out, Cursor{Extent: id}, fmt.Errorf("storage: scan %v/%d: %w", s.id, id, ErrExtentLost)
 		}
 		e := s.extents[id]
 		if e == nil {
@@ -115,7 +136,7 @@ func (s *stream) scan(cur Cursor, max int) ([]Entry, Cursor) {
 			})
 			cur = Cursor{Extent: id, Index: i + 1}
 			if max > 0 && len(out) >= max {
-				return out, cur
+				return out, cur, nil
 			}
 		}
 		if e.sealed {
@@ -126,5 +147,5 @@ func (s *stream) scan(cur Cursor, max int) ([]Entry, Cursor) {
 			cur = Cursor{Extent: id, Index: len(e.records)}
 		}
 	}
-	return out, cur
+	return out, cur, nil
 }

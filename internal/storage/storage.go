@@ -111,6 +111,11 @@ type Options struct {
 	// (§3.4), so the old extent must outlive that window. 0 frees
 	// immediately (single-node default).
 	ReclaimGrace time.Duration
+
+	// Faults, when non-nil, injects seeded faults (transient errors, torn
+	// writes, latency spikes, extent loss, crash points) into every
+	// operation. Nil disables injection with zero overhead on the hot path.
+	Faults *FaultPlan
 }
 
 const defaultExtentSize = 1 << 20 // 1 MiB
@@ -241,6 +246,22 @@ func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
 	if len(data) > s.opts.ExtentSize {
 		return Loc{}, fmt.Errorf("%w: %d > extent size %d (stream %v, tag %d)", ErrTooLarge, len(data), s.opts.ExtentSize, id, tag)
 	}
+	if p := s.opts.Faults; p != nil {
+		out := p.appendDecision(id, len(data))
+		pause(out.spike)
+		if out.err != nil {
+			if out.torn > 0 {
+				// Persist the torn prefix: it occupies the extent tail as a
+				// checksummed-garbage record that readers must detect.
+				pause(s.opts.WriteLatency)
+				if _, terr := st.append(tag, data[:out.torn]); terr == nil {
+					s.writeOps.add(1)
+					s.bytesWritten.add(int64(out.torn))
+				}
+			}
+			return Loc{}, out.err
+		}
+	}
 	pause(s.opts.WriteLatency)
 	loc, err := st.append(tag, data)
 	if err != nil {
@@ -259,6 +280,13 @@ func (s *Store) Read(loc Loc) ([]byte, error) {
 	st, err := s.stream(loc.Stream)
 	if err != nil {
 		return nil, err
+	}
+	if p := s.opts.Faults; p != nil {
+		spike, ferr := p.readDecision(loc.Stream, loc.Extent)
+		pause(spike)
+		if ferr != nil {
+			return nil, ferr
+		}
 	}
 	pause(s.opts.ReadLatency)
 	data, err := st.read(loc)
@@ -356,3 +384,6 @@ func (s *Store) DropExpired(id StreamID, deadline time.Time) []ExtentID {
 
 // ExtentSize returns the configured extent capacity.
 func (s *Store) ExtentSize() int { return s.opts.ExtentSize }
+
+// Faults returns the store's fault plan (nil when injection is disabled).
+func (s *Store) Faults() *FaultPlan { return s.opts.Faults }

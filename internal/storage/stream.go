@@ -155,6 +155,9 @@ func (s *stream) append(tag uint64, data []byte) (Loc, error) {
 	if e == nil || len(e.buf)+len(data) > s.opts.ExtentSize {
 		if e != nil {
 			e.sealed = true
+			if p := s.opts.Faults; p != nil {
+				p.noteSeal(s.id, e.id)
+			}
 		}
 		e = s.newExtentLocked()
 	}

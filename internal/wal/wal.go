@@ -15,8 +15,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 )
 
@@ -141,21 +143,43 @@ func Decode(buf []byte) (*Record, error) {
 	return r, nil
 }
 
+// ErrWriterFailed marks a writer poisoned by an append that exhausted its
+// retries: allowing later appends to succeed would punch an LSN hole into
+// the log that recovery could not tell apart from acknowledged-write loss,
+// so the writer fails stop — exactly like a log node losing its lease.
+var ErrWriterFailed = errors.New("wal: writer failed")
+
 // Writer appends WAL records to the shared store, assigning LSNs. It is
 // safe for concurrent use; LSN order equals storage append order because
 // both happen under one mutex (the paper's WAL writes are tiny and the
 // shared store guarantees low write latency, so serializing here models the
 // same commit point).
+//
+// Transient storage failures (including torn writes, whose checksummed
+// garbage prefix readers discard) are absorbed by a bounded
+// retry-with-backoff; a retried torn append leaves duplicate records in the
+// stream, which readers deduplicate by LSN. Once retries are exhausted the
+// writer fails stop.
 type Writer struct {
 	store *storage.Store
+	retry storage.RetryPolicy
 
 	mu      sync.Mutex
 	nextLSN LSN
+	failed  error
+}
+
+// walRetry is the default policy for WAL appends; retries feed the shared
+// fault-accounting counters.
+func walRetry() storage.RetryPolicy {
+	p := storage.DefaultRetry
+	p.OnRetry = func(int, error) { metrics.Faults.Retries.Inc() }
+	return p
 }
 
 // NewWriter returns a writer that appends to the store's WAL stream.
 func NewWriter(store *storage.Store) *Writer {
-	return &Writer{store: store, nextLSN: 1}
+	return &Writer{store: store, retry: walRetry(), nextLSN: 1}
 }
 
 // NewWriterFrom returns a writer whose next LSN is the given value —
@@ -164,33 +188,76 @@ func NewWriterFrom(store *storage.Store, next LSN) *Writer {
 	if next < 1 {
 		next = 1
 	}
-	return &Writer{store: store, nextLSN: next}
+	return &Writer{store: store, retry: walRetry(), nextLSN: next}
 }
 
-// frame prefixes an encoded record with its length so several records can
-// share one storage append (group commit pays one storage round trip for
-// the whole batch).
+// SetRetry overrides the writer's retry policy (tests).
+func (w *Writer) SetRetry(p storage.RetryPolicy) {
+	w.mu.Lock()
+	w.retry = p
+	w.mu.Unlock()
+}
+
+// Err returns the poison error of a failed writer, nil while healthy.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// frameHeader is the per-record framing overhead: length plus CRC32.
+const frameHeader = 8
+
+// frame prefixes an encoded record with its length and CRC32 so several
+// records can share one storage append (group commit pays one storage round
+// trip for the whole batch) and torn prefixes are detectable on read.
 func frame(buf []byte, rec []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(rec))
 	return append(buf, rec...)
 }
 
-// unframe splits a storage entry back into encoded records.
-func unframe(buf []byte) ([][]byte, error) {
-	var out [][]byte
+// unframe splits a storage entry back into encoded records, stopping at the
+// first frame whose header is truncated or whose body fails its checksum —
+// the torn tail a failed append leaves behind. It returns the intact
+// records and the number of trailing bytes dropped (0 for a clean entry).
+func unframe(buf []byte) (frames [][]byte, torn int) {
 	for len(buf) > 0 {
-		if len(buf) < 4 {
-			return nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+		if len(buf) < frameHeader {
+			return frames, len(buf)
 		}
 		n := binary.LittleEndian.Uint32(buf)
-		buf = buf[4:]
-		if uint32(len(buf)) < n {
-			return nil, fmt.Errorf("%w: truncated frame body", ErrCorrupt)
+		sum := binary.LittleEndian.Uint32(buf[4:])
+		body := buf[frameHeader:]
+		if uint32(len(body)) < n {
+			return frames, len(buf)
 		}
-		out = append(out, buf[:n])
-		buf = buf[n:]
+		if crc32.ChecksumIEEE(body[:n]) != sum {
+			return frames, len(buf)
+		}
+		frames = append(frames, body[:n])
+		buf = body[n:]
 	}
-	return out, nil
+	return frames, 0
+}
+
+// appendLocked persists one framed buffer covering LSNs [first, last],
+// retrying transient failures and poisoning the writer when they exhaust.
+// Caller holds w.mu.
+func (w *Writer) appendLocked(tag uint64, buf []byte, first, last LSN) error {
+	if w.failed != nil {
+		return w.failed
+	}
+	err := w.retry.Do("wal: append", func() error {
+		_, aerr := w.store.Append(storage.StreamWAL, tag, buf)
+		return aerr
+	})
+	if err != nil {
+		w.failed = fmt.Errorf("%w: lsn %d..%d (stream %v): %w",
+			ErrWriterFailed, first, last, storage.StreamWAL, err)
+		return w.failed
+	}
+	return nil
 }
 
 // Append assigns the next LSN to r, persists it, and returns the LSN.
@@ -198,7 +265,7 @@ func (w *Writer) Append(r *Record) (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	r.LSN = w.nextLSN
-	if _, err := w.store.Append(storage.StreamWAL, r.PageID, frame(nil, Encode(r))); err != nil {
+	if err := w.appendLocked(r.PageID, frame(nil, Encode(r)), r.LSN, r.LSN); err != nil {
 		return 0, err
 	}
 	w.nextLSN++
@@ -215,6 +282,7 @@ func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var buf []byte
+	first := w.nextLSN
 	var last LSN
 	for _, r := range recs {
 		r.LSN = w.nextLSN
@@ -222,7 +290,7 @@ func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 		last = r.LSN
 		buf = frame(buf, Encode(r))
 	}
-	if _, err := w.store.Append(storage.StreamWAL, 0, buf); err != nil {
+	if err := w.appendLocked(0, buf, first, last); err != nil {
 		return 0, err
 	}
 	return last, nil
@@ -245,25 +313,28 @@ func (w *Writer) AppendAssigned(recs []*Record) error {
 		limit = 256
 	}
 	var buf []byte
+	var first LSN
 	for _, r := range recs {
 		if r.LSN < w.nextLSN {
 			return fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, w.nextLSN)
 		}
 		w.nextLSN = r.LSN + 1
 		encoded := Encode(r)
-		if len(buf) > 0 && len(buf)+4+len(encoded) > limit {
-			if _, err := w.store.Append(storage.StreamWAL, 0, buf); err != nil {
+		if len(buf) > 0 && len(buf)+frameHeader+len(encoded) > limit {
+			if err := w.appendLocked(0, buf, first, r.LSN-1); err != nil {
 				return err
 			}
 			buf = nil
+		}
+		if len(buf) == 0 {
+			first = r.LSN
 		}
 		buf = frame(buf, encoded)
 	}
 	if len(buf) == 0 {
 		return nil
 	}
-	_, err := w.store.Append(storage.StreamWAL, 0, buf)
-	return err
+	return w.appendLocked(0, buf, first, recs[len(recs)-1].LSN)
 }
 
 // NextLSN returns the LSN the next record will receive.
@@ -273,10 +344,34 @@ func (w *Writer) NextLSN() LSN {
 	return w.nextLSN
 }
 
+// GapError reports a hole in the LSN sequence: a record arrived whose LSN
+// is not the successor of the last one seen. Gaps mean the reader's view of
+// the log is missing acknowledged records — a trimmed or lost WAL extent —
+// and the consumer must resynchronize from a snapshot (followers) or abort
+// (crash recovery).
+type GapError struct {
+	Expected LSN // the LSN the sequence required next
+	Got      LSN // the LSN actually observed
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("wal: gap in log: expected lsn %d, got %d", e.Expected, e.Got)
+}
+
 // Reader tails the WAL stream of a shared store. Each RO node owns one.
+//
+// The reader tolerates the two artifacts a retried torn write leaves in an
+// append-only log: a checksummed-garbage tail on one storage entry (dropped
+// and counted) and duplicate records from the retry (deduplicated by LSN).
+// What it does not tolerate is a hole in the LSN sequence — Poll surfaces
+// those as *GapError.
 type Reader struct {
 	store *storage.Store
 	cur   storage.Cursor
+	last  LSN // highest LSN returned; duplicates at or below are dropped
+
+	torn int64 // storage entries with a torn tail encountered
+	dups int64 // duplicate records dropped
 }
 
 // NewReader returns a reader positioned at the beginning of the WAL.
@@ -290,23 +385,47 @@ func NewReaderAt(store *storage.Store, cur storage.Cursor) *Reader {
 	return &Reader{store: store, cur: cur}
 }
 
+// SetBase declares every LSN at or below lsn already consumed (by a
+// snapshot): such records are silently dropped and the sequence check
+// starts at lsn+1.
+func (r *Reader) SetBase(lsn LSN) { r.last = lsn }
+
+// LastLSN returns the highest LSN the reader has returned.
+func (r *Reader) LastLSN() LSN { return r.last }
+
+// Stats returns the torn-entry and duplicate counts absorbed so far.
+func (r *Reader) Stats() (torn, dups int64) { return r.torn, r.dups }
+
 // Poll returns all records appended since the previous Poll, in LSN order.
+// Torn entry tails are discarded and retry duplicates dropped. On an LSN
+// gap Poll returns the records before the hole together with a *GapError
+// and does not advance the cursor, so the caller decides how to resync.
 func (r *Reader) Poll() ([]*Record, error) {
 	entries, next, err := r.store.Scan(storage.StreamWAL, r.cur, 0)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("wal: poll at extent %d: %w", r.cur.Extent, err)
 	}
-	recs := make([]*Record, 0, len(entries))
+	var recs []*Record
 	for _, e := range entries {
-		frames, err := unframe(e.Data)
-		if err != nil {
-			return nil, err
+		frames, torn := unframe(e.Data)
+		if torn > 0 {
+			r.torn++
 		}
 		for _, f := range frames {
-			rec, err := Decode(f)
-			if err != nil {
-				return nil, err
+			rec, derr := Decode(f)
+			if derr != nil {
+				// The frame passed its checksum but does not decode: this is
+				// real corruption, not a torn tail.
+				return recs, fmt.Errorf("wal: entry at %v: %w", e.Loc, derr)
 			}
+			if rec.LSN <= r.last {
+				r.dups++
+				continue
+			}
+			if r.last > 0 && rec.LSN != r.last+1 {
+				return recs, &GapError{Expected: r.last + 1, Got: rec.LSN}
+			}
+			r.last = rec.LSN
 			recs = append(recs, rec)
 		}
 	}
