@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro examples clean
+.PHONY: all build test race bench bench-short microbench repro examples clean
 
 all: build test
 
@@ -15,8 +15,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per paper table/figure, plus ablations and micro-benches.
+# Benchmark trajectory: throughput, p50/p99 latency, read fan-out, cache
+# hit ratio, and GC write amplification per Table-1 workload, written to
+# BENCH_PR2.json for diffing across PRs.
 bench:
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR2.json
+
+bench-short:
+	$(GO) run ./cmd/bg3-benchjson -short -out BENCH_PR2.json
+
+# One benchmark per paper table/figure, plus ablations and micro-benches.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full paper-style reproduction tables (see EXPERIMENTS.md).

@@ -29,6 +29,7 @@ import (
 
 	"bg3/internal/core"
 	"bg3/internal/graph"
+	"bg3/internal/metrics"
 	"bg3/internal/pattern"
 	"bg3/internal/replication"
 	"bg3/internal/storage"
@@ -119,6 +120,10 @@ func Open(opts *Options) (*DB, error) {
 		}
 		db.rw = rw
 		db.engine = rw.Engine()
+		reg := db.engine.Metrics()
+		reg.GaugeFunc("replication.replicas", func() int64 { return int64(db.replicaCount()) })
+		reg.GaugeFunc("replication.applied_lsn_lag", func() int64 { return int64(db.replicationLag()) })
+		reg.CounterFunc("replication.resyncs", db.replicaResyncs)
 		if o.SnapshotInterval > 0 {
 			db.snapStop = make(chan struct{})
 			db.snapDone = make(chan struct{})
@@ -255,47 +260,221 @@ func (db *DB) Checkpoint() error {
 	return db.rw.Checkpoint()
 }
 
-// Stats summarizes the database's I/O and space accounting.
+// Stats summarizes the database's I/O, space, cache, WAL, and replication
+// accounting, grouped by subsystem. The struct marshals cleanly to JSON;
+// StatsJSON and StatsText render the full metrics registry instead (every
+// registered instrument, including ones not surfaced here).
 type Stats struct {
-	// Storage is the shared store's I/O accounting.
-	StorageReadOps   int64
-	StorageWriteOps  int64
-	BytesRead        int64
-	BytesWritten     int64
-	GCBytesMoved     int64
-	ExtentsReclaimed int64
-	ExtentsExpired   int64
-	LiveBytes        int64
-	TotalBytes       int64
+	Storage     StorageStats     `json:"storage"`
+	WAL         WALStats         `json:"wal"`
+	Cache       CacheStats       `json:"cache"`
+	Forest      ForestStats      `json:"forest"`
+	GC          GCStats          `json:"gc"`
+	Replication ReplicationStats `json:"replication"`
+}
 
-	// Forest shape.
-	Trees      int
-	Owners     int
-	InitKeys   int
-	Migrations int
+// StorageStats is the shared store's I/O, space, and fault accounting.
+type StorageStats struct {
+	ReadOps         int64 `json:"read_ops"`
+	WriteOps        int64 `json:"write_ops"`
+	BytesRead       int64 `json:"bytes_read"`
+	BytesWritten    int64 `json:"bytes_written"`
+	LiveBytes       int64 `json:"live_bytes"`
+	TotalBytes      int64 `json:"total_bytes"`
+	ExtentCount     int64 `json:"extent_count"`
+	FaultsInjected  int64 `json:"faults_injected"`
+	FaultRetries    int64 `json:"fault_retries"`
+	FaultRecoveries int64 `json:"fault_recoveries"`
+}
 
-	// Memory estimate of mapping table + page caches.
-	MemoryBytes int64
+// WALStats covers the append and group-commit pipelines. All zero on a DB
+// opened without Options.Replicated (no WAL runs).
+type WALStats struct {
+	Appends       int64          `json:"appends"`
+	AppendLatency HistogramStats `json:"append_latency"`
+	CommitBatches int64          `json:"commit_batches"`
+	CommitRecords int64          `json:"commit_records"`
+	CommitLatency HistogramStats `json:"commit_latency"`
+	LastLSN       uint64         `json:"last_lsn"`
+	Checkpoints   int64          `json:"checkpoints"`
+}
+
+// CacheStats is the page cache's hit accounting plus the per-read storage
+// fan-out distribution (Fig. 9: at most 2 under the read-optimized policy).
+type CacheStats struct {
+	Hits        int64       `json:"hits"`
+	Misses      int64       `json:"misses"`
+	HitRatio    float64     `json:"hit_ratio"`
+	ReadFanout  FanoutStats `json:"read_fanout"`
+	Pages       int64       `json:"pages"`
+	MemoryBytes int64       `json:"memory_bytes"`
+}
+
+// ForestStats is the Bw-tree forest's shape (Fig. 11).
+type ForestStats struct {
+	Trees      int `json:"trees"`
+	Owners     int `json:"owners"`
+	InitKeys   int `json:"init_keys"`
+	Migrations int `json:"migrations"`
+}
+
+// GCStats is the space-reclamation accounting. WriteAmp is bytes moved per
+// byte freed — the cost metric the workload-aware policy of §3.3 minimizes.
+type GCStats struct {
+	BytesMoved       int64   `json:"bytes_moved"`
+	BytesReclaimed   int64   `json:"bytes_reclaimed"`
+	WriteAmp         float64 `json:"write_amp"`
+	Runs             int64   `json:"runs"`
+	ExtentsReclaimed int64   `json:"extents_reclaimed"`
+	ExtentsExpired   int64   `json:"extents_expired"`
+}
+
+// ReplicationStats covers the attached read-only replicas. AppliedLSNLag is
+// the worst lag across replicas: the leader's last assigned LSN minus the
+// replica's applied LSN (Fig. 13).
+type ReplicationStats struct {
+	Replicas      int    `json:"replicas"`
+	AppliedLSNLag uint64 `json:"applied_lsn_lag"`
+	Resyncs       int64  `json:"resyncs"`
+}
+
+// HistogramStats summarizes a latency distribution in microseconds.
+type HistogramStats struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// FanoutStats summarizes a small-integer distribution (storage reads per
+// page materialization).
+type FanoutStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+func histogramStats(s metrics.HistogramSnapshot) HistogramStats {
+	return HistogramStats{Count: s.Count, MeanUS: s.MeanUS, P50US: s.P50US, P99US: s.P99US, MaxUS: s.MaxUS}
+}
+
+func fanoutStats(s metrics.IntHistogramSnapshot) FanoutStats {
+	return FanoutStats{Count: s.Count, Mean: s.Mean, P50: s.P50, P99: s.P99, Max: s.Max}
 }
 
 // Stats returns a snapshot.
 func (db *DB) Stats() Stats {
 	ss := db.store.Stats()
 	fs := db.engine.Forest().Stats()
-	return Stats{
-		StorageReadOps:   ss.ReadOps,
-		StorageWriteOps:  ss.WriteOps,
-		BytesRead:        ss.BytesRead,
-		BytesWritten:     ss.BytesWritten,
-		GCBytesMoved:     ss.GCBytesMoved,
-		ExtentsReclaimed: ss.ExtentsReclaimed,
-		ExtentsExpired:   ss.ExtentsExpired,
-		LiveBytes:        ss.LiveBytes,
-		TotalBytes:       ss.TotalBytes,
-		Trees:            fs.Trees,
-		Owners:           fs.Owners,
-		InitKeys:         fs.InitKeys,
-		Migrations:       fs.Migrations,
-		MemoryBytes:      fs.MemoryBytes,
+	m := db.engine.Mapping()
+	hits, misses := m.CacheStats()
+	var ratio float64
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
 	}
+	gcs := db.engine.GCStats()
+	s := Stats{
+		Storage: StorageStats{
+			ReadOps:         ss.ReadOps,
+			WriteOps:        ss.WriteOps,
+			BytesRead:       ss.BytesRead,
+			BytesWritten:    ss.BytesWritten,
+			LiveBytes:       ss.LiveBytes,
+			TotalBytes:      ss.TotalBytes,
+			ExtentCount:     ss.ExtentCount,
+			FaultsInjected:  metrics.Faults.FaultsInjected.Load(),
+			FaultRetries:    metrics.Faults.Retries.Load(),
+			FaultRecoveries: metrics.Faults.Recoveries.Load(),
+		},
+		Cache: CacheStats{
+			Hits:        hits,
+			Misses:      misses,
+			HitRatio:    ratio,
+			ReadFanout:  fanoutStats(m.ReadFanout().Summary()),
+			Pages:       int64(m.PageCount()),
+			MemoryBytes: fs.MemoryBytes,
+		},
+		Forest: ForestStats{
+			Trees:      fs.Trees,
+			Owners:     fs.Owners,
+			InitKeys:   fs.InitKeys,
+			Migrations: fs.Migrations,
+		},
+		GC: GCStats{
+			BytesMoved:       ss.GCBytesMoved,
+			BytesReclaimed:   ss.GCBytesReclaimed,
+			WriteAmp:         ss.GCWriteAmp(),
+			Runs:             gcs.Runs,
+			ExtentsReclaimed: ss.ExtentsReclaimed,
+			ExtentsExpired:   ss.ExtentsExpired,
+		},
+	}
+	if db.rw != nil {
+		batches, records := db.rw.LoggerStats()
+		s.WAL = WALStats{
+			Appends:       db.rw.Writer().Appends(),
+			AppendLatency: histogramStats(db.rw.Writer().AppendLatency().Summary()),
+			CommitBatches: batches,
+			CommitRecords: records,
+			CommitLatency: histogramStats(db.rw.Logger().CommitLatency().Summary()),
+			LastLSN:       uint64(db.rw.LastLSN()),
+			Checkpoints:   db.rw.Checkpoints(),
+		}
+		s.Replication = ReplicationStats{
+			Replicas:      db.replicaCount(),
+			AppliedLSNLag: db.replicationLag(),
+			Resyncs:       db.replicaResyncs(),
+		}
+	}
+	return s
 }
+
+func (db *DB) replicaCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.replicas)
+}
+
+// replicationLag returns the worst applied-LSN lag across the attached
+// replicas relative to the leader's last assigned LSN.
+func (db *DB) replicationLag() uint64 {
+	if db.rw == nil {
+		return 0
+	}
+	last := uint64(db.rw.LastLSN())
+	db.mu.Lock()
+	replicas := append([]*Replica(nil), db.replicas...)
+	db.mu.Unlock()
+	var worst uint64
+	for _, r := range replicas {
+		applied := r.AppliedLSN()
+		if applied < last && last-applied > worst {
+			worst = last - applied
+		}
+	}
+	return worst
+}
+
+func (db *DB) replicaResyncs() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var n int64
+	for _, r := range db.replicas {
+		n += r.Resyncs()
+	}
+	return n
+}
+
+// Metrics exposes the database's metrics registry: every subsystem
+// (storage, WAL, cache, forest, GC, replication) registers its instruments
+// here. Useful for scraping or registering additional application gauges.
+func (db *DB) Metrics() *metrics.Registry { return db.engine.Metrics() }
+
+// StatsJSON renders the full metrics registry as stable, sorted JSON.
+func (db *DB) StatsJSON() ([]byte, error) { return db.engine.Metrics().Snapshot().JSON() }
+
+// StatsText renders the full metrics registry as sorted, aligned text.
+func (db *DB) StatsText() string { return db.engine.Metrics().Snapshot().Text() }

@@ -1,7 +1,9 @@
 package bg3
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -135,13 +137,13 @@ func TestStatsSnapshot(t *testing.T) {
 		}
 	}
 	s := db.Stats()
-	if s.StorageWriteOps == 0 || s.BytesWritten == 0 {
+	if s.Storage.WriteOps == 0 || s.Storage.BytesWritten == 0 {
 		t.Fatalf("stats missing write accounting: %+v", s)
 	}
-	if s.Trees < 2 {
-		t.Fatalf("trees = %d, want the hot vertex split out", s.Trees)
+	if s.Forest.Trees < 2 {
+		t.Fatalf("trees = %d, want the hot vertex split out", s.Forest.Trees)
 	}
-	if s.MemoryBytes == 0 {
+	if s.Cache.MemoryBytes == 0 {
 		t.Fatal("memory estimate is zero")
 	}
 }
@@ -157,7 +159,7 @@ func TestTTLViaPublicAPI(t *testing.T) {
 	if _, err := db.RunGC(8); err != nil {
 		t.Fatal(err)
 	}
-	if db.Stats().ExtentsExpired == 0 {
+	if db.Stats().GC.ExtentsExpired == 0 {
 		t.Fatal("TTL expiry never happened")
 	}
 }
@@ -322,7 +324,7 @@ func TestGCOnReplicatedDBKeepsReplicasConsistent(t *testing.T) {
 			t.Fatalf("round %d: replica degree = %d %v", round, deg, err)
 		}
 	}
-	if db.Stats().ExtentsReclaimed == 0 {
+	if db.Stats().GC.ExtentsReclaimed == 0 {
 		t.Fatal("GC never reclaimed an extent; the test exercised nothing")
 	}
 }
@@ -357,5 +359,107 @@ func TestConcurrentOpenReplica(t *testing.T) {
 		if _, ok, _ := r.GetEdge(1, ETypeFollow, 2); !ok {
 			t.Fatalf("replica %d missing edge", i)
 		}
+	}
+}
+
+func TestStatsNestedAndJSON(t *testing.T) {
+	db := openDB(t, &Options{
+		Replicated:           true,
+		ForestSplitThreshold: 10,
+		ReplicaPollInterval:  time.Millisecond,
+	})
+	for i := 0; i < 60; i++ {
+		if err := db.AddEdge(Edge{Src: 9, Dst: VertexID(i), Type: ETypeLike}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, _, err := db.GetEdge(9, ETypeLike, VertexID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.RunGC(4); err != nil {
+		t.Fatal(err)
+	}
+
+	s := db.Stats()
+	if s.Storage.WriteOps == 0 || s.Storage.BytesWritten == 0 {
+		t.Fatalf("storage accounting missing: %+v", s.Storage)
+	}
+	if s.WAL.Appends == 0 || s.WAL.CommitRecords == 0 {
+		t.Fatalf("WAL accounting missing: %+v", s.WAL)
+	}
+	if s.WAL.CommitLatency.Count == 0 {
+		t.Fatalf("commit latency histogram empty: %+v", s.WAL.CommitLatency)
+	}
+	if s.Cache.ReadFanout.Count == 0 {
+		t.Fatalf("read fan-out histogram empty: %+v", s.Cache.ReadFanout)
+	}
+	if s.Forest.Trees == 0 || s.Forest.Owners == 0 {
+		t.Fatalf("forest accounting missing: %+v", s.Forest)
+	}
+	if s.Replication.Replicas != 1 {
+		t.Fatalf("replicas = %d, want 1", s.Replication.Replicas)
+	}
+
+	// The nested struct must marshal cleanly with every subsystem present.
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"storage"`, `"wal"`, `"cache"`, `"forest"`, `"gc"`, `"replication"`,
+		`"read_fanout"`, `"write_amp"`, `"applied_lsn_lag"`} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("Stats JSON missing %s:\n%s", key, buf)
+		}
+	}
+
+	// The registry renderings must cover every subsystem's instruments.
+	reg, err := db.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(reg, &snap); err != nil {
+		t.Fatalf("StatsJSON is not valid JSON: %v", err)
+	}
+	for _, name := range []string{"storage.read_ops", "wal.commit_us", "bwtree.read_fanout",
+		"forest.trees", "gc.write_amp", "replication.applied_lsn_lag", "replication.replicas"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("registry snapshot missing %q", name)
+		}
+	}
+	text := db.StatsText()
+	if !strings.Contains(text, "bwtree.cache_hit_ratio") || !strings.Contains(text, "wal.appends") {
+		t.Fatalf("StatsText missing expected instruments:\n%s", text)
+	}
+}
+
+func TestReplicationLagConverges(t *testing.T) {
+	db := openDB(t, &Options{Replicated: true, ReplicaPollInterval: time.Millisecond})
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := db.AddEdge(Edge{Src: 2, Dst: VertexID(i), Type: ETypeFollow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := db.Stats().Replication.AppliedLSNLag; lag != 0 {
+		t.Fatalf("applied-LSN lag after sync = %d, want 0", lag)
+	}
+	if rep.AppliedLSN() == 0 {
+		t.Fatal("replica applied LSN is zero after applying 30 writes")
 	}
 }

@@ -1,0 +1,165 @@
+// bg3-benchjson runs the three Table-1 workloads against a fresh DB each
+// and writes a machine-readable benchmark trajectory (BENCH_PR2.json):
+// throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
+// and GC write amplification. CI runs it in -short mode and archives the
+// JSON so regressions show up as a diffable artifact over time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"bg3"
+	"bg3/internal/graph"
+	"bg3/internal/workload"
+)
+
+type fanoutJSON struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+type workloadJSON struct {
+	Name          string     `json:"name"`
+	Workers       int        `json:"workers"`
+	Ops           int64      `json:"ops"`
+	Errors        int64      `json:"errors"`
+	DurationMS    int64      `json:"duration_ms"`
+	Throughput    float64    `json:"throughput_ops_s"`
+	P50US         int64      `json:"p50_us"`
+	P99US         int64      `json:"p99_us"`
+	ReadFanout    fanoutJSON `json:"read_fanout"`
+	CacheHitRatio float64    `json:"cache_hit_ratio"`
+	GCWriteAmp    float64    `json:"gc_write_amp"`
+	GCBytesMoved  int64      `json:"gc_bytes_moved"`
+	BytesWritten  int64      `json:"bytes_written"`
+	Trees         int        `json:"trees"`
+	Migrations    int        `json:"migrations"`
+}
+
+type benchJSON struct {
+	Schema    string         `json:"schema"`
+	Short     bool           `json:"short"`
+	Workers   int            `json:"workers"`
+	OpsPerW   int            `json:"ops_per_worker"`
+	GoVersion string         `json:"go_version"`
+	Workloads []workloadJSON `json:"workloads"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	short := flag.Bool("short", false, "reduced scale for CI")
+	workers := flag.Int("workers", 4, "concurrent clients per workload")
+	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	opsPerWorker := *ops
+	if opsPerWorker <= 0 {
+		opsPerWorker = 2000
+		if *short {
+			opsPerWorker = 400
+		}
+	}
+	vertices, edges := 20000, 60000
+	if *short {
+		vertices, edges = 4000, 12000
+	}
+
+	report := benchJSON{
+		Schema:    "bg3.bench/v1",
+		Short:     *short,
+		Workers:   *workers,
+		OpsPerW:   opsPerWorker,
+		GoVersion: runtime.Version(),
+	}
+
+	type spec struct {
+		gen   workload.Generator
+		etype graph.EdgeType
+		ttl   time.Duration
+	}
+	specs := []spec{
+		{workload.NewDouyinFollow(vertices, *seed), graph.ETypeFollow, 0},
+		{workload.NewRiskControl(vertices, *seed), graph.ETypeTransfer, 0},
+		{workload.NewRecommendation(vertices, *seed), graph.ETypeFollow, 0},
+	}
+	for _, sp := range specs {
+		w, err := runOne(sp.gen, sp.etype, sp.ttl, vertices, edges, *workers, opsPerWorker, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", sp.gen.Name(), err)
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  fanout(p99)=%d  hit=%.2f  amp=%.2f\n",
+			w.Name, w.Throughput, w.P50US, w.P99US, w.ReadFanout.P99, w.CacheHitRatio, w.GCWriteAmp)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runOne measures a workload on a fresh database. A deliberately small page
+// cache forces cold reads so the read fan-out histogram reflects storage
+// I/O rather than pure memory hits.
+func runOne(gen workload.Generator, etype graph.EdgeType, ttl time.Duration, vertices, edges, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+	db, err := bg3.Open(&bg3.Options{
+		ForestSplitThreshold: 64,
+		CacheCapacity:        32,
+		TTL:                  ttl,
+	})
+	if err != nil {
+		return workloadJSON{}, err
+	}
+	defer db.Close()
+
+	if err := workload.Preload(db, workload.PreloadSpec{
+		Vertices: vertices, Edges: edges, Type: etype, Seed: seed,
+	}); err != nil {
+		return workloadJSON{}, err
+	}
+
+	res := workload.Run(db, gen, workers, opsPerWorker, seed+100)
+	if _, err := db.RunGC(8); err != nil {
+		return workloadJSON{}, err
+	}
+
+	s := db.Stats()
+	return workloadJSON{
+		Name:       res.Workload,
+		Workers:    workers,
+		Ops:        res.Ops,
+		Errors:     res.Errors,
+		DurationMS: res.Duration.Milliseconds(),
+		Throughput: res.Throughput,
+		P50US:      res.LatencyP50.Microseconds(),
+		P99US:      res.LatencyP99.Microseconds(),
+		ReadFanout: fanoutJSON{
+			Count: s.Cache.ReadFanout.Count,
+			Mean:  s.Cache.ReadFanout.Mean,
+			P50:   s.Cache.ReadFanout.P50,
+			P99:   s.Cache.ReadFanout.P99,
+			Max:   s.Cache.ReadFanout.Max,
+		},
+		CacheHitRatio: s.Cache.HitRatio,
+		GCWriteAmp:    s.GC.WriteAmp,
+		GCBytesMoved:  s.GC.BytesMoved,
+		BytesWritten:  s.Storage.BytesWritten,
+		Trees:         s.Forest.Trees,
+		Migrations:    s.Forest.Migrations,
+	}, nil
+}

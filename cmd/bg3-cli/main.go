@@ -96,7 +96,7 @@ func dispatch(db *bg3.DB, f []string) error {
   khop <src> <etype> <hops>             multi-hop expansion
   cycles <src> <etype> <maxlen>         loop detection
   gc [batch]                            run space reclamation
-  stats                                 engine statistics
+  stats [json|text]                     engine statistics (full registry as json/text)
   quit
 `)
 		return nil
@@ -270,14 +270,35 @@ func dispatch(db *bg3.DB, f []string) error {
 		fmt.Printf("moved %d bytes\n", moved)
 		return nil
 	case "stats":
+		if len(f) > 1 {
+			switch f[1] {
+			case "json":
+				// Full metrics registry: every registered instrument.
+				buf, err := db.StatsJSON()
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(buf))
+				return nil
+			case "text":
+				fmt.Print(db.StatsText())
+				return nil
+			default:
+				return fmt.Errorf("unknown stats format %q (try 'json' or 'text')", f[1])
+			}
+		}
 		s := db.Stats()
 		fmt.Printf("storage: %d reads, %d writes, %d B read, %d B written\n",
-			s.StorageReadOps, s.StorageWriteOps, s.BytesRead, s.BytesWritten)
-		fmt.Printf("space:   %d B live / %d B total, GC moved %d B, %d reclaimed, %d expired\n",
-			s.LiveBytes, s.TotalBytes, s.GCBytesMoved, s.ExtentsReclaimed, s.ExtentsExpired)
+			s.Storage.ReadOps, s.Storage.WriteOps, s.Storage.BytesRead, s.Storage.BytesWritten)
+		fmt.Printf("space:   %d B live / %d B total, GC moved %d B (amp %.2f), %d reclaimed, %d expired\n",
+			s.Storage.LiveBytes, s.Storage.TotalBytes, s.GC.BytesMoved, s.GC.WriteAmp,
+			s.GC.ExtentsReclaimed, s.GC.ExtentsExpired)
 		fmt.Printf("forest:  %d trees, %d owners, %d INIT keys, %d migrations\n",
-			s.Trees, s.Owners, s.InitKeys, s.Migrations)
-		fmt.Printf("memory:  ~%d B resident\n", s.MemoryBytes)
+			s.Forest.Trees, s.Forest.Owners, s.Forest.InitKeys, s.Forest.Migrations)
+		fmt.Printf("cache:   %d hits / %d misses (ratio %.2f), read fan-out p99=%d max=%d\n",
+			s.Cache.Hits, s.Cache.Misses, s.Cache.HitRatio,
+			s.Cache.ReadFanout.P99, s.Cache.ReadFanout.Max)
+		fmt.Printf("memory:  ~%d B resident\n", s.Cache.MemoryBytes)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", f[0])

@@ -87,6 +87,6 @@ func main() {
 	if db != nil {
 		s := db.Stats()
 		fmt.Printf("storage: %d reads / %d writes, %.1f MB written, %d trees, %d migrations\n",
-			s.StorageReadOps, s.StorageWriteOps, float64(s.BytesWritten)/(1<<20), s.Trees, s.Migrations)
+			s.Storage.ReadOps, s.Storage.WriteOps, float64(s.Storage.BytesWritten)/(1<<20), s.Forest.Trees, s.Forest.Migrations)
 	}
 }

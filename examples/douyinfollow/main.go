@@ -59,7 +59,7 @@ func main() {
 	// The forest after ingest: hot creators live in their own trees.
 	s := db.Stats()
 	fmt.Printf("forest: %d Bw-trees (%d owners seen, %d migrations, %d keys left in INIT)\n",
-		s.Trees, s.Owners, s.Migrations, s.InitKeys)
+		s.Forest.Trees, s.Forest.Owners, s.Forest.Migrations, s.Forest.InitKeys)
 
 	// Celebrity lookups: follower counts of the hottest creators.
 	fmt.Println("top creators by follower count:")

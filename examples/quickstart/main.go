@@ -71,5 +71,5 @@ func main() {
 	// Engine statistics: everything is persisted out-of-place on the
 	// append-only store.
 	s := db.Stats()
-	fmt.Printf("storage writes: %d ops, %d bytes\n", s.StorageWriteOps, s.BytesWritten)
+	fmt.Printf("storage writes: %d ops, %d bytes\n", s.Storage.WriteOps, s.Storage.BytesWritten)
 }

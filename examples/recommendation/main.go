@@ -101,5 +101,5 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("engine: %d trees, %.1f MB written, %.1f MB live\n",
-		s.Trees, float64(s.BytesWritten)/(1<<20), float64(s.LiveBytes)/(1<<20))
+		s.Forest.Trees, float64(s.Storage.BytesWritten)/(1<<20), float64(s.Storage.LiveBytes)/(1<<20))
 }

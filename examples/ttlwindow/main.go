@@ -51,10 +51,10 @@ func main() {
 		s := db.Stats()
 		fmt.Printf("round %d: live=%.1fMB resident=%.1fMB expired-extents=%d gc-moved=%.2fMB\n",
 			round,
-			float64(s.LiveBytes)/(1<<20),
-			float64(s.TotalBytes)/(1<<20),
-			s.ExtentsExpired,
-			float64(s.GCBytesMoved)/(1<<20))
+			float64(s.Storage.LiveBytes)/(1<<20),
+			float64(s.Storage.TotalBytes)/(1<<20),
+			s.GC.ExtentsExpired,
+			float64(s.GC.BytesMoved)/(1<<20))
 		time.Sleep(window / 2)
 	}
 
@@ -66,9 +66,9 @@ func main() {
 	}
 	s := db.Stats()
 	fmt.Printf("after the window lapsed: live=%.1fMB resident=%.1fMB expired-extents=%d gc-moved=%.2fMB\n",
-		float64(s.LiveBytes)/(1<<20),
-		float64(s.TotalBytes)/(1<<20),
-		s.ExtentsExpired,
-		float64(s.GCBytesMoved)/(1<<20))
+		float64(s.Storage.LiveBytes)/(1<<20),
+		float64(s.Storage.TotalBytes)/(1<<20),
+		s.GC.ExtentsExpired,
+		float64(s.GC.BytesMoved)/(1<<20))
 	fmt.Println("expiry freed space wholesale — the Table 2 '+TTL => 0 MB/s' behaviour")
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -75,6 +76,11 @@ type Mapping struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 
+	// fanout records the storage reads each Get paid to materialize its
+	// leaf — Fig. 9's per-read I/O: 0 on a cache hit, 1 + chain length on
+	// a miss (at most 2 under the read-optimized delta policy).
+	fanout metrics.IntHistogram
+
 	// relocated tracks pages whose durable locations GC moved since the
 	// last TakeRelocated call; checkpoints ship them to replicas.
 	relocMu   sync.Mutex
@@ -140,6 +146,26 @@ func (m *Mapping) PageCount() int {
 // CacheStats returns cache hit and miss counts.
 func (m *Mapping) CacheStats() (hits, misses int64) {
 	return m.hits.Load(), m.misses.Load()
+}
+
+// ReadFanout returns the per-Get storage read fan-out histogram.
+func (m *Mapping) ReadFanout() *metrics.IntHistogram { return &m.fanout }
+
+// RegisterMetrics exposes the mapping table's cache and fan-out accounting
+// under the "bwtree." prefix.
+func (m *Mapping) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("bwtree.cache_hits", m.hits.Load)
+	r.CounterFunc("bwtree.cache_misses", m.misses.Load)
+	r.RatioFunc("bwtree.cache_hit_ratio", func() float64 {
+		h, ms := m.CacheStats()
+		if h+ms == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+ms)
+	})
+	r.RegisterIntHistogram("bwtree.read_fanout", &m.fanout)
+	r.GaugeFunc("bwtree.pages", func() int64 { return int64(m.PageCount()) })
+	r.GaugeFunc("bwtree.memory_bytes", m.MemoryUsage)
 }
 
 // noteCached records that e's content is resident and evicts LRU victims

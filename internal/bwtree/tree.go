@@ -213,25 +213,29 @@ func applyOps(entries []kv, ops []op) []kv {
 }
 
 // materialize returns the page's full content, reading the base page and
-// durable delta records from storage on a cache miss. e.mu must be held.
-// The returned slice is resident in the cache unless the cache is disabled,
-// in which case it is a transient copy owned by the caller.
-func (t *Tree) materialize(e *pageEntry) ([]kv, error) {
+// durable delta records from storage on a cache miss, plus the number of
+// storage reads issued — the per-read fan-out Fig. 9 measures (0 on a cache
+// hit). e.mu must be held. The returned slice is resident in the cache
+// unless the cache is disabled, in which case it is a transient copy owned
+// by the caller.
+func (t *Tree) materialize(e *pageEntry) ([]kv, int, error) {
 	if e.cached != nil {
 		t.m.hits.Add(1)
 		t.m.touch(e)
-		return e.cached, nil
+		return e.cached, 0, nil
 	}
 	t.m.misses.Add(1)
+	reads := 0
 	entries := make([]kv, 0)
 	if !e.baseLoc.IsZero() {
 		data, err := t.store.Read(e.baseLoc)
 		if err != nil {
-			return nil, fmt.Errorf("bwtree: read base page %d: %w", e.id, err)
+			return nil, reads, fmt.Errorf("bwtree: read base page %d: %w", e.id, err)
 		}
+		reads++
 		entries, err = decodeLeaf(data)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
 	}
 	// The durable delta chain: one storage read per delta. This is the
@@ -240,18 +244,19 @@ func (t *Tree) materialize(e *pageEntry) ([]kv, error) {
 	for _, loc := range e.deltaLocs {
 		data, err := t.store.Read(loc)
 		if err != nil {
-			return nil, fmt.Errorf("bwtree: read delta of page %d: %w", e.id, err)
+			return nil, reads, fmt.Errorf("bwtree: read delta of page %d: %w", e.id, err)
 		}
+		reads++
 		ops, err := decodeOps(data)
 		if err != nil {
-			return nil, err
+			return nil, reads, err
 		}
 		entries = applyOps(entries, ops)
 	}
 	entries = applyOps(entries, e.pending)
 	e.cached = entries
 	t.m.noteCached(e) // clears e.cached again when the cache is disabled
-	return entries, nil
+	return entries, reads, nil
 }
 
 // Get returns the value stored under key.
@@ -259,10 +264,11 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	t.gets.Add(1)
 	e := t.latchLeaf(key)
 	defer e.mu.Unlock()
-	entries, err := t.materialize(e)
+	entries, reads, err := t.materialize(e)
 	if err != nil {
 		return nil, false, err
 	}
+	t.m.fanout.Observe(int64(reads))
 	idx, found := searchKV(entries, key)
 	if !found {
 		return nil, false, nil
@@ -274,41 +280,71 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 // Put upserts a key-value pair.
 func (t *Tree) Put(key, value []byte) error {
 	t.puts.Add(1)
-	return t.write(op{key: append([]byte(nil), key...), val: append([]byte(nil), value...)})
+	_, err := t.write(op{key: append([]byte(nil), key...), val: append([]byte(nil), value...)}, false)
+	return err
+}
+
+// PutEx upserts a key-value pair and reports whether the key already
+// existed — callers that maintain size accounting (the forest) must not
+// count an upsert as growth.
+func (t *Tree) PutEx(key, value []byte) (existed bool, err error) {
+	t.puts.Add(1)
+	return t.write(op{key: append([]byte(nil), key...), val: append([]byte(nil), value...)}, true)
 }
 
 // Delete removes key. Deleting an absent key is not an error.
 func (t *Tree) Delete(key []byte) error {
 	t.deletes.Add(1)
-	return t.write(op{del: true, key: append([]byte(nil), key...)})
+	_, err := t.write(op{del: true, key: append([]byte(nil), key...)}, false)
+	return err
 }
 
-func (t *Tree) write(o op) error {
+// DeleteEx removes key and reports whether it was present.
+func (t *Tree) DeleteEx(key []byte) (existed bool, err error) {
+	t.deletes.Add(1)
+	return t.write(op{del: true, key: append([]byte(nil), key...)}, true)
+}
+
+func (t *Tree) write(o op, track bool) (existed bool, err error) {
 	e := t.latchLeaf(o.key)
-	needSplit, wait, err := t.applyWrite(e, o)
+	needSplit, existed, wait, err := t.applyWrite(e, o, track)
 	id := e.id
 	e.mu.Unlock()
 	if err != nil {
-		return err
+		return existed, err
 	}
 	if wait != nil {
 		// Group commit: block for WAL durability only after releasing the
 		// page latch so concurrent same-page writers batch together.
 		if err := wait(); err != nil {
-			return err
+			return existed, err
 		}
 	}
 	if needSplit {
-		return t.splitPage(id)
+		return existed, t.splitPage(id)
 	}
-	return nil
+	return existed, nil
+}
+
+// opsExistence resolves key's presence from a delta-op chain alone: the
+// newest op for the key wins. known is false when the chain never mentions
+// the key and the base page must be consulted.
+func opsExistence(ops []op, key []byte) (exists, known bool) {
+	for i := len(ops) - 1; i >= 0; i-- {
+		if bytes.Equal(ops[i].key, key) {
+			return !ops[i].del, true
+		}
+	}
+	return false, false
 }
 
 // applyWrite performs Algorithm 1 on a latched leaf. It returns true when
 // the page outgrew MaxPageEntries and should split (the caller performs the
 // split after releasing the latch, since splits take the structure lock),
-// plus a non-nil durability wait when the logger commits asynchronously.
-func (t *Tree) applyWrite(e *pageEntry, o op) (needSplit bool, wait func() error, err error) {
+// whether the key existed before the write (only resolved when track is
+// set — resolution can cost a page materialization), plus a non-nil
+// durability wait when the logger commits asynchronously.
+func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bool, wait func() error, err error) {
 	// Write-ahead: the record enters the WAL (and receives its LSN) before
 	// any page state changes (§3.4 step 2).
 	if t.logger != nil {
@@ -326,25 +362,29 @@ func (t *Tree) applyWrite(e *pageEntry, o op) (needSplit bool, wait func() error
 		} else {
 			lsn, err := t.logger.Log(rec)
 			if err != nil {
-				return false, nil, err
+				return false, false, nil, err
 			}
 			e.lsn = lsn
 		}
 	}
 
 	if t.cfg.FlushMode == FlushAsync {
-		needSplit, err = t.applyWriteAsync(e, o)
+		needSplit, existed, err = t.applyWriteAsync(e, o, track)
 	} else {
-		needSplit, err = t.applyWriteSync(e, o)
+		needSplit, existed, err = t.applyWriteSync(e, o, track)
 	}
-	return needSplit, wait, err
+	return needSplit, existed, wait, err
 }
 
 // applyWriteAsync applies the op in memory and defers persistence to the
 // background flusher (group commit).
-func (t *Tree) applyWriteAsync(e *pageEntry, o op) (bool, error) {
-	if _, err := t.materialize(e); err != nil {
-		return false, err
+func (t *Tree) applyWriteAsync(e *pageEntry, o op, track bool) (bool, bool, error) {
+	if _, _, err := t.materialize(e); err != nil {
+		return false, false, err
+	}
+	existed := false
+	if track {
+		_, existed = searchKV(e.cached, o.key)
 	}
 	e.cached = applyOp(e.cached, o)
 	e.pending = append(e.pending, o)
@@ -352,11 +392,12 @@ func (t *Tree) applyWriteAsync(e *pageEntry, o op) (bool, error) {
 	t.dirtyMu.Lock()
 	t.dirtySet[e.id] = struct{}{}
 	t.dirtyMu.Unlock()
-	return !t.cfg.DisableSplit && len(e.cached) > t.cfg.MaxPageEntries, nil
+	return !t.cfg.DisableSplit && len(e.cached) > t.cfg.MaxPageEntries, existed, nil
 }
 
 // applyWriteSync is Algorithm 1 with inline flushes.
-func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
+func (t *Tree) applyWriteSync(e *pageEntry, o op, track bool) (bool, bool, error) {
+	existed := false
 	switch {
 	case e.baseLoc.IsZero() && len(e.deltaOps) == 0:
 		// Lines 2–8: the page has no durable image yet. Write the whole
@@ -365,21 +406,45 @@ func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
 		if content == nil {
 			content = make([]kv, 0)
 		}
+		if track {
+			_, existed = searchKV(content, o.key)
+		}
 		content = applyOp(content, o)
-		return t.writeBaseLocked(e, content)
+		needSplit, err := t.writeBaseLocked(e, content)
+		return needSplit, existed, err
 
 	case len(e.deltaOps)+1 > t.cfg.ConsolidateNum:
 		// Lines 21–27: the chain is full; consolidate base+deltas+new op
 		// into a fresh base page.
-		content, err := t.materialize(e)
+		content, _, err := t.materialize(e)
 		if err != nil {
-			return false, err
+			return false, false, err
+		}
+		if track {
+			_, existed = searchKV(content, o.key)
 		}
 		content = applyOp(content, o)
 		t.consolidations.Add(1)
-		return t.writeBaseLocked(e, content)
+		needSplit, err := t.writeBaseLocked(e, content)
+		return needSplit, existed, err
 
 	default:
+		if track {
+			// Resolve existence as cheaply as possible: the cached image,
+			// then the in-memory delta chain (newest op wins), and only if
+			// neither mentions the key a full materialization.
+			if e.cached != nil {
+				_, existed = searchKV(e.cached, o.key)
+			} else if ex, known := opsExistence(e.deltaOps, o.key); known {
+				existed = ex
+			} else {
+				content, _, err := t.materialize(e)
+				if err != nil {
+					return false, false, err
+				}
+				_, existed = searchKV(content, o.key)
+			}
+		}
 		if t.cfg.Policy == ReadOptimized {
 			// Lines 19–31 (read-optimized): merge the existing delta with
 			// the new op into a single delta record.
@@ -388,7 +453,7 @@ func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
 			merged = append(merged, o)
 			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps(merged))
 			if err != nil {
-				return false, err
+				return false, existed, err
 			}
 			for _, old := range e.deltaLocs {
 				t.store.Invalidate(old)
@@ -400,7 +465,7 @@ func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
 			// Traditional: append one more delta to the chain.
 			loc, err := t.store.Append(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
 			if err != nil {
-				return false, err
+				return false, existed, err
 			}
 			e.deltaLocs = append(e.deltaLocs, loc)
 			e.deltaOps = append(e.deltaOps, o)
@@ -408,7 +473,7 @@ func (t *Tree) applyWriteSync(e *pageEntry, o op) (bool, error) {
 		if e.cached != nil {
 			e.cached = applyOp(e.cached, o)
 		}
-		return false, nil
+		return false, existed, nil
 	}
 }
 
@@ -454,11 +519,12 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 	e := t.latchLeaf(from)
 	delivered := 0
 	for {
-		entries, err := t.materialize(e)
+		entries, reads, err := t.materialize(e)
 		if err != nil {
 			e.mu.Unlock()
 			return err
 		}
+		t.m.fanout.Observe(int64(reads))
 		start, _ := searchKV(entries, from)
 		snapshot := append([]kv(nil), entries[start:]...)
 		next := e.next
@@ -525,7 +591,7 @@ func (t *Tree) splitPageLocked(id PageID, waits *[]func() error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	content, err := t.materialize(e)
+	content, _, err := t.materialize(e)
 	if err != nil {
 		return err
 	}

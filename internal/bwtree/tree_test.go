@@ -750,3 +750,100 @@ func TestCacheEvictionFullyPinned(t *testing.T) {
 		t.Fatalf("len = %d", n)
 	}
 }
+
+func TestPutExDeleteExExistence(t *testing.T) {
+	configs := map[string]Config{
+		"read-optimized":  {Policy: ReadOptimized},
+		"traditional":     {Policy: Traditional},
+		"no-cache":        {Policy: ReadOptimized, NoCache: true},
+		"tiny-cache":      {Policy: Traditional, CacheCapacity: 1},
+		"low-consolidate": {Policy: Traditional, ConsolidateNum: 2},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			tr, _ := newTestTree(t, cfg)
+			if existed, err := tr.PutEx([]byte("k"), []byte("v1")); err != nil || existed {
+				t.Fatalf("first put: existed=%v err=%v, want false nil", existed, err)
+			}
+			if existed, err := tr.PutEx([]byte("k"), []byte("v2")); err != nil || !existed {
+				t.Fatalf("upsert: existed=%v err=%v, want true nil", existed, err)
+			}
+			if existed, err := tr.DeleteEx([]byte("k")); err != nil || !existed {
+				t.Fatalf("delete present: existed=%v err=%v, want true nil", existed, err)
+			}
+			if existed, err := tr.DeleteEx([]byte("k")); err != nil || existed {
+				t.Fatalf("delete absent: existed=%v err=%v, want false nil", existed, err)
+			}
+			if existed, err := tr.PutEx([]byte("k"), []byte("v3")); err != nil || existed {
+				t.Fatalf("re-insert after delete: existed=%v err=%v, want false nil", existed, err)
+			}
+			v, ok, err := tr.Get([]byte("k"))
+			if err != nil || !ok || string(v) != "v3" {
+				t.Fatalf("get = %q %v %v", v, ok, err)
+			}
+		})
+	}
+}
+
+func TestPutExManyKeysAcrossConsolidations(t *testing.T) {
+	// Drive the page through delta appends and consolidations; existence
+	// answers must stay correct in every state of the chain.
+	tr, _ := newTestTree(t, Config{Policy: Traditional, ConsolidateNum: 3, NoCache: true})
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("k%02d", i%10))
+		wantExisted := i >= 10
+		existed, err := tr.PutEx(key, []byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if existed != wantExisted {
+			t.Fatalf("op %d: existed=%v, want %v", i, existed, wantExisted)
+		}
+	}
+	if n, _ := tr.Len(); n != 10 {
+		t.Fatalf("len = %d, want 10", n)
+	}
+}
+
+func TestReadFanoutHistogram(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	m := NewMapping(0, true) // no cache: every Get pays the durable fan-out
+	tr, err := New(m, st, Config{Policy: ReadOptimized}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := tr.Get([]byte(fmt.Sprintf("k%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := m.ReadFanout()
+	if f.Count() != 20 {
+		t.Fatalf("fanout observations = %d, want 20", f.Count())
+	}
+	// Read-optimized policy: at most base + one merged delta = 2 reads.
+	if mx := f.Max(); mx < 1 || mx > 2 {
+		t.Fatalf("read-optimized fanout max = %d, want 1..2", mx)
+	}
+
+	// With the cache enabled, hits must observe zero fan-out.
+	m2 := NewMapping(0, false)
+	tr2, err := New(m2, st, Config{Policy: ReadOptimized}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Put([]byte("a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr2.Get([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if p50 := m2.ReadFanout().Quantile(0.5); p50 != 0 {
+		t.Fatalf("cached fanout p50 = %d, want 0", p50)
+	}
+}

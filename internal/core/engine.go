@@ -18,6 +18,7 @@ import (
 	"bg3/internal/forest"
 	"bg3/internal/gc"
 	"bg3/internal/graph"
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// Logger receives WAL records (set by the replication RW node).
 	Logger bwtree.WALLogger
 
+	// Metrics is the registry every subsystem registers into; nil creates
+	// a fresh one. Replicated setups pass the node-wide registry in so the
+	// WAL and replication gauges land next to the engine's.
+	Metrics *metrics.Registry
+
 	// Now overrides the clock for TTL tests.
 	Now func() time.Time
 }
@@ -76,6 +82,7 @@ type Engine struct {
 	edges      *forest.Forest
 	opts       Options
 	reclaimers []*gc.Reclaimer
+	reg        *metrics.Registry
 }
 
 var _ graph.Store = (*Engine)(nil)
@@ -111,7 +118,11 @@ func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: create forest: %w", err)
 	}
-	e := &Engine{store: st, mapping: m, edges: f, opts: opts}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	e := &Engine{store: st, mapping: m, edges: f, opts: opts, reg: reg}
 	policy := opts.GCPolicy
 	if policy == nil {
 		policy = gc.WorkloadAware{TTL: opts.TTL}
@@ -131,8 +142,24 @@ func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
 			r.Start(opts.GCInterval, batch)
 		}
 	}
+	e.registerMetrics(reg)
 	return e, nil
 }
+
+// registerMetrics wires every subsystem into the engine's registry.
+func (e *Engine) registerMetrics(reg *metrics.Registry) {
+	e.store.RegisterMetrics(reg)
+	e.mapping.RegisterMetrics(reg)
+	e.edges.RegisterMetrics(reg)
+	reg.CounterFunc("gc.bytes_moved", func() int64 { return e.GCStats().BytesMoved })
+	reg.CounterFunc("gc.runs", func() int64 { return e.GCStats().Runs })
+	reg.CounterFunc("gc.extents_expired", func() int64 { return e.GCStats().ExtentsExpired })
+	reg.RatioFunc("gc.write_amp", func() float64 { return e.store.Stats().GCWriteAmp() })
+	metrics.Faults.Register(reg)
+}
+
+// Metrics returns the engine's registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Close stops background work and, if the engine owns its store, closes it.
 func (e *Engine) Close() {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"bg3/internal/bwtree"
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -143,31 +144,70 @@ func (f *Forest) ownerStateFor(owner OwnerID) *ownerState {
 	return st
 }
 
+// decToFloor atomically decrements v unless it is already at (or somehow
+// below) zero — the check and the decrement are one CAS, so concurrent
+// decrementers cannot drive the value negative the way a load-then-add
+// would.
+func decToFloor(v *atomic.Int64) {
+	for {
+		cur := v.Load()
+		if cur <= 0 {
+			return
+		}
+		if v.CompareAndSwap(cur, cur-1) {
+			return
+		}
+	}
+}
+
+// subToFloor atomically subtracts n from v, clamping at zero.
+func subToFloor(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		next := cur - n
+		if next < 0 {
+			next = 0
+		}
+		if v.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 // Put upserts key=value under owner, migrating the owner to a dedicated
-// tree when it crosses the split threshold.
+// tree when it crosses the split threshold. Only real inserts adjust the
+// owner and INIT counts — an upsert of an existing key must not, or the
+// counts drift above true owner size and trigger premature migrations.
 func (f *Forest) Put(owner OwnerID, key, value []byte) error {
 	st := f.ownerStateFor(owner)
 	st.mu.RLock()
 	tree := st.tree.Load()
+	inInit := tree == nil
+	var existed bool
 	var err error
 	if tree != nil {
-		err = tree.Put(key, value)
+		existed, err = tree.PutEx(key, value)
 	} else {
-		err = f.init.Put(compositeKey(owner, key), value)
+		existed, err = f.init.PutEx(compositeKey(owner, key), value)
+	}
+	// Count adjustments happen before the owner latch is released: a
+	// migration (which rewrites both counts under the exclusive latch)
+	// cannot interleave with them, and the captured tree pointer stays
+	// authoritative for where the write landed.
+	var count, initKeys int64
+	if err == nil && !existed {
+		count = st.count.Add(1)
+		if inInit {
+			initKeys = f.initKeys.Add(1)
+		}
 	}
 	st.mu.RUnlock()
-	if err != nil {
+	if err != nil || existed {
 		return err
 	}
 
-	count := st.count.Add(1)
-	needOwnerSplit := false
-	needEvict := false
-	if st.tree.Load() == nil {
-		initKeys := f.initKeys.Add(1)
-		needOwnerSplit = f.cfg.SplitThreshold > 0 && count > int64(f.cfg.SplitThreshold)
-		needEvict = f.cfg.InitSizeThreshold > 0 && initKeys > int64(f.cfg.InitSizeThreshold)
-	}
+	needOwnerSplit := inInit && f.cfg.SplitThreshold > 0 && count > int64(f.cfg.SplitThreshold)
+	needEvict := inInit && f.cfg.InitSizeThreshold > 0 && initKeys > int64(f.cfg.InitSizeThreshold)
 	if !needOwnerSplit && !needEvict {
 		return nil
 	}
@@ -194,28 +234,29 @@ func (f *Forest) Get(owner OwnerID, key []byte) ([]byte, bool, error) {
 	return f.init.Get(compositeKey(owner, key))
 }
 
-// Delete removes key under owner.
+// Delete removes key under owner. Counts shrink only when the key was
+// actually present, via CAS decrements that floor at zero — the old
+// load-then-add pattern let concurrent deleters (or deletes of absent
+// keys) drive counts negative.
 func (f *Forest) Delete(owner OwnerID, key []byte) error {
 	st := f.ownerStateFor(owner)
 	st.mu.RLock()
 	tree := st.tree.Load()
+	var existed bool
 	var err error
 	if tree != nil {
-		err = tree.Delete(key)
+		existed, err = tree.DeleteEx(key)
 	} else {
-		err = f.init.Delete(compositeKey(owner, key))
+		existed, err = f.init.DeleteEx(compositeKey(owner, key))
 	}
-	st.mu.RUnlock()
-	if err != nil {
-		return err
-	}
-	if st.count.Load() > 0 {
-		st.count.Add(-1)
-		if tree == nil && f.initKeys.Load() > 0 {
-			f.initKeys.Add(-1)
+	if err == nil && existed {
+		decToFloor(&st.count)
+		if tree == nil {
+			decToFloor(&f.initKeys)
 		}
 	}
-	return nil
+	st.mu.RUnlock()
+	return err
 }
 
 // Scan iterates owner's keys in [from, to) in order. from/to are in the
@@ -307,9 +348,7 @@ func (f *Forest) migrate(owner OwnerID) error {
 	// Publish the assignment, then clean INIT.
 	st.tree.Store(tree)
 	st.count.Store(int64(len(pairs)))
-	if f.initKeys.Add(int64(-len(pairs))) < 0 {
-		f.initKeys.Store(0)
-	}
+	subToFloor(&f.initKeys, int64(len(pairs)))
 	for _, p := range pairs {
 		if err := f.init.Delete(compositeKey(owner, p.k)); err != nil {
 			return err
@@ -348,6 +387,23 @@ func (f *Forest) OwnerCount(owner OwnerID) int {
 		return int(st.count.Load())
 	}
 	return 0
+}
+
+// RegisterMetrics exposes the forest's shape accounting (Fig. 11) under
+// the "forest." prefix.
+func (f *Forest) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("forest.trees", func() int64 {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		return int64(len(f.trees))
+	})
+	r.GaugeFunc("forest.owners", func() int64 {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		return int64(len(f.owners))
+	})
+	r.GaugeFunc("forest.init_keys", f.initKeys.Load)
+	r.CounterFunc("forest.migrations", f.migrations.Load)
 }
 
 // Trees calls fn for every tree in the forest (INIT included) until fn

@@ -105,7 +105,10 @@ func (h *Histogram) Max() time.Duration {
 }
 
 // Quantile returns an approximation of the q-quantile (0 < q <= 1) using
-// linear interpolation inside the winning bucket.
+// linear interpolation inside the winning bucket. The result never exceeds
+// Max: interpolating to a bucket's upper bound would otherwise report
+// values larger than anything observed (a single 1µs sample must not read
+// as p50=10µs).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.count.Load()
 	if n == 0 {
@@ -130,11 +133,15 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			if i < len(histBuckets) {
 				hi = histBuckets[i]
 			}
-			if c == 0 {
-				return time.Duration(hi) * time.Microsecond
+			v := float64(hi)
+			if c > 0 {
+				frac := float64(target-cum) / float64(c)
+				v = float64(lo) + frac*float64(hi-lo)
 			}
-			frac := float64(target-cum) / float64(c)
-			return time.Duration(float64(lo)+frac*float64(hi-lo)) * time.Microsecond
+			if mx := h.max.Load(); v > float64(mx) {
+				v = float64(mx)
+			}
+			return time.Duration(v) * time.Microsecond
 		}
 		cum += c
 	}
@@ -145,6 +152,119 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 func (h *Histogram) Snapshot() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
 		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// HistogramSnapshot is the JSON-stable summary of a latency histogram, in
+// microseconds.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// Summary returns the histogram's JSON-stable summary.
+func (h *Histogram) Summary() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Microseconds(),
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+		MaxUS:  h.Max().Microseconds(),
+	}
+}
+
+// intHistCap is the largest exactly-tracked IntHistogram value; larger
+// observations land in a shared overflow bucket.
+const intHistCap = 16
+
+// IntHistogram records small non-negative integer values (per-read storage
+// fan-out, batch sizes) into exact buckets 0..intHistCap plus one overflow
+// bucket. Quantiles are exact within the tracked range; the overflow bucket
+// reports the observed maximum. The zero value is ready to use.
+type IntHistogram struct {
+	buckets [intHistCap + 2]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     Gauge
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *IntHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := v
+	if idx > intHistCap {
+		idx = intHistCap + 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.max.Max(v)
+}
+
+// Count returns the number of observations.
+func (h *IntHistogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed value.
+func (h *IntHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observed value.
+func (h *IntHistogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns the q-quantile (0 < q <= 1); exact for values within
+// the tracked range, the observed maximum for overflow observations.
+func (h *IntHistogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i > intHistCap {
+				return h.max.Load()
+			}
+			return int64(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// IntHistogramSnapshot is the JSON-stable summary of an IntHistogram.
+type IntHistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Summary returns the histogram's JSON-stable summary.
+func (h *IntHistogram) Summary() IntHistogramSnapshot {
+	return IntHistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
 }
 
 // FaultCounters aggregates the fault-injection and resilience accounting

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the payload of a snapshot Value.
+type Kind string
+
+const (
+	KindCounter      Kind = "counter"
+	KindGauge        Kind = "gauge"
+	KindRatio        Kind = "ratio"
+	KindHistogram    Kind = "histogram"
+	KindIntHistogram Kind = "int_histogram"
+)
+
+// Value is one instrument's reading inside a Snapshot. Exactly one of the
+// payload fields is meaningful, selected by Kind; the others marshal away.
+type Value struct {
+	Kind         Kind                  `json:"kind"`
+	Value        int64                 `json:"value,omitempty"`
+	Ratio        float64               `json:"ratio,omitempty"`
+	Histogram    *HistogramSnapshot    `json:"histogram,omitempty"`
+	IntHistogram *IntHistogramSnapshot `json:"int_histogram,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every registered instrument,
+// keyed by dotted instrument name (e.g. "storage.read_ops").
+type Snapshot map[string]Value
+
+// JSON renders the snapshot as stable, indented JSON. Map keys are emitted
+// in sorted order by encoding/json, so output is byte-stable for a given
+// set of readings.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as sorted "name value" lines for terminals.
+func (s Snapshot) Text() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		v := s[name]
+		switch v.Kind {
+		case KindRatio:
+			fmt.Fprintf(&b, "%-40s %.4f\n", name, v.Ratio)
+		case KindHistogram:
+			h := v.Histogram
+			fmt.Fprintf(&b, "%-40s n=%d mean=%dus p50=%dus p99=%dus max=%dus\n",
+				name, h.Count, h.MeanUS, h.P50US, h.P99US, h.MaxUS)
+		case KindIntHistogram:
+			h := v.IntHistogram
+			fmt.Fprintf(&b, "%-40s n=%d mean=%.2f p50=%d p99=%d max=%d\n",
+				name, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		default:
+			fmt.Fprintf(&b, "%-40s %d\n", name, v.Value)
+		}
+	}
+	return b.String()
+}
+
+// Registry is the system-wide instrument directory. Subsystems register
+// their counters, gauges and histograms (or probe functions over state they
+// already maintain) under dotted names; Snapshot reads everything at once.
+//
+// Registration is cheap and typically happens once at startup; reads of the
+// underlying instruments stay lock-free.
+type Registry struct {
+	mu     sync.RWMutex
+	probes map[string]func() Value
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{probes: make(map[string]func() Value)}
+}
+
+// register installs a probe, replacing any previous probe with that name.
+func (r *Registry) register(name string, probe func() Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.probes == nil {
+		r.probes = make(map[string]func() Value)
+	}
+	r.probes[name] = probe
+}
+
+// Counter creates, registers and returns a counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, c)
+	return c
+}
+
+// RegisterCounter adopts an existing counter.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.register(name, func() Value {
+		return Value{Kind: KindCounter, Value: c.Load()}
+	})
+}
+
+// Gauge creates, registers and returns a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, g)
+	return g
+}
+
+// RegisterGauge adopts an existing gauge.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.register(name, func() Value {
+		return Value{Kind: KindGauge, Value: g.Load()}
+	})
+}
+
+// Histogram creates, registers and returns a latency histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.RegisterHistogram(name, h)
+	return h
+}
+
+// RegisterHistogram adopts an existing latency histogram.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.register(name, func() Value {
+		s := h.Summary()
+		return Value{Kind: KindHistogram, Histogram: &s}
+	})
+}
+
+// IntHistogram creates, registers and returns an integer histogram.
+func (r *Registry) IntHistogram(name string) *IntHistogram {
+	h := &IntHistogram{}
+	r.RegisterIntHistogram(name, h)
+	return h
+}
+
+// RegisterIntHistogram adopts an existing integer histogram.
+func (r *Registry) RegisterIntHistogram(name string, h *IntHistogram) {
+	r.register(name, func() Value {
+		s := h.Summary()
+		return Value{Kind: KindIntHistogram, IntHistogram: &s}
+	})
+}
+
+// CounterFunc registers a counter backed by a read function, for subsystems
+// that already maintain their own accounting.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.register(name, func() Value {
+		return Value{Kind: KindCounter, Value: fn()}
+	})
+}
+
+// GaugeFunc registers a gauge backed by a read function.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.register(name, func() Value {
+		return Value{Kind: KindGauge, Value: fn()}
+	})
+}
+
+// RatioFunc registers a derived ratio (hit rates, write amplification)
+// backed by a read function.
+func (r *Registry) RatioFunc(name string, fn func() float64) {
+	r.register(name, func() Value {
+		return Value{Kind: KindRatio, Ratio: fn()}
+	})
+}
+
+// Snapshot reads every registered instrument. Instruments are read without
+// a global pause, so the snapshot is per-instrument atomic rather than
+// globally consistent — fine for monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	probes := make(map[string]func() Value, len(r.probes))
+	for name, p := range r.probes {
+		probes[name] = p
+	}
+	r.mu.RUnlock()
+
+	out := make(Snapshot, len(probes))
+	for name, p := range probes {
+		out[name] = p()
+	}
+	return out
+}
+
+// Names returns the sorted instrument names currently registered.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.probes))
+	for name := range r.probes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Register exposes the fault counters under the "faults." prefix.
+func (c *FaultCounters) Register(r *Registry) {
+	r.RegisterCounter("faults.injected", &c.FaultsInjected)
+	r.RegisterCounter("faults.retries", &c.Retries)
+	r.RegisterCounter("faults.recoveries", &c.Recoveries)
+}

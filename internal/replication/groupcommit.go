@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"bg3/internal/metrics"
 	"bg3/internal/wal"
 )
 
@@ -27,6 +28,7 @@ var ErrLoggerStopped = errors.New("replication: group-commit logger stopped")
 // commitReq is one record awaiting group commit.
 type commitReq struct {
 	rec  *wal.Record
+	at   time.Time // when the record was enqueued; commit latency base
 	done chan error
 }
 
@@ -55,6 +57,8 @@ type GroupCommitLogger struct {
 	statsMu sync.Mutex
 	batches int64
 	records int64
+
+	commitLat metrics.Histogram // enqueue to durable, per record
 }
 
 // NewGroupCommitLogger starts the committer goroutine. window is how long
@@ -83,7 +87,7 @@ func NewGroupCommitLogger(w *wal.Writer, window time.Duration, maxBatch int) *Gr
 // durable. Enqueue order equals LSN order, so the WAL on storage is always
 // LSN-sorted.
 func (l *GroupCommitLogger) LogAsync(rec *wal.Record) (wal.LSN, func() error) {
-	req := commitReq{rec: rec, done: make(chan error, 1)}
+	req := commitReq{rec: rec, at: time.Now(), done: make(chan error, 1)}
 	l.mu.Lock()
 	if l.stopped {
 		l.mu.Unlock()
@@ -157,7 +161,9 @@ func (l *GroupCommitLogger) run() {
 				recs[i] = req.rec
 			}
 			err := l.w.AppendAssigned(recs)
+			now := time.Now()
 			for _, req := range batch {
+				l.commitLat.Observe(now.Sub(req.at))
 				req.done <- err
 			}
 			l.statsMu.Lock()
@@ -190,4 +196,18 @@ func (l *GroupCommitLogger) BatchStats() (int64, int64) {
 	l.statsMu.Lock()
 	defer l.statsMu.Unlock()
 	return l.batches, l.records
+}
+
+// CommitLatency returns the enqueue-to-durable latency histogram. It covers
+// the full client-visible commit wait: the group window plus the storage
+// append (and its retries).
+func (l *GroupCommitLogger) CommitLatency() *metrics.Histogram { return &l.commitLat }
+
+// RegisterMetrics exposes the logger's accounting under the "wal." prefix,
+// next to the writer's per-append metrics.
+func (l *GroupCommitLogger) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterHistogram("wal.commit_us", &l.commitLat)
+	r.CounterFunc("wal.commit_batches", func() int64 { b, _ := l.BatchStats(); return b })
+	r.CounterFunc("wal.commit_records", func() int64 { _, n := l.BatchStats(); return n })
+	r.GaugeFunc("wal.last_lsn", func() int64 { return int64(l.LastLSN()) })
 }

@@ -85,6 +85,7 @@ func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	n.registerMetrics(engine.Metrics())
 	if opts.FlushInterval > 0 {
 		go n.flushLoop()
 	} else {
@@ -93,11 +94,23 @@ func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	return n, nil
 }
 
+// registerMetrics wires the WAL pipeline into the node's registry: append
+// and commit latency, checkpoint cadence.
+func (n *RWNode) registerMetrics(r *metrics.Registry) {
+	n.writer.RegisterMetrics(r)
+	n.logger.RegisterMetrics(r)
+	r.CounterFunc("wal.checkpoints", n.Checkpoints)
+	r.GaugeFunc("wal.last_checkpoint_lsn", func() int64 { return int64(n.lastCheckpoint()) })
+}
+
 // Engine exposes the underlying engine (stats, GC).
 func (n *RWNode) Engine() *core.Engine { return n.engine }
 
 // Writer exposes the WAL writer (experiments).
 func (n *RWNode) Writer() *wal.Writer { return n.writer }
+
+// Logger exposes the group-commit logger (stats, experiments).
+func (n *RWNode) Logger() *GroupCommitLogger { return n.logger }
 
 // LastLSN returns the most recently assigned WAL LSN — the horizon an RO
 // node must reach to observe every write acknowledged so far.
@@ -382,6 +395,10 @@ func (n *RONode) resyncLocked() error {
 	metrics.Faults.Recoveries.Inc()
 	return nil
 }
+
+// AppliedLSN returns the highest WAL LSN the follower has applied — the
+// leader's LastLSN minus this is the replication lag (Fig. 13).
+func (n *RONode) AppliedLSN() wal.LSN { return n.Replica().HighLSN() }
 
 // Resyncs returns how many times the follower re-bootstrapped from a
 // snapshot after hitting a log hole.

@@ -1,0 +1,22 @@
+package storage
+
+import "bg3/internal/metrics"
+
+// RegisterMetrics exposes the store's I/O, GC and capacity accounting in the
+// given registry under the "storage." prefix. The probes read from Stats()
+// so they stay consistent with the snapshot API.
+func (s *Store) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("storage.read_ops", func() int64 { return s.readOps.load() })
+	r.CounterFunc("storage.write_ops", func() int64 { return s.writeOps.load() })
+	r.CounterFunc("storage.bytes_read", func() int64 { return s.bytesRead.load() })
+	r.CounterFunc("storage.bytes_written", func() int64 { return s.bytesWritten.load() })
+	r.CounterFunc("storage.gc_bytes_moved", func() int64 { return s.Stats().GCBytesMoved })
+	r.CounterFunc("storage.gc_bytes_reclaimed", func() int64 { return s.Stats().GCBytesReclaimed })
+	r.CounterFunc("storage.gc_records_moved", func() int64 { return s.Stats().GCRecordsMoved })
+	r.CounterFunc("storage.extents_reclaimed", func() int64 { return s.Stats().ExtentsReclaimed })
+	r.CounterFunc("storage.extents_expired", func() int64 { return s.Stats().ExtentsExpired })
+	r.GaugeFunc("storage.live_bytes", func() int64 { return s.Stats().LiveBytes })
+	r.GaugeFunc("storage.total_bytes", func() int64 { return s.Stats().TotalBytes })
+	r.GaugeFunc("storage.extent_count", func() int64 { return s.Stats().ExtentCount })
+	r.RatioFunc("storage.gc_write_amp", func() float64 { return s.Stats().GCWriteAmp() })
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"time"
 )
 
@@ -27,6 +28,18 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 
+	// Jitter spreads each backoff uniformly over
+	// [backoff*(1-Jitter), backoff*(1+Jitter)] so concurrent writers that
+	// hit the same transient fault do not retry in lockstep. 0 disables
+	// jitter; values above 1 are treated as 1. The jittered sleep is still
+	// capped at MaxBackoff.
+	Jitter float64
+
+	// Rand overrides the jitter's randomness source in tests; it must
+	// return values in [0, 1). Nil means math/rand/v2.Float64 (auto-seeded,
+	// goroutine-safe — no global seed dependence).
+	Rand func() float64
+
 	// OnRetry, when non-nil, observes each retry (attempt is the 1-based
 	// number of the attempt that just failed). Metrics hook.
 	OnRetry func(attempt int, err error)
@@ -42,6 +55,29 @@ var DefaultRetry = RetryPolicy{
 	MaxAttempts: 5,
 	BaseBackoff: 100 * time.Microsecond,
 	MaxBackoff:  2 * time.Millisecond,
+	Jitter:      0.5,
+}
+
+// jittered returns backoff spread by the policy's jitter and capped at
+// MaxBackoff.
+func (p RetryPolicy) jittered(backoff time.Duration) time.Duration {
+	j := p.Jitter
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		rnd := p.Rand
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		// Uniform over [1-j, 1+j).
+		factor := 1 - j + 2*j*rnd()
+		backoff = time.Duration(float64(backoff) * factor)
+	}
+	if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+		backoff = p.MaxBackoff
+	}
+	return backoff
 }
 
 // Do runs fn, retrying transient failures within the policy's bounds. The
@@ -70,7 +106,7 @@ func (p RetryPolicy) Do(op string, fn func() error) error {
 			p.OnRetry(attempt, err)
 		}
 		if backoff > 0 {
-			sleep(backoff)
+			sleep(p.jittered(backoff))
 			backoff *= 2
 			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
 				backoff = p.MaxBackoff

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedRand returns a deterministic sequence of values in [0, 1).
+func fixedRand(vals ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		v := vals[i%len(vals)]
+		i++
+		return v
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        fixedRand(0, 0.5, 0.999),
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	err := p.Do("test", func() error { return ErrTransient })
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if len(sleeps) != 3 {
+		t.Fatalf("slept %d times, want 3", len(sleeps))
+	}
+	// Backoffs 100µs, 200µs, 400µs with rand 0, 0.5, 0.999 and jitter 0.5:
+	// factor = 0.5 + rand, so sleeps land at 50µs, 200µs, ~400µs.
+	bases := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond}
+	for i, d := range sleeps {
+		lo := time.Duration(float64(bases[i]) * 0.5)
+		hi := time.Duration(float64(bases[i]) * 1.5)
+		if d < lo || d > hi {
+			t.Fatalf("sleep %d = %v outside jitter bounds [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if sleeps[0] != 50*time.Microsecond {
+		t.Fatalf("sleep 0 = %v, want 50µs (rand=0 must be deterministic)", sleeps[0])
+	}
+	if sleeps[1] != 200*time.Microsecond {
+		t.Fatalf("sleep 1 = %v, want 200µs (rand=0.5 is the midpoint)", sleeps[1])
+	}
+}
+
+func TestRetryJitterDeterministicWithInjectedRand(t *testing.T) {
+	run := func() []time.Duration {
+		var sleeps []time.Duration
+		p := RetryPolicy{
+			MaxAttempts: 5,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			Jitter:      0.5,
+			Rand:        fixedRand(0.25, 0.75),
+			Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		}
+		p.Do("test", func() error { return ErrTransient })
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryJitterCappedAtMaxBackoff(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 1 * time.Millisecond,
+		MaxBackoff:  1 * time.Millisecond,
+		Jitter:      1.0,
+		Rand:        fixedRand(0.999), // jitter factor ~2x
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	p.Do("test", func() error { return ErrTransient })
+	for i, d := range sleeps {
+		if d > time.Millisecond {
+			t.Fatalf("sleep %d = %v exceeds MaxBackoff", i, d)
+		}
+	}
+}
+
+func TestRetryJitterDisabledByDefaultZero(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	p.Do("test", func() error { return ErrTransient })
+	want := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times, want %d", len(sleeps), len(want))
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (no jitter requested)", i, sleeps[i], want[i])
+		}
+	}
+}
+
+func TestRetryDefaultPolicyHasJitter(t *testing.T) {
+	if DefaultRetry.Jitter <= 0 {
+		t.Fatalf("DefaultRetry.Jitter = %f, want > 0 to avoid retry storms", DefaultRetry.Jitter)
+	}
+	// With no injected Rand the policy must still work (math/rand/v2 path).
+	var sleeps []time.Duration
+	p := DefaultRetry
+	p.Sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	p.Do("test", func() error { return ErrTransient })
+	for i, d := range sleeps {
+		if d <= 0 || d > p.MaxBackoff {
+			t.Fatalf("sleep %d = %v outside (0, %v]", i, d, p.MaxBackoff)
+		}
+	}
+}

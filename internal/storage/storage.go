@@ -145,12 +145,22 @@ type Metrics struct {
 	BytesRead        int64
 	BytesWritten     int64
 	GCBytesMoved     int64 // bytes relocated by space reclamation
+	GCBytesReclaimed int64 // bytes freed by reclamation and TTL expiry
 	GCRecordsMoved   int64
 	ExtentsReclaimed int64
 	ExtentsExpired   int64 // extents dropped wholesale by TTL
 	LiveBytes        int64 // valid record bytes currently stored
 	TotalBytes       int64 // capacity of all resident extents
 	ExtentCount      int64
+}
+
+// GCWriteAmp returns the write amplification of space reclamation: bytes
+// rewritten per byte freed. Zero until something has been reclaimed.
+func (m Metrics) GCWriteAmp() float64 {
+	if m.GCBytesReclaimed == 0 {
+		return 0
+	}
+	return float64(m.GCBytesMoved) / float64(m.GCBytesReclaimed)
 }
 
 // Store is an in-process, strongly consistent, append-only shared store.
@@ -320,6 +330,7 @@ func (s *Store) Stats() Metrics {
 	for _, st := range s.streams {
 		sm := st.stats()
 		m.GCBytesMoved += sm.GCBytesMoved
+		m.GCBytesReclaimed += sm.GCBytesReclaimed
 		m.GCRecordsMoved += sm.GCRecordsMoved
 		m.ExtentsReclaimed += sm.ExtentsReclaimed
 		m.ExtentsExpired += sm.ExtentsExpired

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+
+	"bg3/internal/metrics"
 	"fmt"
 	"sync"
 	"testing"
@@ -454,5 +456,93 @@ func TestReclaimGraceKeepsCondemnedReadable(t *testing.T) {
 	}
 	if _, err := s.Read(locs[1]); err != ErrReclaimed {
 		t.Fatalf("read after grace = %v, want ErrReclaimed", err)
+	}
+}
+
+func TestGCBytesReclaimedAccounting(t *testing.T) {
+	s := Open(&Options{ExtentSize: 64})
+	var locs []Loc
+	for i := 0; i < 8; i++ {
+		loc, _ := s.Append(StreamBase, uint64(i), bytes.Repeat([]byte{byte(i)}, 8))
+		locs = append(locs, loc)
+	}
+	ext := locs[0].Extent
+	for i, loc := range locs {
+		if loc.Extent == ext && i%2 == 1 {
+			s.Invalidate(loc)
+		}
+	}
+	moved, err := s.Reclaim(StreamBase, ext, func(tag uint64, old, new Loc) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GCBytesMoved != moved {
+		t.Fatalf("GCBytesMoved = %d, want %d", st.GCBytesMoved, moved)
+	}
+	// The reclaimed extent held 64 bytes; `moved` of them were rewritten,
+	// so the rest was freed.
+	if want := 64 - moved; st.GCBytesReclaimed != want {
+		t.Fatalf("GCBytesReclaimed = %d, want %d", st.GCBytesReclaimed, want)
+	}
+	if amp := st.GCWriteAmp(); amp <= 0 {
+		t.Fatalf("GCWriteAmp = %f, want > 0 after moving bytes", amp)
+	}
+}
+
+func TestGCBytesReclaimedOnExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := Open(&Options{ExtentSize: 16, Now: clock})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(StreamBase, uint64(i), []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = time.Unix(2000, 0)
+	if _, err := s.Append(StreamBase, 9, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	dropped := s.DropExpired(StreamBase, time.Unix(1500, 0))
+	if len(dropped) == 0 {
+		t.Fatal("expected extents to expire")
+	}
+	st := s.Stats()
+	// TTL expiry frees whole extents without moving a byte: reclaimed
+	// bytes grow, write amp stays zero.
+	if st.GCBytesReclaimed == 0 {
+		t.Fatal("GCBytesReclaimed = 0 after TTL expiry, want > 0")
+	}
+	if st.GCBytesMoved != 0 {
+		t.Fatalf("GCBytesMoved = %d, want 0 for TTL expiry", st.GCBytesMoved)
+	}
+	if amp := st.GCWriteAmp(); amp != 0 {
+		t.Fatalf("GCWriteAmp = %f, want 0 for pure expiry", amp)
+	}
+}
+
+func TestStoreRegisterMetrics(t *testing.T) {
+	s := Open(&Options{ExtentSize: 64})
+	r := metrics.NewRegistry()
+	s.RegisterMetrics(r)
+	if _, err := s.Append(StreamBase, 1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if v := snap["storage.write_ops"]; v.Value != 1 {
+		t.Fatalf("storage.write_ops = %+v, want 1", v)
+	}
+	if v := snap["storage.bytes_written"]; v.Value != 5 {
+		t.Fatalf("storage.bytes_written = %+v, want 5", v)
+	}
+	for _, name := range []string{
+		"storage.read_ops", "storage.bytes_read", "storage.gc_bytes_moved",
+		"storage.gc_bytes_reclaimed", "storage.extents_reclaimed",
+		"storage.extents_expired", "storage.live_bytes", "storage.total_bytes",
+		"storage.extent_count", "storage.gc_write_amp",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("registry missing %q", name)
+		}
 	}
 }

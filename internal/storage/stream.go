@@ -97,6 +97,7 @@ func (u ExtentUsage) FragmentationRate() float64 {
 
 type streamStats struct {
 	GCBytesMoved     int64
+	GCBytesReclaimed int64
 	GCRecordsMoved   int64
 	ExtentsReclaimed int64
 	ExtentsExpired   int64
@@ -120,6 +121,7 @@ type stream struct {
 	condemned map[ExtentID]time.Time
 
 	gcBytesMoved     int64
+	gcBytesReclaimed int64
 	gcRecordsMoved   int64
 	extentsReclaimed int64
 	extentsExpired   int64
@@ -254,6 +256,7 @@ func (s *stream) stats() streamStats {
 	defer s.mu.RUnlock()
 	st := streamStats{
 		GCBytesMoved:     s.gcBytesMoved,
+		GCBytesReclaimed: s.gcBytesReclaimed,
 		GCRecordsMoved:   s.gcRecordsMoved,
 		ExtentsReclaimed: s.extentsReclaimed,
 		ExtentsExpired:   s.extentsExpired,
@@ -339,6 +342,9 @@ func (s *stream) reclaim(store *Store, ext ExtentID, relocate RelocateFunc) (int
 	}
 	s.purgeCondemnedLocked(now)
 	s.gcBytesMoved += moved
+	if freed := int64(len(e.buf)) - moved; freed > 0 {
+		s.gcBytesReclaimed += freed
+	}
 	s.gcRecordsMoved += int64(len(live))
 	s.extentsReclaimed++
 	s.mu.Unlock()
@@ -370,6 +376,7 @@ func (s *stream) dropExpired(deadline time.Time) []ExtentID {
 			delete(s.extents, id)
 			dropped = append(dropped, id)
 			s.extentsExpired++
+			s.gcBytesReclaimed += int64(len(e.buf))
 			continue
 		}
 		remaining = append(remaining, id)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"bg3/internal/metrics"
 	"bg3/internal/storage"
@@ -167,6 +168,9 @@ type Writer struct {
 	mu      sync.Mutex
 	nextLSN LSN
 	failed  error
+
+	appends   metrics.Counter
+	appendLat metrics.Histogram // storage round-trip per append, retries included
 }
 
 // walRetry is the default policy for WAL appends; retries feed the shared
@@ -248,10 +252,13 @@ func (w *Writer) appendLocked(tag uint64, buf []byte, first, last LSN) error {
 	if w.failed != nil {
 		return w.failed
 	}
+	start := time.Now()
 	err := w.retry.Do("wal: append", func() error {
 		_, aerr := w.store.Append(storage.StreamWAL, tag, buf)
 		return aerr
 	})
+	w.appendLat.Observe(time.Since(start))
+	w.appends.Inc()
 	if err != nil {
 		w.failed = fmt.Errorf("%w: lsn %d..%d (stream %v): %w",
 			ErrWriterFailed, first, last, storage.StreamWAL, err)
@@ -342,6 +349,20 @@ func (w *Writer) NextLSN() LSN {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.nextLSN
+}
+
+// AppendLatency returns the writer's per-append storage latency histogram
+// (retries included — this is the cost a commit actually pays).
+func (w *Writer) AppendLatency() *metrics.Histogram { return &w.appendLat }
+
+// Appends returns the number of storage appends the writer has issued.
+func (w *Writer) Appends() int64 { return w.appends.Load() }
+
+// RegisterMetrics exposes the writer's accounting under the "wal." prefix.
+func (w *Writer) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterCounter("wal.appends", &w.appends)
+	r.RegisterHistogram("wal.append_us", &w.appendLat)
+	r.GaugeFunc("wal.next_lsn", func() int64 { return int64(w.NextLSN()) })
 }
 
 // GapError reports a hole in the LSN sequence: a record arrived whose LSN

@@ -65,6 +65,13 @@ func (db *DB) OpenReplica() (*Replica, error) {
 // Stop detaches the replica and halts its WAL tailing.
 func (r *Replica) Stop() { r.ro.Stop() }
 
+// AppliedLSN returns the highest WAL LSN this replica has applied.
+func (r *Replica) AppliedLSN() uint64 { return uint64(r.ro.AppliedLSN()) }
+
+// Resyncs returns how many times the replica re-bootstrapped from a
+// snapshot after a WAL trim or lost extent outran its tailing.
+func (r *Replica) Resyncs() int64 { return r.ro.Resyncs() }
+
 // Sync synchronously drains the WAL so subsequent reads reflect every
 // write the DB has acknowledged so far.
 func (r *Replica) Sync() error { return r.ro.Poll() }
