@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-short microbench repro examples clean
+.PHONY: all build test race bench bench-short benchdiff microbench repro examples clean
 
 all: build test
 
@@ -16,13 +16,20 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark trajectory: throughput, p50/p99 latency, read fan-out, cache
-# hit ratio, and GC write amplification per Table-1 workload, written to
-# BENCH_PR2.json for diffing across PRs.
+# hit ratio, allocation cost, and GC write amplification per Table-1
+# workload, written to BENCH_PR3.json for diffing across PRs.
 bench:
-	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR3.json
 
+# Reduced scale for CI; writes a separate file so the checked-in
+# full-scale baselines are never clobbered.
 bench-short:
-	$(GO) run ./cmd/bg3-benchjson -short -out BENCH_PR2.json
+	$(GO) run ./cmd/bg3-benchjson -short -out BENCH_SHORT.json
+
+# Compare the two checked-in full-scale trajectories; fails on a >20%
+# throughput regression.
+benchdiff:
+	$(GO) run ./cmd/bg3-benchdiff BENCH_PR2.json BENCH_PR3.json
 
 # One benchmark per paper table/figure, plus ablations and micro-benches.
 microbench:

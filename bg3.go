@@ -279,6 +279,9 @@ type StorageStats struct {
 	WriteOps        int64 `json:"write_ops"`
 	BytesRead       int64 `json:"bytes_read"`
 	BytesWritten    int64 `json:"bytes_written"`
+	BatchReads      int64 `json:"batch_reads"`
+	BatchLocs       int64 `json:"batch_locs"`
+	BatchRoundTrips int64 `json:"batch_round_trips"`
 	LiveBytes       int64 `json:"live_bytes"`
 	TotalBytes      int64 `json:"total_bytes"`
 	ExtentCount     int64 `json:"extent_count"`
@@ -302,12 +305,18 @@ type WALStats struct {
 // CacheStats is the page cache's hit accounting plus the per-read storage
 // fan-out distribution (Fig. 9: at most 2 under the read-optimized policy).
 type CacheStats struct {
-	Hits        int64       `json:"hits"`
-	Misses      int64       `json:"misses"`
-	HitRatio    float64     `json:"hit_ratio"`
-	ReadFanout  FanoutStats `json:"read_fanout"`
-	Pages       int64       `json:"pages"`
-	MemoryBytes int64       `json:"memory_bytes"`
+	Hits            int64          `json:"hits"`
+	Misses          int64          `json:"misses"`
+	CoalescedMisses int64          `json:"coalesced_misses"`
+	HitRatio        float64        `json:"hit_ratio"`
+	Shards          int            `json:"shards"`
+	Evictions       int64          `json:"evictions"`
+	ReadaheadIssued int64          `json:"readahead_issued"`
+	ReadaheadHits   int64          `json:"readahead_hits"`
+	ReadFanout      FanoutStats    `json:"read_fanout"`
+	MaterializeLat  HistogramStats `json:"materialize_latency"`
+	Pages           int64          `json:"pages"`
+	MemoryBytes     int64          `json:"memory_bytes"`
 }
 
 // ForestStats is the Bw-tree forest's shape (Fig. 11).
@@ -371,6 +380,7 @@ func (db *DB) Stats() Stats {
 	fs := db.engine.Forest().Stats()
 	m := db.engine.Mapping()
 	hits, misses := m.CacheStats()
+	raIssued, raHits := m.ReadaheadStats()
 	var ratio float64
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
@@ -382,6 +392,9 @@ func (db *DB) Stats() Stats {
 			WriteOps:        ss.WriteOps,
 			BytesRead:       ss.BytesRead,
 			BytesWritten:    ss.BytesWritten,
+			BatchReads:      ss.BatchReads,
+			BatchLocs:       ss.BatchLocs,
+			BatchRoundTrips: ss.BatchRoundTrips,
 			LiveBytes:       ss.LiveBytes,
 			TotalBytes:      ss.TotalBytes,
 			ExtentCount:     ss.ExtentCount,
@@ -390,12 +403,18 @@ func (db *DB) Stats() Stats {
 			FaultRecoveries: metrics.Faults.Recoveries.Load(),
 		},
 		Cache: CacheStats{
-			Hits:        hits,
-			Misses:      misses,
-			HitRatio:    ratio,
-			ReadFanout:  fanoutStats(m.ReadFanout().Summary()),
-			Pages:       int64(m.PageCount()),
-			MemoryBytes: fs.MemoryBytes,
+			Hits:            hits,
+			Misses:          misses,
+			CoalescedMisses: m.CoalescedMisses(),
+			HitRatio:        ratio,
+			Shards:          m.ShardCount(),
+			Evictions:       m.Evictions(),
+			ReadaheadIssued: raIssued,
+			ReadaheadHits:   raHits,
+			ReadFanout:      fanoutStats(m.ReadFanout().Summary()),
+			MaterializeLat:  histogramStats(m.MaterializeLatency().Summary()),
+			Pages:           int64(m.PageCount()),
+			MemoryBytes:     fs.MemoryBytes,
 		},
 		Forest: ForestStats{
 			Trees:      fs.Trees,

@@ -1,0 +1,159 @@
+// bg3-benchdiff compares two bg3-benchjson output files and prints a
+// per-workload delta table: throughput, tail latency, cache hit ratio, and
+// allocation cost. It exits non-zero when any workload's throughput regressed
+// by more than -max-regress (default 20%), so CI can gate on it; pass
+// -report-only to always exit zero (used while baselines and candidates are
+// produced at different scales, e.g. a full-scale checked-in baseline vs a
+// -short CI run).
+//
+// Usage:
+//
+//	bg3-benchdiff [flags] OLD.json NEW.json
+//
+// Both bg3.bench/v1 and /v2 files are accepted; v2-only fields read as zero
+// from v1 baselines and their rows are marked "n/a".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type fanoutJSON struct {
+	P99 int64 `json:"p99"`
+}
+
+type workloadJSON struct {
+	Name            string     `json:"name"`
+	Ops             int64      `json:"ops"`
+	Throughput      float64    `json:"throughput_ops_s"`
+	P50US           int64      `json:"p50_us"`
+	P99US           int64      `json:"p99_us"`
+	ReadFanout      fanoutJSON `json:"read_fanout"`
+	CacheHitRatio   float64    `json:"cache_hit_ratio"`
+	AllocBytesPerOp float64    `json:"alloc_bytes_per_op"`
+}
+
+type benchJSON struct {
+	Schema    string         `json:"schema"`
+	Short     bool           `json:"short"`
+	Workers   int            `json:"workers"`
+	OpsPerW   int            `json:"ops_per_worker"`
+	Workloads []workloadJSON `json:"workloads"`
+}
+
+func load(path string) (benchJSON, error) {
+	var b benchJSON
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Workloads) == 0 {
+		return b, fmt.Errorf("%s: no workloads (schema %q)", path, b.Schema)
+	}
+	return b, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"fail when any workload's throughput drops by more than this fraction")
+	reportOnly := flag.Bool("report-only", false,
+		"print the comparison but always exit zero")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: bg3-benchdiff [flags] OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+
+	oldB, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newB, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	oldByName := make(map[string]workloadJSON, len(oldB.Workloads))
+	for _, w := range oldB.Workloads {
+		oldByName[w.Name] = w
+	}
+
+	sameScale := oldB.Short == newB.Short && oldB.Workers == newB.Workers && oldB.OpsPerW == newB.OpsPerW
+	fmt.Printf("baseline:  %s (schema %s, workers=%d ops/worker=%d short=%v)\n",
+		flag.Arg(0), oldB.Schema, oldB.Workers, oldB.OpsPerW, oldB.Short)
+	fmt.Printf("candidate: %s (schema %s, workers=%d ops/worker=%d short=%v)\n",
+		flag.Arg(1), newB.Schema, newB.Workers, newB.OpsPerW, newB.Short)
+	if !sameScale {
+		fmt.Printf("note: runs use different scales; deltas are indicative only\n")
+	}
+	fmt.Println()
+
+	fmt.Printf("%-24s %22s %18s %14s %16s\n",
+		"workload", "throughput (ops/s)", "p99 (us)", "hit ratio", "alloc (B/op)")
+	failed := false
+	for _, nw := range newB.Workloads {
+		ow, ok := oldByName[nw.Name]
+		if !ok {
+			fmt.Printf("%-24s %22s (new workload, no baseline)\n", nw.Name, fmtF(nw.Throughput))
+			continue
+		}
+		tPct := pct(ow.Throughput, nw.Throughput)
+		pPct := pct(float64(ow.P99US), float64(nw.P99US))
+		hitDelta := nw.CacheHitRatio - ow.CacheHitRatio
+		alloc := "n/a"
+		if ow.AllocBytesPerOp > 0 && nw.AllocBytesPerOp > 0 {
+			alloc = fmt.Sprintf("%.0f (%+.1f%%)", nw.AllocBytesPerOp, pct(ow.AllocBytesPerOp, nw.AllocBytesPerOp))
+		} else if nw.AllocBytesPerOp > 0 {
+			alloc = fmt.Sprintf("%.0f", nw.AllocBytesPerOp)
+		}
+		fmt.Printf("%-24s %10s (%+6.1f%%) %8d (%+6.1f%%) %6.2f (%+.2f) %16s\n",
+			nw.Name, fmtF(nw.Throughput), tPct, nw.P99US, pPct, nw.CacheHitRatio, hitDelta, alloc)
+		if tPct < -*maxRegress*100 {
+			failed = true
+			fmt.Printf("  ^ REGRESSION: throughput down %.1f%% (limit %.0f%%)\n", -tPct, *maxRegress*100)
+		}
+	}
+
+	for _, ow := range oldB.Workloads {
+		found := false
+		for _, nw := range newB.Workloads {
+			if nw.Name == ow.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-24s missing from candidate (baseline %.0f ops/s)\n", ow.Name, ow.Throughput)
+			failed = true
+		}
+	}
+
+	if failed {
+		if *reportOnly {
+			fmt.Println("\nregressions detected (report-only: exiting 0)")
+			return
+		}
+		fmt.Println("\nFAIL: throughput regression beyond limit")
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no throughput regression beyond limit")
+}
+
+func fmtF(v float64) string {
+	return fmt.Sprintf("%.0f", v)
+}

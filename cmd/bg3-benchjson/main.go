@@ -1,8 +1,10 @@
 // bg3-benchjson runs the three Table-1 workloads against a fresh DB each
-// and writes a machine-readable benchmark trajectory (BENCH_PR2.json):
+// and writes a machine-readable benchmark trajectory (BENCH_PR3.json):
 // throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
-// and GC write amplification. CI runs it in -short mode and archives the
-// JSON so regressions show up as a diffable artifact over time.
+// allocation cost per op, batch-read/read-ahead effectiveness, and GC write
+// amplification. CI runs it in -short mode and archives the JSON so
+// regressions show up as a diffable artifact over time; bg3-benchdiff
+// compares two such files.
 package main
 
 import (
@@ -38,11 +40,27 @@ type workloadJSON struct {
 	P99US         int64      `json:"p99_us"`
 	ReadFanout    fanoutJSON `json:"read_fanout"`
 	CacheHitRatio float64    `json:"cache_hit_ratio"`
-	GCWriteAmp    float64    `json:"gc_write_amp"`
-	GCBytesMoved  int64      `json:"gc_bytes_moved"`
-	BytesWritten  int64      `json:"bytes_written"`
-	Trees         int        `json:"trees"`
-	Migrations    int        `json:"migrations"`
+
+	// Allocation cost of the measured phase (runtime.ReadMemStats deltas
+	// around workload.Run, divided by completed ops). Heap pressure is the
+	// dominant cost on CPU-bound configurations, so it is tracked alongside
+	// throughput.
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+
+	// Read-path I/O effectiveness counters (cumulative over preload + run).
+	BatchReads      int64 `json:"batch_reads"`
+	BatchRoundTrips int64 `json:"batch_round_trips"`
+	CoalescedMisses int64 `json:"coalesced_misses"`
+	ReadaheadIssued int64 `json:"readahead_issued"`
+	ReadaheadHits   int64 `json:"readahead_hits"`
+	CacheShards     int   `json:"cache_shards"`
+
+	GCWriteAmp   float64 `json:"gc_write_amp"`
+	GCBytesMoved int64   `json:"gc_bytes_moved"`
+	BytesWritten int64   `json:"bytes_written"`
+	Trees        int     `json:"trees"`
+	Migrations   int     `json:"migrations"`
 }
 
 type benchJSON struct {
@@ -55,7 +73,7 @@ type benchJSON struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
@@ -75,7 +93,7 @@ func main() {
 	}
 
 	report := benchJSON{
-		Schema:    "bg3.bench/v1",
+		Schema:    "bg3.bench/v2",
 		Short:     *short,
 		Workers:   *workers,
 		OpsPerW:   opsPerWorker,
@@ -98,8 +116,8 @@ func main() {
 			log.Fatalf("%s: %v", sp.gen.Name(), err)
 		}
 		report.Workloads = append(report.Workloads, w)
-		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  fanout(p99)=%d  hit=%.2f  amp=%.2f\n",
-			w.Name, w.Throughput, w.P50US, w.P99US, w.ReadFanout.P99, w.CacheHitRatio, w.GCWriteAmp)
+		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  fanout(p99)=%d  hit=%.2f  alloc=%.0fB/op  amp=%.2f\n",
+			w.Name, w.Throughput, w.P50US, w.P99US, w.ReadFanout.P99, w.CacheHitRatio, w.AllocBytesPerOp, w.GCWriteAmp)
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -133,12 +151,22 @@ func runOne(gen workload.Generator, etype graph.EdgeType, ttl time.Duration, ver
 		return workloadJSON{}, err
 	}
 
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	res := workload.Run(db, gen, workers, opsPerWorker, seed+100)
+	runtime.ReadMemStats(&after)
 	if _, err := db.RunGC(8); err != nil {
 		return workloadJSON{}, err
 	}
 
 	s := db.Stats()
+	var allocBytes, allocs float64
+	if res.Ops > 0 {
+		// TotalAlloc/Mallocs are monotonic, so the deltas bracket exactly
+		// the measured phase without needing a forced GC.
+		allocBytes = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+	}
 	return workloadJSON{
 		Name:       res.Workload,
 		Workers:    workers,
@@ -155,11 +183,19 @@ func runOne(gen workload.Generator, etype graph.EdgeType, ttl time.Duration, ver
 			P99:   s.Cache.ReadFanout.P99,
 			Max:   s.Cache.ReadFanout.Max,
 		},
-		CacheHitRatio: s.Cache.HitRatio,
-		GCWriteAmp:    s.GC.WriteAmp,
-		GCBytesMoved:  s.GC.BytesMoved,
-		BytesWritten:  s.Storage.BytesWritten,
-		Trees:         s.Forest.Trees,
-		Migrations:    s.Forest.Migrations,
+		CacheHitRatio:   s.Cache.HitRatio,
+		AllocBytesPerOp: allocBytes,
+		AllocsPerOp:     allocs,
+		BatchReads:      s.Storage.BatchReads,
+		BatchRoundTrips: s.Storage.BatchRoundTrips,
+		CoalescedMisses: s.Cache.CoalescedMisses,
+		ReadaheadIssued: s.Cache.ReadaheadIssued,
+		ReadaheadHits:   s.Cache.ReadaheadHits,
+		CacheShards:     s.Cache.Shards,
+		GCWriteAmp:      s.GC.WriteAmp,
+		GCBytesMoved:    s.GC.BytesMoved,
+		BytesWritten:    s.Storage.BytesWritten,
+		Trees:           s.Forest.Trees,
+		Migrations:      s.Forest.Migrations,
 	}, nil
 }

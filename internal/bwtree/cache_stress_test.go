@@ -1,0 +1,243 @@
+package bwtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"bg3/internal/storage"
+)
+
+// TestRemoveClearsRelocated is a regression test: remove() used to drop a
+// page from the mapping table and LRU but leave its entry in m.relocated, so
+// the next checkpoint drain carried a note for a page that no longer exists.
+func TestRemoveClearsRelocated(t *testing.T) {
+	m := NewMapping(0, false)
+	id := m.allocPageID()
+	old := storage.Loc{Stream: storage.StreamBase, Extent: 1, Offset: 0, Length: 8}
+	e := &pageEntry{id: id, isLeaf: true, baseLoc: old}
+	m.register(e)
+
+	moved := storage.Loc{Stream: storage.StreamBase, Extent: 2, Offset: 0, Length: 8}
+	if !m.Relocate(uint64(id), old, moved) {
+		t.Fatal("Relocate refused a live base location")
+	}
+	m.relocMu.Lock()
+	_, noted := m.relocated[id]
+	m.relocMu.Unlock()
+	if !noted {
+		t.Fatal("Relocate did not note the page for checkpointing")
+	}
+
+	m.remove(id)
+
+	m.relocMu.Lock()
+	_, stale := m.relocated[id]
+	m.relocMu.Unlock()
+	if stale {
+		t.Fatal("remove left a stale relocated entry behind")
+	}
+	if ups := m.TakeRelocated(); len(ups) != 0 {
+		t.Fatalf("TakeRelocated returned %d updates for a removed page", len(ups))
+	}
+}
+
+// TestStressShardedCache hammers the lock-striped page cache with concurrent
+// point reads, writes, deletes, async flushes, LRU evictions (capacity far
+// below the working set), and GC relocations. Run with -race. After the
+// storm it verifies that no dirty page content was lost to eviction, that
+// evictions actually happened, and — in a quiesced read-only phase — that
+// every Get counts exactly one cache hit or miss.
+func TestStressShardedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in short mode")
+	}
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 12, ReclaimGrace: time.Hour})
+	m := NewMappingShards(32, false, 8)
+	if m.ShardCount() != 8 {
+		t.Fatalf("shard count = %d, want 8", m.ShardCount())
+	}
+	tr, err := New(m, st, Config{FlushMode: FlushAsync, MaxPageEntries: 8, ConsolidateNum: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 4
+		readers  = 4
+		opsPerW  = 500
+		keysPerW = 80
+	)
+	key := func(w, i int) []byte { return []byte(fmt.Sprintf("w%d-k%03d", w, i)) }
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Async flusher: dirty pages race evictions; eviction must skip them.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := tr.FlushDirty(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// GC: relocate sealed extents underneath the cache.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sid := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
+				for _, u := range st.Usage(sid) {
+					if u.Sealed {
+						if _, err := st.Reclaim(sid, u.Extent, m.Relocate); err != nil {
+							t.Errorf("reclaim %v/%d: %v", sid, u.Extent, err)
+							return
+						}
+					}
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers: point gets and scans across every writer's range.
+	for r := 0; r < readers; r++ {
+		bg.Add(1)
+		go func(r int) {
+			defer bg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key(rng.Intn(writers), rng.Intn(keysPerW))
+				if v, ok, err := tr.Get(k); err != nil {
+					t.Errorf("reader get %s: %v", k, err)
+					return
+				} else if ok && len(v) == 0 {
+					t.Errorf("reader got empty value for %s", k)
+					return
+				}
+				if rng.Intn(16) == 0 {
+					if err := tr.Scan(nil, nil, 64, func(k, v []byte) bool { return true }); err != nil {
+						t.Errorf("reader scan: %v", err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writers own disjoint key ranges so their local models are exact.
+	models := make([]map[string]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			model := map[string]string{}
+			for i := 0; i < opsPerW; i++ {
+				k := key(w, rng.Intn(keysPerW))
+				if rng.Intn(5) == 0 {
+					if err := tr.Delete(k); err != nil {
+						t.Errorf("writer %d delete: %v", w, err)
+						return
+					}
+					delete(model, string(k))
+				} else {
+					v := fmt.Sprintf("w%d.%d", w, i)
+					if err := tr.Put(k, []byte(v)); err != nil {
+						t.Errorf("writer %d put: %v", w, err)
+						return
+					}
+					model[string(k)] = v
+				}
+			}
+			models[w] = model
+		}(w)
+	}
+
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain async state, then check nothing dirty was lost to eviction.
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.DirtyCount(); n != 0 {
+		t.Fatalf("dirty pages after final flush: %d", n)
+	}
+	want := 0
+	for w, model := range models {
+		want += len(model)
+		for k, v := range model {
+			got, ok, err := tr.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				t.Fatalf("writer %d key %s = %q %v %v, want %q", w, k, got, ok, err, v)
+			}
+		}
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("tree has %d keys, models say %d", n, want)
+	}
+	if m.Evictions() == 0 {
+		t.Fatal("capacity 32 with ~40 leaves should have evicted at least once")
+	}
+
+	// Quiesced read-only phase: with no structural changes racing, every Get
+	// is accounted exactly once as a hit or a miss — even with concurrent
+	// readers sharing miss-coalescing flights.
+	h0, ms0 := m.CacheStats()
+	const roReaders, roGets = 4, 300
+	var ro sync.WaitGroup
+	for r := 0; r < roReaders; r++ {
+		ro.Add(1)
+		go func(r int) {
+			defer ro.Done()
+			rng := rand.New(rand.NewSource(int64(900 + r)))
+			for i := 0; i < roGets; i++ {
+				k := key(rng.Intn(writers), rng.Intn(keysPerW))
+				if _, _, err := tr.Get(k); err != nil {
+					t.Errorf("quiesced get %s: %v", k, err)
+					return
+				}
+			}
+		}(r)
+	}
+	ro.Wait()
+	if t.Failed() {
+		return
+	}
+	h1, ms1 := m.CacheStats()
+	if got, wantGets := (h1+ms1)-(h0+ms0), int64(roReaders*roGets); got != wantGets {
+		t.Fatalf("quiesced phase counted %d hits+misses for %d Gets", got, wantGets)
+	}
+}

@@ -76,6 +76,13 @@ type Config struct {
 	// 0 means unlimited.
 	CacheCapacity int
 
+	// CacheShards is the number of lock stripes the page cache is split
+	// into (rounded up to a power of two). 0 derives the count from
+	// GOMAXPROCS — see NewMappingShards. Only consulted by whoever builds
+	// the shared Mapping (the engine); trees joining an existing mapping
+	// inherit its sharding.
+	CacheShards int
+
 	// NoCache disables the page cache entirely so that every read hits
 	// storage — the configuration of the Fig. 9 read-amplification
 	// experiment.

@@ -41,6 +41,13 @@ func encodeLeaf(entries []kv) []byte {
 	return buf
 }
 
+// decodeLeaf parses a leaf image. The returned entries alias buf rather
+// than copying each key and value: decode is the hottest allocation site of
+// the read path, page content is never mutated in place (updates replace
+// slice headers), and every storage read hands back a freshly owned buffer,
+// so aliasing is safe. Callers that decode from a shared or reused buffer
+// must copy first. Sub-slices are capacity-capped so an append through one
+// can never bleed into its neighbor.
 func decodeLeaf(buf []byte) ([]kv, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("%w: short leaf", ErrCorruptPage)
@@ -59,8 +66,8 @@ func decodeLeaf(buf []byte) ([]kv, error) {
 			return nil, fmt.Errorf("%w: truncated leaf payload %d", ErrCorruptPage, i)
 		}
 		entries = append(entries, kv{
-			key: append([]byte(nil), buf[:klen]...),
-			val: append([]byte(nil), buf[klen:klen+vlen]...),
+			key: buf[:klen:klen],
+			val: buf[klen : klen+vlen : klen+vlen],
 		})
 		buf = buf[klen+vlen:]
 	}
@@ -110,9 +117,11 @@ func decodeOps(buf []byte) ([]op, error) {
 		if uint32(len(buf)) < klen+vlen {
 			return nil, fmt.Errorf("%w: truncated delta payload %d", ErrCorruptPage, i)
 		}
-		o := op{del: del, key: append([]byte(nil), buf[:klen]...)}
+		// Like decodeLeaf, ops alias buf: delta payloads are applied, never
+		// edited, and readers own the buffer they decode from.
+		o := op{del: del, key: buf[:klen:klen]}
 		if vlen > 0 {
-			o.val = append([]byte(nil), buf[klen:klen+vlen]...)
+			o.val = buf[klen : klen+vlen : klen+vlen]
 		}
 		ops = append(ops, o)
 		buf = buf[klen+vlen:]

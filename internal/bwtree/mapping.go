@@ -2,6 +2,7 @@ package bwtree
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -48,11 +49,44 @@ type pageEntry struct {
 	pending      []op // applied in memory, not yet durable (async mode)
 	dirty        bool // has non-durable changes (async mode)
 	splitPending bool // the page split in memory; next flush must rewrite its base
+	prefetched   bool // content was installed by scan read-ahead, not a demand miss
 
 	lo, hi []byte // key range covered: [lo, hi), hi == nil means +inf
 	next   PageID // right sibling, 0 at the rightmost leaf
 
 	lsn wal.LSN // LSN of the newest update applied to this page
+}
+
+// flight is one in-progress cold-page load shared by every reader that
+// misses on the same page while it runs (miss coalescing). The loc fields
+// snapshot the page's durable state at flight creation; members validate
+// their page against that snapshot before installing the result, so a
+// flight whose page changed mid-load (writer appended a delta, GC
+// relocated a record) is simply discarded and retried.
+type flight struct {
+	done   chan struct{}
+	base   storage.Loc
+	deltas []storage.Loc
+
+	// Results, valid once done is closed.
+	entries []kv
+	reads   int
+	err     error
+}
+
+// cacheShard is one lock stripe of the leaf-content cache. Hashing pages
+// across shards replaces the old global cacheMu: cache touches on different
+// shards never contend, and each shard evicts independently against its
+// slice of the total capacity.
+type cacheShard struct {
+	mu       sync.Mutex
+	lru      *list.List               // front = most recent
+	lruIndex map[PageID]*list.Element // page -> element
+	capacity int                      // per-shard slice of the budget; 0 = unlimited
+
+	// In-progress cold loads for pages hashing to this shard, keyed by
+	// page. Striped together with the LRU so coalescing adds no global lock.
+	flights map[PageID]*flight
 }
 
 // Mapping is the shared mapping table: PageID -> page entry. A forest of
@@ -65,21 +99,30 @@ type Mapping struct {
 	nextPage atomic.Uint64
 	nextTree atomic.Uint64
 
-	// Leaf-content cache (LRU). Guarded by cacheMu. Entries hold their
-	// content in pageEntry.cached; the LRU only tracks recency.
-	cacheMu  sync.Mutex
-	lru      *list.List               // front = most recent
-	lruIndex map[PageID]*list.Element // page -> element
-	capacity int                      // 0 = unlimited
-	disabled bool
+	// Leaf-content cache, lock-striped by page ID. Entries hold their
+	// content in pageEntry.cached; the shards only track recency and
+	// in-flight loads.
+	shards    []*cacheShard
+	shardMask uint64
+	disabled  bool
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64 // misses that piggybacked on another reader's flight
+	evictions atomic.Int64
+
+	readaheadIssued atomic.Int64
+	readaheadHits   atomic.Int64
 
 	// fanout records the storage reads each Get paid to materialize its
 	// leaf — Fig. 9's per-read I/O: 0 on a cache hit, 1 + chain length on
 	// a miss (at most 2 under the read-optimized delta policy).
 	fanout metrics.IntHistogram
+
+	// materializeLat records the wall time of every Get/Scan-path cache
+	// miss, flight waits included — the latency a reader actually paid for
+	// a cold page.
+	materializeLat metrics.Histogram
 
 	// relocated tracks pages whose durable locations GC moved since the
 	// last TakeRelocated call; checkpoints ship them to replicas.
@@ -87,19 +130,84 @@ type Mapping struct {
 	relocated map[PageID]struct{}
 }
 
-// NewMapping returns an empty mapping table. capacity bounds the number of
-// leaf pages with resident content (0 = unlimited); disabled turns the
-// cache off entirely.
+// defaultShardCount derives the lock-stripe count from the host's
+// parallelism: the next power of two at or above 2×GOMAXPROCS, clamped to
+// [2, 64]. Twice the core count keeps collision probability low when every
+// core runs a reader; the power-of-two lets shard selection mask instead of
+// divide.
+func defaultShardCount() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 64 {
+		n = 64
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewMapping returns an empty mapping table with the shard count derived
+// from GOMAXPROCS. capacity bounds the number of leaf pages with resident
+// content (0 = unlimited); disabled turns the cache off entirely.
 func NewMapping(capacity int, disabled bool) *Mapping {
-	return &Mapping{
+	return NewMappingShards(capacity, disabled, 0)
+}
+
+// NewMappingShards is NewMapping with an explicit cache shard count.
+// shards is rounded up to a power of two; <= 0 selects the GOMAXPROCS
+// heuristic. The capacity budget is split evenly across shards.
+func NewMappingShards(capacity int, disabled bool, shards int) *Mapping {
+	if shards <= 0 {
+		shards = defaultShardCount()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	// A shard needs a capacity slice of at least 2: page splits note both
+	// halves while the left one is latched, and a single-slot shard has no
+	// headroom to absorb that without overflowing its budget. Tiny caches
+	// therefore collapse to fewer shards (capacity 2 = one shard = the
+	// classic single LRU).
+	for capacity > 0 && n > 1 && capacity/n < 2 {
+		n >>= 1
+	}
+	m := &Mapping{
 		pages:     make(map[PageID]*pageEntry),
-		lru:       list.New(),
-		lruIndex:  make(map[PageID]*list.Element),
-		capacity:  capacity,
+		shards:    make([]*cacheShard, n),
+		shardMask: uint64(n - 1),
 		disabled:  disabled,
 		relocated: make(map[PageID]struct{}),
 	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + n - 1) / n
+	}
+	for i := range m.shards {
+		m.shards[i] = &cacheShard{
+			lru:      list.New(),
+			lruIndex: make(map[PageID]*list.Element),
+			capacity: perShard,
+			flights:  make(map[PageID]*flight),
+		}
+	}
+	return m
 }
+
+// shard selects the stripe for a page. The Fibonacci multiplier spreads the
+// sequential IDs the allocator hands out; the high bits feed the mask
+// because the low bits of the product mix poorly.
+func (m *Mapping) shard(id PageID) *cacheShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return m.shards[(h>>32)&m.shardMask]
+}
+
+// ShardCount returns the number of cache lock stripes.
+func (m *Mapping) ShardCount() int { return len(m.shards) }
 
 // allocPageID reserves a fresh page ID.
 func (m *Mapping) allocPageID() PageID {
@@ -128,12 +236,46 @@ func (m *Mapping) remove(id PageID) {
 	m.mu.Lock()
 	delete(m.pages, id)
 	m.mu.Unlock()
-	m.cacheMu.Lock()
-	if el, ok := m.lruIndex[id]; ok {
-		m.lru.Remove(el)
-		delete(m.lruIndex, id)
+	s := m.shard(id)
+	s.mu.Lock()
+	if el, ok := s.lruIndex[id]; ok {
+		s.lru.Remove(el)
+		delete(s.lruIndex, id)
 	}
-	m.cacheMu.Unlock()
+	s.mu.Unlock()
+	// Drop any pending relocation note: shipping a relocation record for a
+	// page that no longer exists would have checkpoints advertise dangling
+	// locations to replicas.
+	m.relocMu.Lock()
+	delete(m.relocated, id)
+	m.relocMu.Unlock()
+}
+
+// joinFlight returns the in-progress load for page id, creating one from
+// the given durable-state snapshot if none exists. leader is true for the
+// creator, who must perform the load and call finishFlight; everyone else
+// waits on f.done.
+func (m *Mapping) joinFlight(id PageID, base storage.Loc, deltas []storage.Loc) (f *flight, leader bool) {
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[id]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{}), base: base, deltas: deltas}
+	s.flights[id] = f
+	return f, true
+}
+
+// finishFlight publishes the flight's results: it is unlinked first so a
+// reader missing after this point starts a fresh load rather than adopting
+// a result that may already be stale.
+func (m *Mapping) finishFlight(id PageID, f *flight) {
+	s := m.shard(id)
+	s.mu.Lock()
+	delete(s.flights, id)
+	s.mu.Unlock()
+	close(f.done)
 }
 
 // PageCount returns the number of registered pages.
@@ -148,14 +290,51 @@ func (m *Mapping) CacheStats() (hits, misses int64) {
 	return m.hits.Load(), m.misses.Load()
 }
 
+// CoalescedMisses returns how many cache misses were served by another
+// reader's in-flight load instead of their own storage reads.
+func (m *Mapping) CoalescedMisses() int64 { return m.coalesced.Load() }
+
+// ReadaheadStats returns how many scan read-ahead loads were issued and how
+// many scans subsequently arrived at a leaf the read-ahead had populated.
+func (m *Mapping) ReadaheadStats() (issued, hits int64) {
+	return m.readaheadIssued.Load(), m.readaheadHits.Load()
+}
+
+// Evictions returns how many cached pages the LRU sweeps have dropped.
+func (m *Mapping) Evictions() int64 { return m.evictions.Load() }
+
 // ReadFanout returns the per-Get storage read fan-out histogram.
 func (m *Mapping) ReadFanout() *metrics.IntHistogram { return &m.fanout }
+
+// MaterializeLatency returns the cache-miss materialization latency
+// histogram.
+func (m *Mapping) MaterializeLatency() *metrics.Histogram { return &m.materializeLat }
+
+// shardEntrySpread returns the smallest and largest resident-entry counts
+// across shards — a live view of how evenly the hash spreads the working
+// set.
+func (m *Mapping) shardEntrySpread() (min, max int64) {
+	for i, s := range m.shards {
+		s.mu.Lock()
+		n := int64(s.lru.Len())
+		s.mu.Unlock()
+		if i == 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max
+}
 
 // RegisterMetrics exposes the mapping table's cache and fan-out accounting
 // under the "bwtree." prefix.
 func (m *Mapping) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("bwtree.cache_hits", m.hits.Load)
 	r.CounterFunc("bwtree.cache_misses", m.misses.Load)
+	r.CounterFunc("bwtree.cache_coalesced_misses", m.coalesced.Load)
+	r.CounterFunc("bwtree.cache_evictions", m.evictions.Load)
 	r.RatioFunc("bwtree.cache_hit_ratio", func() float64 {
 		h, ms := m.CacheStats()
 		if h+ms == 0 {
@@ -163,71 +342,88 @@ func (m *Mapping) RegisterMetrics(r *metrics.Registry) {
 		}
 		return float64(h) / float64(h+ms)
 	})
+	r.GaugeFunc("bwtree.cache_shard_count", func() int64 { return int64(len(m.shards)) })
+	r.GaugeFunc("bwtree.cache_shard_entries_min", func() int64 { min, _ := m.shardEntrySpread(); return min })
+	r.GaugeFunc("bwtree.cache_shard_entries_max", func() int64 { _, max := m.shardEntrySpread(); return max })
+	r.CounterFunc("bwtree.readahead_issued", m.readaheadIssued.Load)
+	r.CounterFunc("bwtree.readahead_hits", m.readaheadHits.Load)
 	r.RegisterIntHistogram("bwtree.read_fanout", &m.fanout)
+	r.RegisterHistogram("bwtree.materialize_us", &m.materializeLat)
 	r.GaugeFunc("bwtree.pages", func() int64 { return int64(m.PageCount()) })
 	r.GaugeFunc("bwtree.memory_bytes", m.MemoryUsage)
 }
 
 // noteCached records that e's content is resident and evicts LRU victims
-// beyond capacity. Caller must NOT hold e.mu of potential victims — we
-// only evict entries whose latch we can take without blocking, skipping
-// busy or dirty pages.
+// beyond the shard's capacity. Caller must NOT hold e.mu of potential
+// victims — we only evict entries whose latch we can take without blocking,
+// skipping busy or dirty pages.
 func (m *Mapping) noteCached(e *pageEntry) {
 	if m.disabled {
 		e.cached = nil // caller materialized transiently; drop content
 		return
 	}
-	m.cacheMu.Lock()
-	defer m.cacheMu.Unlock()
-	if el, ok := m.lruIndex[e.id]; ok {
-		m.lru.MoveToFront(el)
+	s := m.shard(e.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.lruIndex[e.id]; ok {
+		s.lru.MoveToFront(el)
 	} else {
-		m.lruIndex[e.id] = m.lru.PushFront(e)
+		s.lruIndex[e.id] = s.lru.PushFront(e)
 	}
-	if m.capacity <= 0 {
+	if s.capacity <= 0 {
 		return
 	}
 	// Bounded sweep: pinned (dirty or latch-busy) victims re-enter the
-	// front, so without a bound a fully pinned cache would spin here.
-	for attempts := m.lru.Len(); m.lru.Len() > m.capacity && attempts > 0; attempts-- {
-		el := m.lru.Back()
+	// front, so without a bound a fully pinned shard would spin here.
+	for attempts := s.lru.Len(); s.lru.Len() > s.capacity && attempts > 0; attempts-- {
+		el := s.lru.Back()
 		if el == nil {
 			break
 		}
 		victim := el.Value.(*pageEntry)
-		m.lru.Remove(el)
-		delete(m.lruIndex, victim.id)
+		s.lru.Remove(el)
+		delete(s.lruIndex, victim.id)
 		if victim == e {
-			continue // never evict the page we just touched
+			// Never evict the page we just touched — but keep it tracked,
+			// or its content would stay resident yet invisible to every
+			// future sweep.
+			s.lruIndex[victim.id] = s.lru.PushFront(victim)
+			continue
 		}
 		if victim.mu.TryLock() {
 			if !victim.dirty {
 				victim.cached = nil
+				victim.prefetched = false
+				m.evictions.Add(1)
 			} else {
 				// Dirty pages are pinned; re-insert at the front so they
 				// are not immediately re-considered.
-				m.lruIndex[victim.id] = m.lru.PushFront(victim)
+				s.lruIndex[victim.id] = s.lru.PushFront(victim)
 			}
 			victim.mu.Unlock()
 		} else {
 			// The victim's latch is busy (a writer holds it): keep it
 			// tracked at the front — dropping it here would leave its
 			// content resident but invisible to future eviction.
-			m.lruIndex[victim.id] = m.lru.PushFront(victim)
+			s.lruIndex[victim.id] = s.lru.PushFront(victim)
 		}
 	}
 }
 
-// touch moves a page to the LRU front on access.
+// touch moves a page to its shard's LRU front on access.
 func (m *Mapping) touch(e *pageEntry) {
-	if m.disabled || m.capacity <= 0 {
+	if m.disabled {
 		return
 	}
-	m.cacheMu.Lock()
-	if el, ok := m.lruIndex[e.id]; ok {
-		m.lru.MoveToFront(el)
+	s := m.shard(e.id)
+	if s.capacity <= 0 {
+		return
 	}
-	m.cacheMu.Unlock()
+	s.mu.Lock()
+	if el, ok := s.lruIndex[e.id]; ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
 }
 
 // Relocate is the storage.RelocateFunc for GC: it repoints the durable

@@ -321,27 +321,35 @@ func (r *Replica) materializeDurable(p *replicaPage) ([]kv, error) {
 			return nil, fmt.Errorf("bwtree: replica: origin cycle at page %d", p.id)
 		}
 	}
-	entries := make([]kv, 0)
+	// Base + delta chain in one batched call: the streams differ, so the
+	// two round trips overlap just like on the RW node's read path.
+	locs := make([]storage.Loc, 0, len(deltas)+1)
 	if !base.IsZero() {
-		data, err := r.store.Read(base)
-		if err != nil {
-			return nil, fmt.Errorf("bwtree: replica: read base of page %d: %w", p.id, err)
-		}
-		entries, err = decodeLeaf(data)
-		if err != nil {
-			return nil, err
-		}
+		locs = append(locs, base)
 	}
-	for _, loc := range deltas {
-		data, err := r.store.Read(loc)
-		if err != nil {
-			return nil, fmt.Errorf("bwtree: replica: read delta of page %d: %w", p.id, err)
-		}
-		ops, err := decodeOps(data)
+	locs = append(locs, deltas...)
+	entries := make([]kv, 0)
+	if len(locs) == 0 {
+		return entries, nil
+	}
+	bufs, err := r.store.ReadBatch(locs)
+	if err != nil {
+		return nil, fmt.Errorf("bwtree: replica: read page %d: %w", p.id, err)
+	}
+	i := 0
+	if !base.IsZero() {
+		entries, err = decodeLeaf(bufs[0])
 		if err != nil {
 			return nil, err
 		}
-		entries = applyOps(entries, ops)
+		i = 1
+	}
+	for ; i < len(bufs); i++ {
+		ops, err := decodeOps(bufs[i])
+		if err != nil {
+			return nil, err
+		}
+		entries = mergeOps(entries, ops)
 	}
 	return entries, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bg3/internal/storage"
 	"bg3/internal/wal"
@@ -205,19 +206,112 @@ func applyOp(entries []kv, o op) []kv {
 	return entries
 }
 
-func applyOps(entries []kv, ops []op) []kv {
-	for _, o := range ops {
-		entries = applyOp(entries, o)
+// mergeOps applies a batch of logical ops to sorted content in a single
+// merge pass. Equivalent to folding applyOp over ops, but the per-op O(n)
+// insertion memmoves made that the second-hottest site of cold-page
+// materialization; here the batch is sorted once (newest op per key wins)
+// and zipped with the entries. The input slice is not mutated; with an
+// empty batch it is returned as-is.
+func mergeOps(entries []kv, ops []op) []kv {
+	switch len(ops) {
+	case 0:
+		return entries
+	case 1:
+		return applyOp(entries, ops[0])
 	}
-	return entries
+	sorted := make([]op, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].key, sorted[j].key) < 0
+	})
+	dedup := sorted[:0]
+	for i, o := range sorted {
+		if i+1 < len(sorted) && bytes.Equal(sorted[i+1].key, o.key) {
+			continue // a newer op for the same key follows
+		}
+		dedup = append(dedup, o)
+	}
+	out := make([]kv, 0, len(entries)+len(dedup))
+	i, j := 0, 0
+	for i < len(entries) && j < len(dedup) {
+		switch c := bytes.Compare(entries[i].key, dedup[j].key); {
+		case c < 0:
+			out = append(out, entries[i])
+			i++
+		case c > 0:
+			if !dedup[j].del {
+				out = append(out, kv{key: dedup[j].key, val: dedup[j].val})
+			}
+			j++
+		default:
+			if !dedup[j].del {
+				out = append(out, kv{key: entries[i].key, val: dedup[j].val})
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, entries[i:]...)
+	for ; j < len(dedup); j++ {
+		if !dedup[j].del {
+			out = append(out, kv{key: dedup[j].key, val: dedup[j].val})
+		}
+	}
+	return out
+}
+
+// loadDurable fetches and applies a page's durable images — the base page
+// plus the delta chain at the given locations — through one batched storage
+// call, so the base and delta round trips overlap instead of paying
+// ReadLatency sequentially (base and delta live in different streams and
+// therefore different extents). The returned read count is the logical
+// fan-out Fig. 9 measures: one per Loc — the traditional policy pays 1+n,
+// the read-optimized policy at most 2 — regardless of how many round trips
+// the batch coalesced them into.
+func (t *Tree) loadDurable(pageID PageID, base storage.Loc, deltas []storage.Loc) ([]kv, int, error) {
+	nlocs := len(deltas)
+	if !base.IsZero() {
+		nlocs++
+	}
+	if nlocs == 0 {
+		return make([]kv, 0), 0, nil
+	}
+	locs := make([]storage.Loc, 0, nlocs)
+	if !base.IsZero() {
+		locs = append(locs, base)
+	}
+	locs = append(locs, deltas...)
+	bufs, err := t.store.ReadBatch(locs)
+	if err != nil {
+		return nil, nlocs, fmt.Errorf("bwtree: read page %d: %w", pageID, err)
+	}
+	entries := make([]kv, 0)
+	i := 0
+	if !base.IsZero() {
+		entries, err = decodeLeaf(bufs[0])
+		if err != nil {
+			return nil, nlocs, err
+		}
+		i = 1
+	}
+	for ; i < len(bufs); i++ {
+		ops, err := decodeOps(bufs[i])
+		if err != nil {
+			return nil, nlocs, err
+		}
+		entries = mergeOps(entries, ops)
+	}
+	return entries, nlocs, nil
 }
 
 // materialize returns the page's full content, reading the base page and
 // durable delta records from storage on a cache miss, plus the number of
-// storage reads issued — the per-read fan-out Fig. 9 measures (0 on a cache
-// hit). e.mu must be held. The returned slice is resident in the cache
-// unless the cache is disabled, in which case it is a transient copy owned
-// by the caller.
+// storage reads issued (0 on a cache hit). e.mu must be held for the whole
+// call; the write path and splits use it because they cannot let go of the
+// latch mid-update. Readers use materializeShared instead, which drops the
+// latch during the storage round trip. The returned slice is resident in
+// the cache unless the cache is disabled, in which case it is a transient
+// copy owned by the caller.
 func (t *Tree) materialize(e *pageEntry) ([]kv, int, error) {
 	if e.cached != nil {
 		t.m.hits.Add(1)
@@ -225,56 +319,131 @@ func (t *Tree) materialize(e *pageEntry) ([]kv, int, error) {
 		return e.cached, 0, nil
 	}
 	t.m.misses.Add(1)
-	reads := 0
-	entries := make([]kv, 0)
-	if !e.baseLoc.IsZero() {
-		data, err := t.store.Read(e.baseLoc)
-		if err != nil {
-			return nil, reads, fmt.Errorf("bwtree: read base page %d: %w", e.id, err)
-		}
-		reads++
-		entries, err = decodeLeaf(data)
-		if err != nil {
-			return nil, reads, err
-		}
+	entries, reads, err := t.loadDurable(e.id, e.baseLoc, e.deltaLocs)
+	if err != nil {
+		return nil, reads, err
 	}
-	// The durable delta chain: one storage read per delta. This is the
-	// read fan-out Fig. 9 measures — the traditional policy pays 1+n
-	// reads, the read-optimized policy at most 2.
-	for _, loc := range e.deltaLocs {
-		data, err := t.store.Read(loc)
-		if err != nil {
-			return nil, reads, fmt.Errorf("bwtree: read delta of page %d: %w", e.id, err)
-		}
-		reads++
-		ops, err := decodeOps(data)
-		if err != nil {
-			return nil, reads, err
-		}
-		entries = applyOps(entries, ops)
-	}
-	entries = applyOps(entries, e.pending)
+	entries = mergeOps(entries, e.pending)
 	e.cached = entries
 	t.m.noteCached(e) // clears e.cached again when the cache is disabled
 	return entries, reads, nil
 }
 
+// materializeShared is the Get/Scan-path materialization: on a cache miss
+// it releases the page latch for the duration of the storage round trip and
+// coalesces with every other reader missing on the same page, so N
+// concurrent cold reads of one page cost one set of storage reads instead
+// of N serialized behind the latch.
+//
+// e.mu is held on entry and on return, but NOT across the load, so the
+// entry's range may change while the flight runs — callers must re-validate
+// anything derived from the entry beforehand (Get re-checks key coverage).
+// Correctness of the install is guarded by snapshot validation: the flight
+// records the (base, deltas) locations it read, and a member only installs
+// the result if the entry still carries exactly those locations when it
+// re-latches; otherwise it retries with a fresh snapshot, falling back to a
+// fully latched load after a few failed rounds so progress is guaranteed.
+func (t *Tree) materializeShared(e *pageEntry) ([]kv, int, error) {
+	if e.cached != nil {
+		t.m.hits.Add(1)
+		t.m.touch(e)
+		return e.cached, 0, nil
+	}
+	t.m.misses.Add(1)
+	start := time.Now()
+	if !t.m.disabled {
+		for attempt := 0; attempt < 3; attempt++ {
+			base := e.baseLoc
+			deltas := append([]storage.Loc(nil), e.deltaLocs...)
+			e.mu.Unlock()
+			f, leader := t.m.joinFlight(e.id, base, deltas)
+			if leader {
+				f.entries, f.reads, f.err = t.loadDurable(e.id, f.base, f.deltas)
+				t.m.finishFlight(e.id, f)
+			} else {
+				t.m.coalesced.Add(1)
+				<-f.done
+			}
+			e.mu.Lock()
+			if e.cached != nil {
+				// Another flight member (or a writer) installed content
+				// while we were away; our storage reads, if any, are moot.
+				t.m.materializeLat.Observe(time.Since(start))
+				t.m.touch(e)
+				return e.cached, 0, nil
+			}
+			if f.err != nil {
+				// Transient by design: a GC relocation can invalidate the
+				// snapshot's locations mid-flight. Retry against the
+				// repointed entry; a persistent error surfaces through the
+				// latched fallback below.
+				continue
+			}
+			if e.baseLoc != f.base || !locsEqual(e.deltaLocs, f.deltas) {
+				continue // durable state moved on; the flight's content is stale
+			}
+			entries := mergeOps(f.entries, e.pending)
+			e.cached = entries
+			t.m.noteCached(e)
+			t.m.materializeLat.Observe(time.Since(start))
+			reads := 0
+			if leader {
+				reads = f.reads
+			}
+			return entries, reads, nil
+		}
+	}
+	// Latched load: no coalescing, but no snapshot to invalidate either.
+	// This is the only path when the cache is disabled (a flight would be
+	// pointless — nothing gets installed for others to reuse).
+	entries, reads, err := t.loadDurable(e.id, e.baseLoc, e.deltaLocs)
+	if err != nil {
+		return nil, reads, err
+	}
+	entries = mergeOps(entries, e.pending)
+	e.cached = entries
+	t.m.noteCached(e)
+	t.m.materializeLat.Observe(time.Since(start))
+	return entries, reads, nil
+}
+
+func locsEqual(a, b []storage.Loc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	t.gets.Add(1)
-	e := t.latchLeaf(key)
-	defer e.mu.Unlock()
-	entries, reads, err := t.materialize(e)
-	if err != nil {
-		return nil, false, err
+	for {
+		e := t.latchLeaf(key)
+		entries, reads, err := t.materializeShared(e)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, false, err
+		}
+		if !e.covers(key) {
+			// A split narrowed the leaf while the latch was dropped for the
+			// shared load; re-route from the top.
+			e.mu.Unlock()
+			continue
+		}
+		t.m.fanout.Observe(int64(reads))
+		idx, found := searchKV(entries, key)
+		var out []byte
+		if found {
+			out = append([]byte(nil), entries[idx].val...)
+		}
+		e.mu.Unlock()
+		return out, found, nil
 	}
-	t.m.fanout.Observe(int64(reads))
-	idx, found := searchKV(entries, key)
-	if !found {
-		return nil, false, nil
-	}
-	out := append([]byte(nil), entries[idx].val...)
-	return out, true, nil
 }
 
 // Put upserts a key-value pair.
@@ -519,30 +688,52 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 	e := t.latchLeaf(from)
 	delivered := 0
 	for {
-		entries, reads, err := t.materialize(e)
+		entries, reads, err := t.materializeShared(e)
 		if err != nil {
 			e.mu.Unlock()
 			return err
 		}
 		t.m.fanout.Observe(int64(reads))
+		if e.prefetched {
+			e.prefetched = false
+			t.m.readaheadHits.Add(1)
+		}
 		start, _ := searchKV(entries, from)
-		snapshot := append([]kv(nil), entries[start:]...)
+		// Snapshot only what this scan can still deliver: the upper bound
+		// and the remaining limit both cap it. Graph traversals scan many
+		// short adjacency ranges out of wide leaves, so copying the whole
+		// leaf tail here dominated their scan cost.
+		end := len(entries)
+		if to != nil {
+			if n, _ := searchKV(entries[start:], to); start+n < end {
+				end = start + n
+			}
+		}
+		if limit > 0 && end-start > limit-delivered {
+			end = start + (limit - delivered)
+		}
+		snapshot := append([]kv(nil), entries[start:end]...)
+		ended := end < len(entries) // the bound or the limit falls inside this leaf
 		next := e.next
 		e.mu.Unlock()
 
+		// Read-ahead: warm the right sibling while this leaf's callbacks
+		// run, overlapping the next cold materialization with consumption —
+		// but only when the scan will actually get there.
+		if next != 0 && !ended {
+			go t.prefetch(next)
+		}
+
 		for _, pair := range snapshot {
-			if to != nil && bytes.Compare(pair.key, to) >= 0 {
-				return nil
-			}
 			if !fn(pair.key, pair.val) {
 				return nil
 			}
 			delivered++
-			if limit > 0 && delivered >= limit {
-				return nil
-			}
 		}
-		if next == 0 {
+		if limit > 0 && delivered >= limit {
+			return nil
+		}
+		if ended || next == 0 {
 			return nil
 		}
 		ne := t.m.get(next)
@@ -552,6 +743,36 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 		ne.mu.Lock()
 		e = ne
 	}
+}
+
+// prefetch warms the cache with leaf id's content ahead of a scan. Best
+// effort on every axis: it gives up rather than contend for the latch, and
+// it skips pages that are already resident. Read-ahead loads count in the
+// readahead_* metrics but never in the hit/miss statistics — those track
+// demand traffic only, so speculative loads cannot flatter the hit ratio.
+func (t *Tree) prefetch(id PageID) {
+	if t.m.disabled {
+		return
+	}
+	e := t.m.get(id)
+	if e == nil || !e.isLeaf {
+		return
+	}
+	if !e.mu.TryLock() {
+		return
+	}
+	defer e.mu.Unlock()
+	if e.cached != nil {
+		return
+	}
+	t.m.readaheadIssued.Add(1)
+	entries, _, err := t.loadDurable(e.id, e.baseLoc, e.deltaLocs)
+	if err != nil {
+		return
+	}
+	e.cached = mergeOps(entries, e.pending)
+	e.prefetched = true
+	t.m.noteCached(e)
 }
 
 // logStructural appends a structural WAL record, deferring the durability

@@ -109,7 +109,7 @@ func New(opts Options) (*Engine, error) {
 // NewWithStore creates an engine on an existing shared store (used when
 // RW and RO nodes share one store, and by multi-engine cluster setups).
 func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
-	m := bwtree.NewMapping(opts.Tree.CacheCapacity, opts.Tree.NoCache)
+	m := bwtree.NewMappingShards(opts.Tree.CacheCapacity, opts.Tree.NoCache, opts.Tree.CacheShards)
 	f, err := forest.New(m, st, forest.Config{
 		Tree:              opts.Tree,
 		SplitThreshold:    opts.SplitThreshold,

@@ -17,7 +17,7 @@ import (
 // the WAL suffix beyond the snapshot with ReplayRecord before attaching a
 // logger and serving writes.
 func RecoverWithStore(st *storage.Store, opts Options, state SnapshotState) (*Engine, error) {
-	m := bwtree.NewMapping(opts.Tree.CacheCapacity, opts.Tree.NoCache)
+	m := bwtree.NewMappingShards(opts.Tree.CacheCapacity, opts.Tree.NoCache, opts.Tree.CacheShards)
 	var maxPage bwtree.PageID
 	var maxTree bwtree.TreeID
 	for _, ts := range state.Trees {

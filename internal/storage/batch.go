@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// batchGroup is the unit of one storage round trip inside a ReadBatch: all
+// requested records that live in the same extent of the same stream. The
+// group is served by a single extent access (one latency charge, one lock
+// acquisition, one backing allocation) regardless of how many records it
+// covers.
+type batchGroup struct {
+	stream StreamID
+	extent ExtentID
+	idx    []int // positions in the caller's loc slice
+}
+
+// ReadBatch reads every record in locs and returns their contents in the
+// same order. It is the concurrent multi-read API of the read path: Locs
+// that land in the same extent are coalesced into one extent access, and
+// distinct extents are fetched by parallel goroutines, so the caller pays
+// the simulated cloud-storage ReadLatency once per overlapping round trip
+// instead of once per Loc. The Bw-tree materialize path uses it to fetch a
+// page's base image and delta chain in a single overlapped round trip.
+//
+// Like Read, ReadBatch works on a closed store so draining readers can
+// finish. An error on any round trip fails the whole batch; the first
+// failing group (in group order) wins.
+func (s *Store) ReadBatch(locs []Loc) ([][]byte, error) {
+	if len(locs) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(locs))
+	groups := groupLocs(locs)
+
+	s.batchReads.Add(1)
+	s.batchLocs.Add(int64(len(locs)))
+	s.batchRoundTrips.Add(int64(len(groups)))
+
+	if len(groups) == 1 || (s.opts.ReadLatency == 0 && s.opts.Faults == nil) {
+		// Nothing to overlap: a single round trip, or a store with no
+		// simulated latency (and no fault plan that could inject spikes).
+		// Spawning goroutines would only add scheduling cost.
+		for _, g := range groups {
+			if err := s.readGroup(locs, g, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	// Each group is an independent round trip against the storage service;
+	// issuing them from separate goroutines overlaps their latency exactly
+	// like concurrent requests would.
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g batchGroup) {
+			defer wg.Done()
+			errs[i] = s.readGroup(locs, g, out)
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// groupLocs buckets locs by (stream, extent), preserving first-appearance
+// order of the groups and input order within each group.
+func groupLocs(locs []Loc) []batchGroup {
+	if len(locs) == 1 {
+		return []batchGroup{{stream: locs[0].Stream, extent: locs[0].Extent, idx: []int{0}}}
+	}
+	groups := make([]batchGroup, 0, len(locs))
+	for i, l := range locs {
+		found := false
+		for gi := range groups {
+			if groups[gi].stream == l.Stream && groups[gi].extent == l.Extent {
+				groups[gi].idx = append(groups[gi].idx, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, batchGroup{stream: l.Stream, extent: l.Extent, idx: []int{i}})
+		}
+	}
+	return groups
+}
+
+// readGroup performs one coalesced round trip: fault decision and latency
+// are charged once for the group, then every record is copied out of the
+// extent under a single lock acquisition. ReadOps still counts one per
+// record — it is the logical read-amplification measure the Fig. 9
+// experiments compare policies with; the coalescing shows up in
+// BatchRoundTrips (and in wall time, via the single latency charge).
+func (s *Store) readGroup(locs []Loc, g batchGroup, out [][]byte) error {
+	st, err := s.stream(g.stream)
+	if err != nil {
+		return err
+	}
+	if p := s.opts.Faults; p != nil {
+		spike, ferr := p.readDecision(g.stream, g.extent)
+		pause(spike)
+		if ferr != nil {
+			return ferr
+		}
+	}
+	pause(s.opts.ReadLatency)
+	var total int64
+	if err := st.readMulti(locs, g.idx, out, &total); err != nil {
+		return err
+	}
+	s.readOps.Add(int64(len(g.idx)))
+	s.bytesRead.Add(total)
+	return nil
+}
+
+// readMulti copies the records at locs[idx...] out of one extent under a
+// single lock acquisition, backed by one shared allocation sized to the sum
+// of the record lengths (the coalesced read). Results land in out at the
+// same positions; total accumulates the bytes copied.
+func (s *stream) readMulti(locs []Loc, idx []int, out [][]byte, total *int64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.extents[locs[idx[0]].Extent]
+	if !ok {
+		return ErrReclaimed
+	}
+	var size int
+	for _, i := range idx {
+		size += int(locs[i].Length)
+	}
+	backing := make([]byte, 0, size)
+	for _, i := range idx {
+		loc := locs[i]
+		end := int(loc.Offset) + int(loc.Length)
+		if end > len(e.buf) {
+			return ErrNotFound
+		}
+		start := len(backing)
+		backing = append(backing, e.buf[loc.Offset:end]...)
+		out[i] = backing[start:len(backing):len(backing)]
+		*total += int64(loc.Length)
+	}
+	return nil
+}
+
+// SortLocs orders locs by (stream, extent, offset) — read-ahead callers use
+// it so extent grouping sees adjacent records together. Order of results
+// from ReadBatch always follows the (possibly sorted) input slice.
+func SortLocs(locs []Loc) {
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].Stream != locs[j].Stream {
+			return locs[i].Stream < locs[j].Stream
+		}
+		if locs[i].Extent != locs[j].Extent {
+			return locs[i].Extent < locs[j].Extent
+		}
+		return locs[i].Offset < locs[j].Offset
+	})
+}

@@ -6,10 +6,13 @@ import "bg3/internal/metrics"
 // given registry under the "storage." prefix. The probes read from Stats()
 // so they stay consistent with the snapshot API.
 func (s *Store) RegisterMetrics(r *metrics.Registry) {
-	r.CounterFunc("storage.read_ops", func() int64 { return s.readOps.load() })
-	r.CounterFunc("storage.write_ops", func() int64 { return s.writeOps.load() })
-	r.CounterFunc("storage.bytes_read", func() int64 { return s.bytesRead.load() })
-	r.CounterFunc("storage.bytes_written", func() int64 { return s.bytesWritten.load() })
+	r.CounterFunc("storage.read_ops", s.readOps.Load)
+	r.CounterFunc("storage.write_ops", s.writeOps.Load)
+	r.CounterFunc("storage.bytes_read", s.bytesRead.Load)
+	r.CounterFunc("storage.bytes_written", s.bytesWritten.Load)
+	r.CounterFunc("storage.batch_reads", s.batchReads.Load)
+	r.CounterFunc("storage.batch_locs", s.batchLocs.Load)
+	r.CounterFunc("storage.batch_round_trips", s.batchRoundTrips.Load)
 	r.CounterFunc("storage.gc_bytes_moved", func() int64 { return s.Stats().GCBytesMoved })
 	r.CounterFunc("storage.gc_bytes_reclaimed", func() int64 { return s.Stats().GCBytesReclaimed })
 	r.CounterFunc("storage.gc_records_moved", func() int64 { return s.Stats().GCRecordsMoved })

@@ -47,8 +47,8 @@ func (s *Store) Scan(id StreamID, cur Cursor, max int) ([]Entry, Cursor, error) 
 		bytes += int64(len(e.Data))
 	}
 	if len(entries) > 0 {
-		s.readOps.add(1)
-		s.bytesRead.add(bytes)
+		s.readOps.Add(1)
+		s.bytesRead.Add(bytes)
 	}
 	return entries, next, nil
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -144,6 +145,9 @@ type Metrics struct {
 	WriteOps         int64
 	BytesRead        int64
 	BytesWritten     int64
+	BatchReads       int64 // ReadBatch calls
+	BatchLocs        int64 // records requested through ReadBatch
+	BatchRoundTrips  int64 // extent round trips those calls coalesced into
 	GCBytesMoved     int64 // bytes relocated by space reclamation
 	GCBytesReclaimed int64 // bytes freed by reclamation and TTL expiry
 	GCRecordsMoved   int64
@@ -173,29 +177,16 @@ type Store struct {
 	mu     sync.Mutex
 	closed bool
 
-	readOps      counter
-	writeOps     counter
-	bytesRead    counter
-	bytesWritten counter
-}
-
-// counter is a tiny internal atomic counter; the storage package avoids
-// importing metrics to stay a leaf dependency.
-type counter struct {
-	mu sync.Mutex
-	v  int64
-}
-
-func (c *counter) add(n int64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
-
-func (c *counter) load() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	// I/O accounting. Lock-free atomics: with the batched read path issuing
+	// overlapping round trips from many goroutines, a shared counter mutex
+	// would serialize exactly the operations ReadBatch parallelizes.
+	readOps         atomic.Int64
+	writeOps        atomic.Int64
+	bytesRead       atomic.Int64
+	bytesWritten    atomic.Int64
+	batchReads      atomic.Int64
+	batchLocs       atomic.Int64
+	batchRoundTrips atomic.Int64
 }
 
 // pause injects simulated storage latency by blocking the calling
@@ -265,8 +256,8 @@ func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
 				// checksummed-garbage record that readers must detect.
 				pause(s.opts.WriteLatency)
 				if _, terr := st.append(tag, data[:out.torn]); terr == nil {
-					s.writeOps.add(1)
-					s.bytesWritten.add(int64(out.torn))
+					s.writeOps.Add(1)
+					s.bytesWritten.Add(int64(out.torn))
 				}
 			}
 			return Loc{}, out.err
@@ -277,8 +268,8 @@ func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
 	if err != nil {
 		return Loc{}, err
 	}
-	s.writeOps.add(1)
-	s.bytesWritten.add(int64(len(data)))
+	s.writeOps.Add(1)
+	s.bytesWritten.Add(int64(len(data)))
 	return loc, nil
 }
 
@@ -303,8 +294,8 @@ func (s *Store) Read(loc Loc) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.readOps.add(1)
-	s.bytesRead.add(int64(len(data)))
+	s.readOps.Add(1)
+	s.bytesRead.Add(int64(len(data)))
 	return data, nil
 }
 
@@ -322,10 +313,13 @@ func (s *Store) Invalidate(loc Loc) {
 // Stats returns a snapshot of the store's metrics.
 func (s *Store) Stats() Metrics {
 	m := Metrics{
-		ReadOps:      s.readOps.load(),
-		WriteOps:     s.writeOps.load(),
-		BytesRead:    s.bytesRead.load(),
-		BytesWritten: s.bytesWritten.load(),
+		ReadOps:         s.readOps.Load(),
+		WriteOps:        s.writeOps.Load(),
+		BytesRead:       s.bytesRead.Load(),
+		BytesWritten:    s.bytesWritten.Load(),
+		BatchReads:      s.batchReads.Load(),
+		BatchLocs:       s.batchLocs.Load(),
+		BatchRoundTrips: s.batchRoundTrips.Load(),
 	}
 	for _, st := range s.streams {
 		sm := st.stats()
@@ -345,10 +339,11 @@ func (s *Store) Stats() Metrics {
 // tracking is untouched). Benchmarks call this after loading a dataset so
 // measurements cover only the steady state.
 func (s *Store) ResetIOStats() {
-	for _, c := range []*counter{&s.readOps, &s.writeOps, &s.bytesRead, &s.bytesWritten} {
-		c.mu.Lock()
-		c.v = 0
-		c.mu.Unlock()
+	for _, c := range []*atomic.Int64{
+		&s.readOps, &s.writeOps, &s.bytesRead, &s.bytesWritten,
+		&s.batchReads, &s.batchLocs, &s.batchRoundTrips,
+	} {
+		c.Store(0)
 	}
 }
 

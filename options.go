@@ -53,6 +53,10 @@ type Options struct {
 	// (0 = unlimited).
 	CacheCapacity int
 
+	// CacheShards is the number of lock stripes in the page cache (rounded
+	// up to a power of two). 0 derives the count from GOMAXPROCS.
+	CacheShards int
+
 	// ForestSplitThreshold moves a vertex to a dedicated Bw-tree once its
 	// edge count exceeds it (§3.2.1). 0 keeps all vertices in the shared
 	// INIT tree.
@@ -122,6 +126,7 @@ func (o Options) treeConfig() bwtree.Config {
 		ConsolidateNum: o.ConsolidateNum,
 		MaxPageEntries: o.MaxPageEntries,
 		CacheCapacity:  o.CacheCapacity,
+		CacheShards:    o.CacheShards,
 	}
 }
 
