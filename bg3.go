@@ -54,6 +54,20 @@ type (
 	Properties = graph.Properties
 	// Store is the engine-neutral graph API.
 	Store = graph.Store
+	// Mutation is one element of a batched write (DB.ApplyBatch).
+	Mutation = graph.Mutation
+	// MutationKind discriminates batched mutations.
+	MutationKind = graph.MutationKind
+)
+
+// Mutation constructors, re-exported for DB.ApplyBatch callers.
+var (
+	// AddVertexMut builds a vertex-upsert mutation.
+	AddVertexMut = graph.AddVertexMut
+	// AddEdgeMut builds an edge-upsert mutation.
+	AddEdgeMut = graph.AddEdgeMut
+	// DeleteEdgeMut builds an edge-deletion mutation.
+	DeleteEdgeMut = graph.DeleteEdgeMut
 )
 
 // Convenience type constants mirroring the example workloads.
@@ -110,7 +124,8 @@ func Open(opts *Options) (*DB, error) {
 		rw, err := replication.NewRWNode(db.store, replication.RWOptions{
 			Engine:         co,
 			CommitWindow:   o.CommitWindow,
-			MaxBatch:       0,
+			MaxBatch:       o.CommitMaxBatch,
+			QueueDepth:     o.CommitQueueDepth,
 			FlushInterval:  fi,
 			FlushThreshold: o.FlushThreshold,
 		})
@@ -210,6 +225,21 @@ func (db *DB) DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error {
 	return db.writeStore().DeleteEdge(src, typ, dst)
 }
 
+// ApplyBatch applies a group of mutations in order and commits them as
+// shared WAL groups: every record is enqueued on the group committer
+// before the first durability wait starts, so the whole batch pays for a
+// handful of storage round trips instead of one per mutation. Replicas
+// replay each commit group as a unit. No mutation is acknowledged before
+// the batch's WAL records are durable; on error, mutations after the
+// failing one are not applied. In non-replicated mode (no WAL) the batch
+// degrades to ordered in-memory applies.
+func (db *DB) ApplyBatch(muts []Mutation) error {
+	if db.rw != nil {
+		return db.rw.ApplyBatch(muts)
+	}
+	return db.engine.ApplyBatch(muts)
+}
+
 // Neighbors streams src's out-neighbors of the given edge type in
 // destination order until fn returns false or limit edges are delivered
 // (limit <= 0: unlimited).
@@ -298,8 +328,14 @@ type WALStats struct {
 	CommitBatches int64          `json:"commit_batches"`
 	CommitRecords int64          `json:"commit_records"`
 	CommitLatency HistogramStats `json:"commit_latency"`
-	LastLSN       uint64         `json:"last_lsn"`
-	Checkpoints   int64          `json:"checkpoints"`
+	// GroupSize is the records-per-flush distribution: its mean is the
+	// write-side amortization factor (records acked per storage round
+	// trip, §3.4).
+	GroupSize FanoutStats `json:"group_size"`
+	// GroupStall is the backpressure writers paid on a full commit queue.
+	GroupStall  HistogramStats `json:"group_stall"`
+	LastLSN     uint64         `json:"last_lsn"`
+	Checkpoints int64          `json:"checkpoints"`
 }
 
 // CacheStats is the page cache's hit accounting plus the per-read storage
@@ -439,6 +475,8 @@ func (db *DB) Stats() Stats {
 			CommitBatches: batches,
 			CommitRecords: records,
 			CommitLatency: histogramStats(db.rw.Logger().CommitLatency().Summary()),
+			GroupSize:     fanoutStats(db.rw.Logger().GroupSize().Summary()),
+			GroupStall:    histogramStats(db.rw.Logger().StallLatency().Summary()),
 			LastLSN:       uint64(db.rw.LastLSN()),
 			Checkpoints:   db.rw.Checkpoints(),
 		}

@@ -1,10 +1,14 @@
 // bg3-benchjson runs the three Table-1 workloads against a fresh DB each
-// and writes a machine-readable benchmark trajectory (BENCH_PR3.json):
+// and writes a machine-readable benchmark trajectory (BENCH_PR4.json):
 // throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
 // allocation cost per op, batch-read/read-ahead effectiveness, and GC write
-// amplification. CI runs it in -short mode and archives the JSON so
-// regressions show up as a diffable artifact over time; bg3-benchdiff
-// compares two such files.
+// amplification. It then runs the write-heavy scenarios on a replicated DB
+// with simulated storage write latency — a single-append baseline
+// (CommitMaxBatch=1), the same insert stream under group commit, atomic
+// batch inserts, and a 50/50 read-write mix — recording group-commit
+// coalescing (flushes, mean group size, stall p99) alongside throughput.
+// CI runs it in -short mode and archives the JSON so regressions show up as
+// a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
 
 import (
@@ -61,22 +65,35 @@ type workloadJSON struct {
 	BytesWritten int64   `json:"bytes_written"`
 	Trees        int     `json:"trees"`
 	Migrations   int     `json:"migrations"`
+
+	// Write-path group-commit effectiveness, measured over the run phase
+	// only (flush-counter deltas exclude the preload). Present on the
+	// replicated write-heavy scenarios; zero elsewhere.
+	GroupFlushes    int64   `json:"group_flushes,omitempty"`
+	GroupSizeMean   float64 `json:"group_size_mean,omitempty"`
+	GroupStallP99US int64   `json:"group_stall_p99_us,omitempty"`
+	WALAppends      int64   `json:"wal_appends,omitempty"`
+	CommitMaxBatch  int     `json:"commit_max_batch,omitempty"`
 }
 
 type benchJSON struct {
-	Schema    string         `json:"schema"`
-	Short     bool           `json:"short"`
-	Workers   int            `json:"workers"`
-	OpsPerW   int            `json:"ops_per_worker"`
-	GoVersion string         `json:"go_version"`
-	Workloads []workloadJSON `json:"workloads"`
+	Schema       string         `json:"schema"`
+	Short        bool           `json:"short"`
+	Workers      int            `json:"workers"`
+	OpsPerW      int            `json:"ops_per_worker"`
+	WriteWorkers int            `json:"write_workers,omitempty"`
+	WriteOpsPerW int            `json:"write_ops_per_worker,omitempty"`
+	GoVersion    string         `json:"go_version"`
+	Workloads    []workloadJSON `json:"workloads"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
+	writeWorkers := flag.Int("write-workers", 32, "concurrent writers in the write-heavy scenarios")
+	writeOps := flag.Int("write-ops", 0, "write-scenario ops per worker (0: 250, or 60 with -short)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
 
@@ -87,17 +104,26 @@ func main() {
 			opsPerWorker = 400
 		}
 	}
+	writeOpsPerWorker := *writeOps
+	if writeOpsPerWorker <= 0 {
+		writeOpsPerWorker = 250
+		if *short {
+			writeOpsPerWorker = 60
+		}
+	}
 	vertices, edges := 20000, 60000
 	if *short {
 		vertices, edges = 4000, 12000
 	}
 
 	report := benchJSON{
-		Schema:    "bg3.bench/v2",
-		Short:     *short,
-		Workers:   *workers,
-		OpsPerW:   opsPerWorker,
-		GoVersion: runtime.Version(),
+		Schema:       "bg3.bench/v2",
+		Short:        *short,
+		Workers:      *workers,
+		OpsPerW:      opsPerWorker,
+		WriteWorkers: *writeWorkers,
+		WriteOpsPerW: writeOpsPerWorker,
+		GoVersion:    runtime.Version(),
 	}
 
 	type spec struct {
@@ -120,6 +146,38 @@ func main() {
 			w.Name, w.Throughput, w.P50US, w.P99US, w.ReadFanout.P99, w.CacheHitRatio, w.AllocBytesPerOp, w.GCWriteAmp)
 	}
 
+	// Write-heavy scenarios: a replicated DB with simulated storage write
+	// latency, so every acked write pays a WAL round trip and coalescing is
+	// what throughput is made of. The baseline pins CommitMaxBatch=1 (one
+	// record per flush — classic append-per-write); the remaining scenarios
+	// use the default group commit and must beat it by amortization alone.
+	type writeSpec struct {
+		name     string
+		gen      workload.Generator
+		maxBatch int // 0: default group commit
+	}
+	writeSpecs := []writeSpec{
+		{"single-append-baseline", workload.NewInsertOnly(vertices, *seed), 1},
+		{"insert-only-grouped", workload.NewInsertOnly(vertices, *seed), 0},
+		{"batch-insert", workload.NewBatchInsert(vertices, 16, *seed), 0},
+		{"mixed-50-50", workload.NewMixedReadWrite(vertices, *seed), 0},
+	}
+	var baseline float64
+	for _, sp := range writeSpecs {
+		w, err := runWrite(sp.name, sp.gen, sp.maxBatch, vertices, *writeWorkers, writeOpsPerWorker, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", sp.name, err)
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  groups=%d mean=%.1f stall(p99)=%dus\n",
+			w.Name, w.Throughput, w.P50US, w.P99US, w.GroupFlushes, w.GroupSizeMean, w.GroupStallP99US)
+		if sp.name == "single-append-baseline" {
+			baseline = w.Throughput
+		} else if baseline > 0 {
+			fmt.Printf("%-24s %8.2fx vs single-append baseline\n", "", w.Throughput/baseline)
+		}
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -129,6 +187,55 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runWrite measures a write-heavy workload on a fresh replicated database
+// whose storage charges a per-append write latency. Group-commit counters
+// are taken as deltas around the measured phase so the parallel preload's
+// flushes don't pollute the coalescing numbers.
+func runWrite(name string, gen workload.Generator, maxBatch, vertices, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+	db, err := bg3.Open(&bg3.Options{
+		Replicated:          true,
+		StorageWriteLatency: 500 * time.Microsecond,
+		CommitMaxBatch:      maxBatch,
+	})
+	if err != nil {
+		return workloadJSON{}, err
+	}
+	defer db.Close()
+
+	// A small seed graph gives the mixed scenario's reads something to scan;
+	// parallel loaders keep its wall-clock off the serial round-trip cliff.
+	if err := workload.PreloadParallel(db, workload.PreloadSpec{
+		Vertices: vertices, Edges: vertices / 4, Type: graph.ETypeFollow, Seed: seed,
+	}, workers); err != nil {
+		return workloadJSON{}, err
+	}
+
+	before := db.Stats()
+	res := workload.Run(db, gen, workers, opsPerWorker, seed+200)
+	after := db.Stats()
+
+	w := workloadJSON{
+		Name:            name,
+		Workers:         workers,
+		Ops:             res.Ops,
+		Errors:          res.Errors,
+		DurationMS:      res.Duration.Milliseconds(),
+		Throughput:      res.Throughput,
+		P50US:           res.LatencyP50.Microseconds(),
+		P99US:           res.LatencyP99.Microseconds(),
+		CacheHitRatio:   after.Cache.HitRatio,
+		BytesWritten:    after.Storage.BytesWritten,
+		GroupFlushes:    after.WAL.GroupSize.Count - before.WAL.GroupSize.Count,
+		GroupStallP99US: after.WAL.GroupStall.P99US,
+		WALAppends:      after.WAL.Appends - before.WAL.Appends,
+		CommitMaxBatch:  maxBatch,
+	}
+	if w.GroupFlushes > 0 {
+		w.GroupSizeMean = float64(after.WAL.CommitRecords-before.WAL.CommitRecords) / float64(w.GroupFlushes)
+	}
+	return w, nil
 }
 
 // runOne measures a workload on a fresh database. A deliberately small page

@@ -98,6 +98,34 @@ func (r *Replica) noteLSN(l wal.LSN) {
 // Apply incorporates one WAL record. Records must arrive in LSN order.
 func (r *Replica) Apply(rec *wal.Record) error {
 	defer r.noteLSN(rec.LSN)
+	return r.applyRecord(rec)
+}
+
+// ApplyGroup incorporates one commit group. Records apply in order, but the
+// published high LSN advances only after the whole group is in, so readers
+// gated on HighLSN (WaitVisible) never observe a half-applied batch — the
+// follower-side counterpart of the leader's all-or-nothing group append.
+func (r *Replica) ApplyGroup(recs []*wal.Record) error {
+	for _, rec := range recs {
+		if err := r.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	if n := len(recs); n > 0 {
+		r.noteLSN(recs[n-1].LSN)
+	}
+	return nil
+}
+
+// ApplyDeferred incorporates one record without advancing the published
+// high LSN. Layered replicas (the forest) replay a group record by record
+// this way and call PublishLSN once at the group boundary.
+func (r *Replica) ApplyDeferred(rec *wal.Record) error { return r.applyRecord(rec) }
+
+// PublishLSN advances the published high LSN to l (group boundary).
+func (r *Replica) PublishLSN(l wal.LSN) { r.noteLSN(l) }
+
+func (r *Replica) applyRecord(rec *wal.Record) error {
 	switch rec.Type {
 	case wal.RecordNewTree:
 		return r.applyNewTree(rec)

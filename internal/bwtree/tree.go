@@ -474,7 +474,29 @@ func (t *Tree) DeleteEx(key []byte) (existed bool, err error) {
 	return t.write(op{del: true, key: append([]byte(nil), key...)}, true)
 }
 
+// PutExDeferred upserts like PutEx but, when the logger commits
+// asynchronously, appends the record's durability wait to waits instead of
+// blocking — the batched-mutation path. The caller applies a whole group of
+// writes back to back and drains the waits once, so every record is already
+// enqueued before the first wait starts and the group shares storage
+// appends. The write is NOT durable until its wait returns nil.
+func (t *Tree) PutExDeferred(key, value []byte, waits *[]func() error) (existed bool, err error) {
+	t.puts.Add(1)
+	return t.writeWith(op{key: append([]byte(nil), key...), val: append([]byte(nil), value...)}, true, waits)
+}
+
+// DeleteExDeferred removes like DeleteEx with PutExDeferred's deferred
+// durability contract.
+func (t *Tree) DeleteExDeferred(key []byte, waits *[]func() error) (existed bool, err error) {
+	t.deletes.Add(1)
+	return t.writeWith(op{del: true, key: append([]byte(nil), key...)}, true, waits)
+}
+
 func (t *Tree) write(o op, track bool) (existed bool, err error) {
+	return t.writeWith(o, track, nil)
+}
+
+func (t *Tree) writeWith(o op, track bool, waits *[]func() error) (existed bool, err error) {
 	e := t.latchLeaf(o.key)
 	needSplit, existed, wait, err := t.applyWrite(e, o, track)
 	id := e.id
@@ -483,9 +505,13 @@ func (t *Tree) write(o op, track bool) (existed bool, err error) {
 		return existed, err
 	}
 	if wait != nil {
-		// Group commit: block for WAL durability only after releasing the
-		// page latch so concurrent same-page writers batch together.
-		if err := wait(); err != nil {
+		if waits != nil {
+			// Deferred durability: the caller collects waits across a batch
+			// and drains them together.
+			*waits = append(*waits, wait)
+		} else if err := wait(); err != nil {
+			// Group commit: block for WAL durability only after releasing the
+			// page latch so concurrent same-page writers batch together.
 			return existed, err
 		}
 	}

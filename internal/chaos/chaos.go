@@ -38,6 +38,24 @@ type Config struct {
 	// DeleteFrac is the fraction of ops that are deletes (default 0.2).
 	DeleteFrac float64
 
+	// BatchFrac is the fraction of ops issued as multi-mutation ApplyBatch
+	// calls — each batch is one durability decision whose WAL records
+	// share commit groups (default 0: single ops only). A failed batch
+	// leaves every mutation in it uncertain, which is exactly the
+	// whole-group-or-none contract the oracle then verifies against
+	// recovery.
+	BatchFrac float64
+
+	// BatchMax bounds the mutations per batch (default 8).
+	BatchMax int
+
+	// CommitWindow / CommitMaxBatch pass through to the RW node's group
+	// committer. A non-zero window lets a batch's records coalesce into
+	// real multi-record group envelopes, so injected torn appends land in
+	// the middle of a group flush.
+	CommitWindow   time.Duration
+	CommitMaxBatch int
+
 	// CheckpointEvery / SnapshotEvery run a manual checkpoint / full
 	// snapshot (plus WAL trim) every N ops (defaults 40 and 350; 0
 	// disables). GCEvery runs a synchronous reclamation cycle (default 0).
@@ -79,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.DeleteFrac == 0 {
 		c.DeleteFrac = 0.2
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 40
 	}
@@ -96,6 +117,9 @@ type Report struct {
 	Ops    int // workload operations issued
 	Acked  int // operations acknowledged (must survive recovery)
 	Failed int // operations that returned an error (may or may not survive)
+
+	BatchOps       int // ApplyBatch calls issued
+	BatchMutations int // mutations carried inside those batches
 
 	Crashes    int // node deaths (injected crash points + fail-stopped writers)
 	Recoveries int // successful RecoverRWNode reopens
@@ -144,8 +168,12 @@ func Run(cfg Config) (*Report, error) {
 			// Forest migrations stay off: everything lives in INIT, which
 			// still exercises page splits, flushes, and replay.
 		},
-		// CommitWindow 0: every op is its own durability decision, so
-		// acked-vs-failed attribution in the oracle is exact.
+		// The harness is single-threaded, so every op (single or batch)
+		// waits for its own durability decision and acked-vs-failed
+		// attribution in the oracle stays exact regardless of the window; a
+		// non-zero window just makes commit groups genuinely multi-record.
+		CommitWindow: cfg.CommitWindow,
+		MaxBatch:     cfg.CommitMaxBatch,
 	}
 
 	rw, err := replication.NewRWNode(st, rwOpts)
@@ -171,14 +199,76 @@ func Run(cfg Config) (*Report, error) {
 		plan.ScheduleCrash(crashGap())
 	}
 
-	for i := 0; i < cfg.Ops; i++ {
-		k := EdgeKey{
+	drawKey := func() EdgeKey {
+		return EdgeKey{
 			Src: graph.VertexID(1 + rng.Intn(cfg.Owners)),
 			Typ: graph.EdgeType(1 + rng.Intn(cfg.EdgeTypes)),
 			Dst: graph.VertexID(1 + rng.Intn(cfg.Dsts)),
 		}
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		k := drawKey()
 		rep.Ops++
-		if rng.Float64() < cfg.DeleteFrac {
+		if cfg.BatchFrac > 0 && rng.Float64() < cfg.BatchFrac {
+			// One ApplyBatch: n mutations, one durability decision, WAL
+			// records committed in shared groups. Every few batches the next
+			// storage append is force-torn, so the batch's group flush dies
+			// mid-write and recovery must keep the whole envelope or none of
+			// it — which the oracle checks as all-mutations-uncertain.
+			type batchOp struct {
+				k   EdgeKey
+				del bool
+				val string
+			}
+			n := 2 + rng.Intn(cfg.BatchMax-1)
+			muts := make([]graph.Mutation, 0, n)
+			ops := make([]batchOp, 0, n)
+			for j := 0; j < n; j++ {
+				bk := drawKey()
+				if rng.Float64() < cfg.DeleteFrac {
+					muts = append(muts, graph.DeleteEdgeMut(bk.Src, bk.Typ, bk.Dst))
+					ops = append(ops, batchOp{k: bk, del: true})
+				} else {
+					val := fmt.Sprintf("s%d.%d.%d", cfg.Seed, i, j)
+					muts = append(muts, graph.AddEdgeMut(graph.Edge{
+						Src: bk.Src, Dst: bk.Dst, Type: bk.Typ,
+						Props: graph.Properties{{Name: propName, Value: []byte(val)}},
+					}))
+					ops = append(ops, batchOp{k: bk, val: val})
+				}
+			}
+			rep.BatchOps++
+			rep.BatchMutations += n
+			if cfg.Faults.TornWriteProb > 0 && rep.BatchOps%4 == 1 {
+				// Force a tear under the upcoming flush so torn group
+				// envelopes are exercised deterministically — only when this
+				// run injects faults at all (quiet runs must stay quiet).
+				plan.TearNext()
+			}
+			if err := rw.ApplyBatch(muts); err != nil {
+				rep.Failed++
+				logf("chaos: batch %d (op %d, %d mutations) failed: %v", rep.BatchOps, i, n, err)
+				// Whole-group-or-none: any prefix of the batch may have
+				// become durable, so every mutation is individually
+				// uncertain until a later acknowledged op overwrites it.
+				for _, op := range ops {
+					if op.del {
+						oracle.FailDelete(op.k)
+					} else {
+						oracle.FailPut(op.k, op.val)
+					}
+				}
+			} else {
+				rep.Acked++
+				for _, op := range ops {
+					if op.del {
+						oracle.CommitDelete(op.k)
+					} else {
+						oracle.CommitPut(op.k, op.val)
+					}
+				}
+			}
+		} else if rng.Float64() < cfg.DeleteFrac {
 			if err := rw.DeleteEdge(k.Src, k.Typ, k.Dst); err != nil {
 				rep.Failed++
 				oracle.FailDelete(k)

@@ -57,6 +57,82 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryWithGroupCommitBatches layers batched mutations and a
+// real group-commit window onto the faulty workload: ApplyBatch calls whose
+// WAL records coalesce into multi-record group envelopes, with forced torn
+// appends landing mid-flush and crash points striking between them. The
+// property: a crash during a group flush leaves either the whole envelope
+// durable or none of it — a failed batch's mutations are all individually
+// uncertain, an acked batch's mutations must all survive recovery, and no
+// state outside the oracle's reachable set ever appears.
+func TestCrashRecoveryWithGroupCommitBatches(t *testing.T) {
+	ops := 2000
+	if testing.Short() {
+		ops = 500
+	}
+	for _, seed := range []int64{11, 12} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{
+				Seed:           seed,
+				Ops:            ops,
+				BatchFrac:      0.35,
+				BatchMax:       10,
+				CommitWindow:   200 * time.Microsecond,
+				CommitMaxBatch: 16,
+				CrashAppends:   400,
+				Faults: storage.FaultConfig{
+					Seed:           seed * 5557,
+					AppendFailProb: 0.08,
+					TornWriteProb:  0.04,
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("property violated: %v", err)
+			}
+			if rep.BatchOps == 0 {
+				t.Fatal("no batches issued; the run is vacuous")
+			}
+			if rep.BatchMutations < 2*rep.BatchOps {
+				t.Errorf("batches carried %d mutations over %d calls; expected >= 2 each",
+					rep.BatchMutations, rep.BatchOps)
+			}
+			if rep.Crashes == 0 {
+				t.Error("no crash point fired; crash spacing too wide for the run")
+			}
+			if rep.Faults.TornWrites == 0 {
+				t.Error("no torn write injected despite forced tears before batches")
+			}
+		})
+	}
+}
+
+// TestChaosQuietBatches pins the batched path itself: with faults disabled
+// every batch must ack and the oracle must match exactly — if this fails,
+// the faulty batch runs prove nothing.
+func TestChaosQuietBatches(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:           21,
+		Ops:            600,
+		BatchFrac:      0.4,
+		CommitWindow:   100 * time.Microsecond,
+		CommitMaxBatch: 16,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("quiet batch run failed: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("quiet batch run had %d failed ops", rep.Failed)
+	}
+	if rep.UncertainKeys != 0 {
+		t.Errorf("quiet batch run left %d uncertain keys", rep.UncertainKeys)
+	}
+	if rep.BatchOps == 0 {
+		t.Fatal("no batches issued")
+	}
+}
+
 // TestChaosQuiet runs the harness with every fault disabled: a pure
 // crash-free workload where every op must ack and the oracle must match
 // exactly. This pins the harness itself — if the quiet run fails, the

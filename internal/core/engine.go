@@ -217,6 +217,48 @@ func (e *Engine) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.Ve
 	return e.edges.Delete(forest.OwnerID(src), graph.EdgeKey(typ, dst))
 }
 
+// ApplyBatch implements graph.BatchStore: mutations apply to the forest in
+// order with deferred WAL durability, then every record's wait is drained
+// at once. Because all records are enqueued on the group committer before
+// the first wait begins, the whole batch coalesces into shared commit
+// groups — one storage round trip covers many mutations instead of one
+// each. Mutations after a failed apply are skipped, but waits already
+// collected are still drained so no enqueued record is abandoned; the
+// first error (apply or durability) is returned.
+func (e *Engine) ApplyBatch(muts []graph.Mutation) error {
+	var waits []func() error
+	var applyErr error
+	for i, m := range muts {
+		switch m.Kind {
+		case graph.MutAddVertex:
+			applyErr = e.edges.PutDeferred(forest.OwnerID(m.Vertex.ID),
+				vertexKey(m.Vertex.Type), graph.EncodeProps(m.Vertex.Props), &waits)
+		case graph.MutAddEdge:
+			if m.Edge.Type == vertexPrefix {
+				applyErr = fmt.Errorf("core: edge type %d is reserved", uint16(vertexPrefix))
+			} else {
+				applyErr = e.edges.PutDeferred(forest.OwnerID(m.Edge.Src),
+					graph.EdgeKey(m.Edge.Type, m.Edge.Dst), graph.EncodeProps(m.Edge.Props), &waits)
+			}
+		case graph.MutDeleteEdge:
+			applyErr = e.edges.DeleteDeferred(forest.OwnerID(m.Edge.Src),
+				graph.EdgeKey(m.Edge.Type, m.Edge.Dst), &waits)
+		default:
+			applyErr = fmt.Errorf("core: batch mutation %d: unknown kind %d", i, m.Kind)
+		}
+		if applyErr != nil {
+			break
+		}
+	}
+	err := applyErr
+	for _, wait := range waits {
+		if werr := wait(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
 // Neighbors implements graph.Store.
 func (e *Engine) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
 	lo, hi := graph.EdgeTypeBounds(typ)

@@ -26,6 +26,10 @@ func (r *Replica) Apply(rec *wal.Record) error { return r.rep.Apply(rec) }
 // ApplyAll incorporates records in order.
 func (r *Replica) ApplyAll(recs []*wal.Record) error { return r.rep.ApplyAll(recs) }
 
+// ApplyGroup incorporates one commit group as a unit: the published high
+// LSN advances only after every record in the group is in.
+func (r *Replica) ApplyGroup(recs []*wal.Record) error { return r.rep.ApplyGroup(recs) }
+
 // HighLSN reports the newest WAL LSN incorporated.
 func (r *Replica) HighLSN() wal.LSN { return r.rep.HighLSN() }
 

@@ -179,6 +179,20 @@ func subToFloor(v *atomic.Int64, n int64) {
 // owner and INIT counts — an upsert of an existing key must not, or the
 // counts drift above true owner size and trigger premature migrations.
 func (f *Forest) Put(owner OwnerID, key, value []byte) error {
+	return f.putWith(owner, key, value, nil)
+}
+
+// PutDeferred is Put with deferred WAL durability: the record's wait
+// function is appended to waits instead of being drained inline, so a batch
+// of writes shares commit groups (see bwtree.PutExDeferred). Migrations
+// triggered by the write still commit synchronously — they are rare and
+// structural, and replicas must never route to a tree whose copy is not
+// durable.
+func (f *Forest) PutDeferred(owner OwnerID, key, value []byte, waits *[]func() error) error {
+	return f.putWith(owner, key, value, waits)
+}
+
+func (f *Forest) putWith(owner OwnerID, key, value []byte, waits *[]func() error) error {
 	st := f.ownerStateFor(owner)
 	st.mu.RLock()
 	tree := st.tree.Load()
@@ -186,9 +200,9 @@ func (f *Forest) Put(owner OwnerID, key, value []byte) error {
 	var existed bool
 	var err error
 	if tree != nil {
-		existed, err = tree.PutEx(key, value)
+		existed, err = tree.PutExDeferred(key, value, waits)
 	} else {
-		existed, err = f.init.PutEx(compositeKey(owner, key), value)
+		existed, err = f.init.PutExDeferred(compositeKey(owner, key), value, waits)
 	}
 	// Count adjustments happen before the owner latch is released: a
 	// migration (which rewrites both counts under the exclusive latch)
@@ -239,15 +253,24 @@ func (f *Forest) Get(owner OwnerID, key []byte) ([]byte, bool, error) {
 // load-then-add pattern let concurrent deleters (or deletes of absent
 // keys) drive counts negative.
 func (f *Forest) Delete(owner OwnerID, key []byte) error {
+	return f.deleteWith(owner, key, nil)
+}
+
+// DeleteDeferred is Delete with PutDeferred's deferred durability contract.
+func (f *Forest) DeleteDeferred(owner OwnerID, key []byte, waits *[]func() error) error {
+	return f.deleteWith(owner, key, waits)
+}
+
+func (f *Forest) deleteWith(owner OwnerID, key []byte, waits *[]func() error) error {
 	st := f.ownerStateFor(owner)
 	st.mu.RLock()
 	tree := st.tree.Load()
 	var existed bool
 	var err error
 	if tree != nil {
-		existed, err = tree.DeleteEx(key)
+		existed, err = tree.DeleteExDeferred(key, waits)
 	} else {
-		existed, err = f.init.DeleteEx(compositeKey(owner, key))
+		existed, err = f.init.DeleteExDeferred(compositeKey(owner, key), waits)
 	}
 	if err == nil && existed {
 		decToFloor(&st.count)

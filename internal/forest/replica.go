@@ -33,6 +33,15 @@ func NewReplica(store *storage.Store, capacity int) *Replica {
 // Apply incorporates one WAL record, maintaining the owner directory on
 // assignment records and delegating everything else to the page replica.
 func (r *Replica) Apply(rec *wal.Record) error {
+	if err := r.applyDirectory(rec); err != nil {
+		return err
+	}
+	return r.rep.Apply(rec)
+}
+
+// applyDirectory maintains the owner directory for the records that affect
+// routing; all other records are a no-op here.
+func (r *Replica) applyDirectory(rec *wal.Record) error {
 	switch rec.Type {
 	case wal.RecordNewTree:
 		r.mu.Lock()
@@ -49,7 +58,7 @@ func (r *Replica) Apply(rec *wal.Record) error {
 		r.owners[owner] = bwtree.TreeID(rec.TreeID)
 		r.mu.Unlock()
 	}
-	return r.rep.Apply(rec)
+	return nil
 }
 
 // ApplyAll incorporates records in order.
@@ -58,6 +67,24 @@ func (r *Replica) ApplyAll(recs []*wal.Record) error {
 		if err := r.Apply(rec); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ApplyGroup incorporates one commit group: records apply in order —
+// directory and page state interleaved exactly as Apply would — but the
+// published high LSN advances only once the whole group is in.
+func (r *Replica) ApplyGroup(recs []*wal.Record) error {
+	for _, rec := range recs {
+		if err := r.applyDirectory(rec); err != nil {
+			return err
+		}
+		if err := r.rep.ApplyDeferred(rec); err != nil {
+			return err
+		}
+	}
+	if n := len(recs); n > 0 {
+		r.rep.PublishLSN(recs[n-1].LSN)
 	}
 	return nil
 }

@@ -181,6 +181,74 @@ type Store interface {
 	Degree(src VertexID, typ EdgeType) (int, error)
 }
 
+// MutationKind discriminates batched graph mutations.
+type MutationKind uint8
+
+const (
+	// MutAddVertex upserts Mutation.Vertex.
+	MutAddVertex MutationKind = iota + 1
+	// MutAddEdge upserts Mutation.Edge.
+	MutAddEdge
+	// MutDeleteEdge removes the edge identified by Mutation.Edge's
+	// Src/Type/Dst (properties ignored).
+	MutDeleteEdge
+)
+
+// Mutation is one element of a batched write: a vertex upsert, an edge
+// upsert, or an edge deletion.
+type Mutation struct {
+	Kind   MutationKind
+	Vertex Vertex
+	Edge   Edge
+}
+
+// AddVertexMut builds a vertex-upsert mutation.
+func AddVertexMut(v Vertex) Mutation { return Mutation{Kind: MutAddVertex, Vertex: v} }
+
+// AddEdgeMut builds an edge-upsert mutation.
+func AddEdgeMut(e Edge) Mutation { return Mutation{Kind: MutAddEdge, Edge: e} }
+
+// DeleteEdgeMut builds an edge-deletion mutation.
+func DeleteEdgeMut(src VertexID, typ EdgeType, dst VertexID) Mutation {
+	return Mutation{Kind: MutDeleteEdge, Edge: Edge{Src: src, Type: typ, Dst: dst}}
+}
+
+// BatchStore is implemented by stores that can commit a group of mutations
+// as one WAL commit group — many logical writes, one storage round trip.
+type BatchStore interface {
+	Store
+	// ApplyBatch applies mutations in order. It returns the first error;
+	// mutations after a failed one are not applied. Durability is
+	// all-at-once: no mutation is acknowledged before the whole batch's
+	// WAL records are durable.
+	ApplyBatch(muts []Mutation) error
+}
+
+// ApplyMutations applies mutations through s, using the batched path when
+// the store offers one and falling back to one call per mutation.
+func ApplyMutations(s Store, muts []Mutation) error {
+	if bs, ok := s.(BatchStore); ok {
+		return bs.ApplyBatch(muts)
+	}
+	for i, m := range muts {
+		var err error
+		switch m.Kind {
+		case MutAddVertex:
+			err = s.AddVertex(m.Vertex)
+		case MutAddEdge:
+			err = s.AddEdge(m.Edge)
+		case MutDeleteEdge:
+			err = s.DeleteEdge(m.Edge.Src, m.Edge.Type, m.Edge.Dst)
+		default:
+			err = fmt.Errorf("graph: mutation %d: unknown kind %d", i, m.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // KHop expands hops levels of out-neighbors from start over edges of the
 // given type, returning the set of vertices reached (excluding start).
 // perVertexLimit bounds the neighbors expanded per vertex (<= 0:

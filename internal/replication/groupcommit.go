@@ -4,210 +4,38 @@
 // Fig. 12–14 experiments.
 //
 // The BG3 path: the RW node writes every modification to a WAL on shared
-// storage through a group-commit logger (one storage round trip covers a
-// whole batch of records); RO nodes tail the WAL and lazily replay it.
-// Dirty pages are flushed by a background thread and announced through
-// checkpoint records carrying mapping-table updates, after which RO nodes
-// discard the replayed WAL prefix. Because the WAL lives on strongly
-// consistent shared storage, an RO node never misses a write — unlike the
-// legacy path, which forwards commands over a lossy network.
+// storage through a group committer (one storage round trip covers a
+// whole batch of records); RO nodes tail the WAL and lazily replay it,
+// one commit group at a time. Dirty pages are flushed by a background
+// thread and announced through checkpoint records carrying mapping-table
+// updates, after which RO nodes discard the replayed WAL prefix. Because
+// the WAL lives on strongly consistent shared storage, an RO node never
+// misses a write — unlike the legacy path, which forwards commands over a
+// lossy network.
 package replication
 
 import (
-	"errors"
-	"sync"
 	"time"
 
-	"bg3/internal/metrics"
 	"bg3/internal/wal"
 )
 
 // ErrLoggerStopped is returned for records caught in a logger shutdown.
-var ErrLoggerStopped = errors.New("replication: group-commit logger stopped")
+// It is the committer's stop error; errors.Is and == both match.
+var ErrLoggerStopped = wal.ErrCommitterStopped
 
-// commitReq is one record awaiting group commit.
-type commitReq struct {
-	rec  *wal.Record
-	at   time.Time // when the record was enqueued; commit latency base
-	done chan error
-}
+// GroupCommitLogger is the node-facing name for the WAL group committer,
+// which moved into internal/wal so the engine and the forest can depend on
+// it without importing replication.
+type GroupCommitLogger = wal.GroupCommitter
 
-// GroupCommitLogger batches WAL records into single storage appends and is
-// the node's LSN authority. LogAsync assigns the LSN immediately — callers
-// hold their page latch only for that instant — and returns a wait
-// function that blocks until the record's batch is durable; Log is the
-// synchronous convenience wrapper. Concurrent callers share one storage
-// round trip, which is how the RW node sustains tens of thousands of
-// writes per second against millisecond-latency cloud storage.
-type GroupCommitLogger struct {
-	w        *wal.Writer
-	window   time.Duration
-	maxBatch int
-
-	mu      sync.Mutex
-	nextLSN wal.LSN
-	pending []commitReq
-	wake    chan struct{}
-	stopped bool
-
-	stopOnce sync.Once
-	stop     chan struct{}
-	done     chan struct{}
-
-	statsMu sync.Mutex
-	batches int64
-	records int64
-
-	commitLat metrics.Histogram // enqueue to durable, per record
-}
-
-// NewGroupCommitLogger starts the committer goroutine. window is how long
+// NewGroupCommitLogger starts a committer goroutine. window is how long
 // the committer waits to accumulate a batch after the first record arrives
-// (0: commit as soon as the queue drains); maxBatch caps batch size
-// (0: 512).
+// (0: commit as soon as the queue drains); maxBatch caps batch size and
+// doubles as the size trigger that cuts a flush early (0: 64).
 func NewGroupCommitLogger(w *wal.Writer, window time.Duration, maxBatch int) *GroupCommitLogger {
-	if maxBatch <= 0 {
-		maxBatch = 512
-	}
-	l := &GroupCommitLogger{
-		w:        w,
-		window:   window,
-		maxBatch: maxBatch,
-		nextLSN:  w.NextLSN(),
-		wake:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-	}
-	go l.run()
-	return l
-}
-
-// LogAsync assigns the next LSN to rec, enqueues it for group commit, and
-// returns the LSN plus a wait function that blocks until the record is
-// durable. Enqueue order equals LSN order, so the WAL on storage is always
-// LSN-sorted.
-func (l *GroupCommitLogger) LogAsync(rec *wal.Record) (wal.LSN, func() error) {
-	req := commitReq{rec: rec, at: time.Now(), done: make(chan error, 1)}
-	l.mu.Lock()
-	if l.stopped {
-		l.mu.Unlock()
-		return 0, func() error { return ErrLoggerStopped }
-	}
-	rec.LSN = l.nextLSN
-	l.nextLSN++
-	l.pending = append(l.pending, req)
-	l.mu.Unlock()
-	select {
-	case l.wake <- struct{}{}:
-	default:
-	}
-	return rec.LSN, func() error { return <-req.done }
-}
-
-// Log implements bwtree.WALLogger: enqueue and wait for durability.
-func (l *GroupCommitLogger) Log(rec *wal.Record) (wal.LSN, error) {
-	lsn, wait := l.LogAsync(rec)
-	if err := wait(); err != nil {
-		return 0, err
-	}
-	return lsn, nil
-}
-
-// LastLSN returns the most recently assigned LSN (0 if none).
-func (l *GroupCommitLogger) LastLSN() wal.LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.nextLSN - 1
-}
-
-func (l *GroupCommitLogger) run() {
-	defer close(l.done)
-	for {
-		select {
-		case <-l.stop:
-			l.failPending(ErrLoggerStopped)
-			return
-		case <-l.wake:
-		}
-		// Let a batch accumulate for the window, then drain up to
-		// maxBatch records per storage append until the queue is empty.
-		if l.window > 0 {
-			timer := time.NewTimer(l.window)
-			select {
-			case <-timer.C:
-			case <-l.stop:
-				timer.Stop()
-				l.failPending(ErrLoggerStopped)
-				return
-			}
-		}
-		for {
-			l.mu.Lock()
-			n := len(l.pending)
-			if n == 0 {
-				l.mu.Unlock()
-				break
-			}
-			if n > l.maxBatch {
-				n = l.maxBatch
-			}
-			batch := make([]commitReq, n)
-			copy(batch, l.pending[:n])
-			l.pending = append(l.pending[:0], l.pending[n:]...)
-			l.mu.Unlock()
-
-			recs := make([]*wal.Record, n)
-			for i, req := range batch {
-				recs[i] = req.rec
-			}
-			err := l.w.AppendAssigned(recs)
-			now := time.Now()
-			for _, req := range batch {
-				l.commitLat.Observe(now.Sub(req.at))
-				req.done <- err
-			}
-			l.statsMu.Lock()
-			l.batches++
-			l.records += int64(n)
-			l.statsMu.Unlock()
-		}
-	}
-}
-
-func (l *GroupCommitLogger) failPending(err error) {
-	l.mu.Lock()
-	l.stopped = true
-	pending := l.pending
-	l.pending = nil
-	l.mu.Unlock()
-	for _, req := range pending {
-		req.done <- err
-	}
-}
-
-// Stop terminates the committer. Pending records fail.
-func (l *GroupCommitLogger) Stop() {
-	l.stopOnce.Do(func() { close(l.stop) })
-	<-l.done
-}
-
-// BatchStats returns (batches committed, records committed).
-func (l *GroupCommitLogger) BatchStats() (int64, int64) {
-	l.statsMu.Lock()
-	defer l.statsMu.Unlock()
-	return l.batches, l.records
-}
-
-// CommitLatency returns the enqueue-to-durable latency histogram. It covers
-// the full client-visible commit wait: the group window plus the storage
-// append (and its retries).
-func (l *GroupCommitLogger) CommitLatency() *metrics.Histogram { return &l.commitLat }
-
-// RegisterMetrics exposes the logger's accounting under the "wal." prefix,
-// next to the writer's per-append metrics.
-func (l *GroupCommitLogger) RegisterMetrics(r *metrics.Registry) {
-	r.RegisterHistogram("wal.commit_us", &l.commitLat)
-	r.CounterFunc("wal.commit_batches", func() int64 { b, _ := l.BatchStats(); return b })
-	r.CounterFunc("wal.commit_records", func() int64 { _, n := l.BatchStats(); return n })
-	r.GaugeFunc("wal.last_lsn", func() int64 { return int64(l.LastLSN()) })
+	return wal.NewGroupCommitter(w, wal.GroupCommitterOptions{
+		MaxDelay: window,
+		MaxBatch: maxBatch,
+	})
 }

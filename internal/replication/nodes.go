@@ -23,8 +23,13 @@ type RWOptions struct {
 	// CommitWindow is the group-commit accumulation window (0: immediate).
 	CommitWindow time.Duration
 
-	// MaxBatch caps a commit batch (0: 512).
+	// MaxBatch caps a commit batch and doubles as the size trigger that
+	// cuts a flush before the window elapses (0: 64).
 	MaxBatch int
+
+	// QueueDepth bounds the committer's pending queue; writers beyond it
+	// block until a flush makes room (0: 4096).
+	QueueDepth int
 
 	// FlushInterval drives the background dirty-page flusher; 0 disables
 	// the background thread (call Checkpoint manually).
@@ -68,7 +73,11 @@ type RWNode struct {
 // NewRWNode creates the RW node on a shared store.
 func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	writer := wal.NewWriter(st)
-	logger := NewGroupCommitLogger(writer, opts.CommitWindow, opts.MaxBatch)
+	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
+		MaxDelay:   opts.CommitWindow,
+		MaxBatch:   opts.MaxBatch,
+		QueueDepth: opts.QueueDepth,
+	})
 	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
 	opts.Engine.Logger = logger
 	engine, err := core.NewWithStore(st, opts.Engine)
@@ -250,6 +259,16 @@ func (n *RWNode) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.Ve
 	return n.engine.DeleteEdge(src, typ, dst)
 }
 
+// ApplyBatch applies a group of mutations through the replicated pipeline,
+// committed as shared WAL groups (see core.Engine.ApplyBatch). The whole
+// batch holds the apply barrier once, so a checkpoint horizon never cuts a
+// batch in half between LSN assignment and memory apply.
+func (n *RWNode) ApplyBatch(muts []graph.Mutation) error {
+	n.applyBarrier.RLock()
+	defer n.applyBarrier.RUnlock()
+	return n.engine.ApplyBatch(muts)
+}
+
 // Read methods delegate to the engine directly (the RW node serves reads
 // from its own memory).
 
@@ -337,25 +356,34 @@ func (n *RONode) pollLoop(interval time.Duration) {
 	}
 }
 
-// Poll synchronously drains the WAL into the replica. Torn entries and
-// retry duplicates are absorbed by the reader; on a log hole (LSN gap or
-// lost WAL extent) the node applies what it read and then resyncs from the
-// latest snapshot.
+// Poll synchronously drains the WAL into the replica, one commit group at
+// a time: each group is applied as a unit before the replica's high LSN
+// advances past it, so a reader gated on WaitVisible never observes part
+// of a leader batch. Torn entries and retry duplicates are absorbed by the
+// reader; on a log hole (LSN gap or lost WAL extent) the node applies what
+// it read and then resyncs from the latest snapshot.
 func (n *RONode) Poll() error {
 	n.pollMu.Lock()
 	defer n.pollMu.Unlock()
-	recs, err := n.reader.Poll()
-	if n.minLSN > 0 {
-		filtered := recs[:0]
-		for _, r := range recs {
-			if r.LSN > n.minLSN {
-				filtered = append(filtered, r)
+	groups, err := n.reader.PollGroups()
+	rep := n.Replica()
+	for _, grp := range groups {
+		if n.minLSN > 0 {
+			// A group can straddle the snapshot horizon; replay only the
+			// suffix the snapshot does not cover.
+			filtered := grp[:0]
+			for _, r := range grp {
+				if r.LSN > n.minLSN {
+					filtered = append(filtered, r)
+				}
+			}
+			if grp = filtered; len(grp) == 0 {
+				continue
 			}
 		}
-		recs = filtered
-	}
-	if aerr := n.Replica().ApplyAll(recs); aerr != nil {
-		return aerr
+		if aerr := rep.ApplyGroup(grp); aerr != nil {
+			return aerr
+		}
 	}
 	if err != nil {
 		var gap *wal.GapError

@@ -488,7 +488,11 @@ func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	}
 
 	writer := wal.NewWriterFrom(st, maxLSN+1)
-	logger := NewGroupCommitLogger(writer, opts.CommitWindow, opts.MaxBatch)
+	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
+		MaxDelay:   opts.CommitWindow,
+		MaxBatch:   opts.MaxBatch,
+		QueueDepth: opts.QueueDepth,
+	})
 	engine.AttachLogger(logger)
 
 	n := &RWNode{

@@ -138,7 +138,7 @@ func TestReaderReportsGap(t *testing.T) {
 	}
 	// Forge a hole: skip LSN 4 and append 5 directly.
 	forged := &Record{Type: RecordPut, LSN: 5, Key: []byte("z")}
-	if _, err := st.Append(storage.StreamWAL, 0, frame(nil, Encode(forged))); err != nil {
+	if _, err := st.Append(storage.StreamWAL, 0, frameGroup([][]byte{Encode(forged)})); err != nil {
 		t.Fatal(err)
 	}
 	r := NewReader(st)

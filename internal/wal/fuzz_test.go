@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnframeGroup throws arbitrary bytes — plus torn and corrupted variants
+// of whatever valid envelope the fuzzer discovers — at the group-envelope
+// decoder and checks the recovery contract:
+//
+//   - never panics, on any input;
+//   - ok implies a canonical envelope: re-sealing the parsed frames
+//     reproduces the input byte for byte;
+//   - every strict prefix of a valid envelope reads as torn (ok=false,
+//     err=nil) — a crashed append can only leave a prefix, and a torn tail
+//     must drop the whole group, never surface as corruption;
+//   - every single-byte flip of a valid envelope reads as torn — the CRC
+//     covers the full payload and the header is length-checked;
+//   - parsed frames survive Record decoding without panicking.
+//
+// Seed corpus: testdata/fuzz/FuzzUnframeGroup (checked in).
+func FuzzUnframeGroup(f *testing.F) {
+	// A group of one empty record, a multi-record group, and junk.
+	f.Add(frameGroup([][]byte{{}}))
+	f.Add(frameGroup([][]byte{
+		Encode(&Record{Type: RecordPut, LSN: 1, Key: []byte("k"), Value: []byte("v")}),
+		Encode(&Record{Type: RecordDelete, LSN: 2, Key: []byte("k")}),
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, ok, err := unframeGroup(data)
+		if ok && err != nil {
+			t.Fatalf("ok with error: %v", err)
+		}
+		if !ok {
+			return
+		}
+
+		// Canonical round trip.
+		resealed := frameGroup(frames)
+		if !bytes.Equal(resealed, data) {
+			t.Fatalf("re-sealing %d frames does not reproduce the envelope:\n in: %x\nout: %x",
+				len(frames), data, resealed)
+		}
+
+		// Record decoding must be total (error, never panic).
+		for _, fr := range frames {
+			_, _ = Decode(fr)
+		}
+
+		// Torn-tail property: a failed append persists a byte prefix; every
+		// strict prefix must be rejected as torn, not parsed and not flagged
+		// as corruption.
+		for _, cut := range []int{0, 1, groupHeader - 1, groupHeader, len(data) / 2, len(data) - 1} {
+			if cut < 0 || cut >= len(data) {
+				continue
+			}
+			if _, pok, perr := unframeGroup(data[:cut]); pok || perr != nil {
+				t.Fatalf("prefix of %d/%d bytes: ok=%v err=%v, want torn", cut, len(data), pok, perr)
+			}
+		}
+
+		// Bit-rot property: any single-byte flip breaks either the length
+		// check or the payload CRC.
+		for _, i := range []int{0, 4, groupHeader, len(data) / 2, len(data) - 1} {
+			if i < 0 || i >= len(data) {
+				continue
+			}
+			mut := bytes.Clone(data)
+			mut[i] ^= 0x01
+			if _, mok, merr := unframeGroup(mut); mok || merr != nil {
+				t.Fatalf("flip at byte %d/%d: ok=%v err=%v, want torn", i, len(data), mok, merr)
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bg3/internal/metrics"
+)
+
+// ErrCommitterStopped is returned for records caught in a committer
+// shutdown.
+var ErrCommitterStopped = errors.New("wal: group committer stopped")
+
+// GroupCommitterOptions tunes the coalescing triggers of a GroupCommitter.
+type GroupCommitterOptions struct {
+	// MaxBatch is the size trigger: a flush is cut as soon as this many
+	// records are pending, without waiting out MaxDelay. 0 means 64.
+	MaxBatch int
+	// MaxDelay is the latency trigger: how long the committer lets a group
+	// accumulate after the first record arrives before flushing. 0 flushes
+	// as soon as the queue drains — every record still shares an append
+	// with whatever arrived while the previous flush was in flight.
+	MaxDelay time.Duration
+	// QueueDepth bounds the pending queue. A writer that would overflow it
+	// blocks until a flush makes room (backpressure rather than unbounded
+	// memory); the stall is recorded in wal.group_stall_us. 0 means 4096.
+	QueueDepth int
+}
+
+func (o GroupCommitterOptions) withDefaults() GroupCommitterOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.QueueDepth < o.MaxBatch {
+		o.QueueDepth = o.MaxBatch
+	}
+	return o
+}
+
+// commitReq is one record awaiting group commit.
+type commitReq struct {
+	rec  *Record
+	at   time.Time // when the record was enqueued; commit latency base
+	done chan error
+}
+
+// GroupCommitter batches WAL records into shared storage appends and is the
+// node's LSN authority — the paper's §3.4 write-side amortization: many
+// logical writes share one ms-latency storage round trip. It sits between
+// the forest's bwtree.WALLogger hook and the Writer.
+//
+// LogAsync assigns the LSN immediately — callers hold their page latch only
+// for that instant — and returns a wait function that blocks until the
+// record's group is durable; Log is the synchronous convenience wrapper.
+// A flush is cut when MaxBatch records are pending or MaxDelay has passed
+// since the flusher woke, whichever comes first. A failed flush fans its
+// error to every record in that flush (and, because a storage failure
+// poisons the Writer fail-stop, to everything behind it).
+type GroupCommitter struct {
+	w    *Writer
+	opts GroupCommitterOptions
+
+	mu      sync.Mutex
+	space   sync.Cond // signaled when a flush frees queue room
+	nextLSN LSN
+	pending []commitReq
+	wake    chan struct{}
+	full    chan struct{}
+	stopped bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	statsMu sync.Mutex
+	batches int64
+	records int64
+
+	commitLat metrics.Histogram    // enqueue to durable, per record
+	groupSize metrics.IntHistogram // records per flush
+	flushes   metrics.Counter      // storage flushes issued
+	stallLat  metrics.Histogram    // time writers spent blocked on a full queue
+}
+
+// NewGroupCommitter starts the committer goroutine against w.
+func NewGroupCommitter(w *Writer, opts GroupCommitterOptions) *GroupCommitter {
+	c := &GroupCommitter{
+		w:       w,
+		opts:    opts.withDefaults(),
+		nextLSN: w.NextLSN(),
+		wake:    make(chan struct{}, 1),
+		full:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	c.space.L = &c.mu
+	go c.run()
+	return c
+}
+
+// LogAsync assigns the next LSN to rec, enqueues it for group commit, and
+// returns the LSN plus a wait function that blocks until the record is
+// durable. Enqueue order equals LSN order, so the WAL on storage is always
+// LSN-sorted. A record too large to ever fit a storage append is rejected
+// here, before an LSN exists — the failure stays scoped to this one write
+// instead of fail-stopping the log.
+func (c *GroupCommitter) LogAsync(rec *Record) (LSN, func() error) {
+	if n := encodedSize(rec); n > c.w.MaxRecordSize() {
+		err := fmt.Errorf("%w: %d bytes, max %d", ErrRecordTooLarge, n, c.w.MaxRecordSize())
+		return 0, func() error { return err }
+	}
+	req := commitReq{rec: rec, at: time.Now(), done: make(chan error, 1)}
+	c.mu.Lock()
+	for !c.stopped && len(c.pending) >= c.opts.QueueDepth {
+		start := time.Now()
+		c.space.Wait()
+		c.stallLat.Observe(time.Since(start))
+	}
+	if c.stopped {
+		c.mu.Unlock()
+		return 0, func() error { return ErrCommitterStopped }
+	}
+	rec.LSN = c.nextLSN
+	c.nextLSN++
+	c.pending = append(c.pending, req)
+	n := len(c.pending)
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	if n >= c.opts.MaxBatch {
+		// Size trigger: cut the flush without waiting out MaxDelay.
+		select {
+		case c.full <- struct{}{}:
+		default:
+		}
+	}
+	return rec.LSN, func() error { return <-req.done }
+}
+
+// Log implements bwtree.WALLogger: enqueue and wait for durability.
+func (c *GroupCommitter) Log(rec *Record) (LSN, error) {
+	lsn, wait := c.LogAsync(rec)
+	if err := wait(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// LastLSN returns the most recently assigned LSN (0 if none).
+func (c *GroupCommitter) LastLSN() LSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextLSN - 1
+}
+
+func (c *GroupCommitter) run() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			c.failPending(ErrCommitterStopped)
+			return
+		case <-c.wake:
+		}
+		// Let a group accumulate for MaxDelay — or until the size trigger
+		// fires — then drain in MaxBatch flushes until the queue is empty.
+		if c.opts.MaxDelay > 0 {
+			timer := time.NewTimer(c.opts.MaxDelay)
+			select {
+			case <-timer.C:
+			case <-c.full:
+				timer.Stop()
+			case <-c.stop:
+				timer.Stop()
+				c.failPending(ErrCommitterStopped)
+				return
+			}
+		}
+		for {
+			c.mu.Lock()
+			n := len(c.pending)
+			if n == 0 {
+				c.mu.Unlock()
+				break
+			}
+			if n > c.opts.MaxBatch {
+				n = c.opts.MaxBatch
+			}
+			batch := make([]commitReq, n)
+			copy(batch, c.pending[:n])
+			c.pending = append(c.pending[:0], c.pending[n:]...)
+			c.space.Broadcast()
+			c.mu.Unlock()
+
+			recs := make([]*Record, n)
+			for i, req := range batch {
+				recs[i] = req.rec
+			}
+			err := c.w.AppendAssigned(recs)
+			now := time.Now()
+			for _, req := range batch {
+				c.commitLat.Observe(now.Sub(req.at))
+				req.done <- err
+			}
+			c.groupSize.Observe(int64(n))
+			c.flushes.Inc()
+			c.statsMu.Lock()
+			c.batches++
+			c.records += int64(n)
+			c.statsMu.Unlock()
+		}
+	}
+}
+
+func (c *GroupCommitter) failPending(err error) {
+	c.mu.Lock()
+	c.stopped = true
+	pending := c.pending
+	c.pending = nil
+	c.space.Broadcast()
+	c.mu.Unlock()
+	for _, req := range pending {
+		req.done <- err
+	}
+}
+
+// Stop terminates the committer. Pending records fail.
+func (c *GroupCommitter) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// BatchStats returns (flushes committed, records committed).
+func (c *GroupCommitter) BatchStats() (int64, int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.batches, c.records
+}
+
+// GroupSize returns the records-per-flush histogram: its mean is the
+// write-side amortization factor (records acked per storage round trip).
+func (c *GroupCommitter) GroupSize() *metrics.IntHistogram { return &c.groupSize }
+
+// CommitLatency returns the enqueue-to-durable latency histogram. It covers
+// the full client-visible commit wait: the group window plus the storage
+// append (and its retries).
+func (c *GroupCommitter) CommitLatency() *metrics.Histogram { return &c.commitLat }
+
+// StallLatency returns the histogram of time writers spent blocked on a
+// full queue (backpressure).
+func (c *GroupCommitter) StallLatency() *metrics.Histogram { return &c.stallLat }
+
+// RegisterMetrics exposes the committer's accounting under the "wal."
+// prefix, next to the writer's per-append metrics.
+func (c *GroupCommitter) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterHistogram("wal.commit_us", &c.commitLat)
+	r.RegisterIntHistogram("wal.group_size", &c.groupSize)
+	r.RegisterCounter("wal.group_flushes", &c.flushes)
+	r.RegisterHistogram("wal.group_stall_us", &c.stallLat)
+	r.CounterFunc("wal.commit_batches", func() int64 { b, _ := c.BatchStats(); return b })
+	r.CounterFunc("wal.commit_records", func() int64 { _, n := c.BatchStats(); return n })
+	r.GaugeFunc("wal.last_lsn", func() int64 { return int64(c.LastLSN()) })
+}

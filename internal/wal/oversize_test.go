@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bg3/internal/storage"
+)
+
+// Regression tests for the single-record-larger-than-extent gap: a record
+// that cannot fit one storage append even as a group of its own. The
+// contract depends on whether an LSN exists yet:
+//
+//   - Append / AppendBatch reject it before assigning an LSN — plain
+//     ErrRecordTooLarge, writer stays healthy, no sequence hole;
+//   - AppendAssigned must fail-stop (ErrWriterFailed wrapping
+//     ErrRecordTooLarge): the LSN is already assigned, so skipping the
+//     record would punch a hole recovery can't tell from data loss;
+//   - the GroupCommitter rejects at admission, before an LSN exists, so a
+//     caller mistake costs one write, not the log.
+
+func oversizedRecord(st *storage.Store) *Record {
+	return &Record{
+		Type:  RecordPut,
+		Key:   []byte("huge"),
+		Value: bytes.Repeat([]byte{0xAB}, st.ExtentSize()+1),
+	}
+}
+
+func TestAppendRejectsOversizedRecordWithoutPoisoning(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 512})
+	w := NewWriter(st)
+
+	_, err := w.Append(oversizedRecord(st))
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	if errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("oversized Append poisoned the writer: %v", err)
+	}
+
+	// No LSN was consumed: the next record must be LSN 1 and the log gapless.
+	lsn, err := w.Append(&Record{Type: RecordPut, Key: []byte("ok")})
+	if err != nil || lsn != 1 {
+		t.Fatalf("Append after rejection = (%d, %v), want (1, nil)", lsn, err)
+	}
+	recs, err := NewReader(st).Poll()
+	if err != nil || len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("WAL = %d records (err %v), want exactly LSN 1", len(recs), err)
+	}
+}
+
+func TestAppendBatchRejectsOversizedRecordUpfront(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 512})
+	w := NewWriter(st)
+
+	batch := []*Record{
+		{Type: RecordPut, Key: []byte("a")},
+		oversizedRecord(st),
+		{Type: RecordPut, Key: []byte("b")},
+	}
+	if _, err := w.AppendBatch(batch); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+
+	// Validation is up-front: nothing from the batch persisted, no LSN burned.
+	if recs, err := NewReader(st).Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("WAL = %d records (err %v), want empty after rejected batch", len(recs), err)
+	}
+	if lsn, err := w.Append(&Record{Type: RecordPut, Key: []byte("ok")}); err != nil || lsn != 1 {
+		t.Fatalf("Append after rejection = (%d, %v), want (1, nil)", lsn, err)
+	}
+}
+
+func TestAppendAssignedOversizedRecordFailsStop(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 512})
+	w := NewWriter(st)
+
+	huge := oversizedRecord(st)
+	huge.LSN = 1
+	err := w.AppendAssigned([]*Record{huge})
+	if !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("err = %v, want ErrWriterFailed", err)
+	}
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want wrapped ErrRecordTooLarge", err)
+	}
+
+	// Fail-stop: every later append reports the poisoning error.
+	if _, err := w.Append(&Record{Type: RecordPut, Key: []byte("x")}); !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("writer accepted a record after fail-stop: %v", err)
+	}
+	if recs, perr := NewReader(st).Poll(); perr != nil || len(recs) != 0 {
+		t.Fatalf("WAL = %d records (err %v), want empty", len(recs), perr)
+	}
+}
+
+func TestAppendAssignedOversizedValidatesBeforePersisting(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 512})
+	w := NewWriter(st)
+
+	// The oversized record sits behind two valid ones; validation must run
+	// before any of them persists, or recovery would see a partial batch.
+	huge := oversizedRecord(st)
+	huge.LSN = 3
+	batch := []*Record{
+		{Type: RecordPut, LSN: 1, Key: []byte("a")},
+		{Type: RecordPut, LSN: 2, Key: []byte("b")},
+		huge,
+	}
+	if err := w.AppendAssigned(batch); !errors.Is(err, ErrWriterFailed) || !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrWriterFailed wrapping ErrRecordTooLarge", err)
+	}
+	if recs, err := NewReader(st).Poll(); err != nil || len(recs) != 0 {
+		t.Fatalf("WAL = %d records (err %v), want empty — batch must not partially persist", len(recs), err)
+	}
+}
+
+func TestGroupCommitterRejectsOversizedAtAdmission(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 512})
+	w := NewWriter(st)
+	c := NewGroupCommitter(w, GroupCommitterOptions{})
+	defer c.Stop()
+
+	_, err := c.Log(oversizedRecord(st))
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	if errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("admission rejection poisoned the writer: %v", err)
+	}
+
+	// The committer never assigned the record an LSN: the log stays gapless
+	// and live.
+	lsn, err := c.Log(&Record{Type: RecordPut, Key: []byte("ok")})
+	if err != nil || lsn != 1 {
+		t.Fatalf("Log after rejection = (%d, %v), want (1, nil)", lsn, err)
+	}
+	recs, err := NewReader(st).Poll()
+	if err != nil || len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("WAL = %d records (err %v), want exactly LSN 1", len(recs), err)
+	}
+}

@@ -209,40 +209,71 @@ func (w *Writer) Err() error {
 	return w.failed
 }
 
-// frameHeader is the per-record framing overhead: length plus CRC32.
-const frameHeader = 8
+// Group envelope framing. One storage append carries exactly one sealed
+// group of records:
+//
+//	plen[4] pcrc[4] { rlen[4] record }...
+//
+// The CRC covers the whole payload, so a torn write — which persists some
+// byte prefix of the envelope — invalidates the entire group. Readers
+// therefore replay a group completely or not at all, which is what makes a
+// crash in the middle of a group-commit flush recoverable: every record in
+// the flush shares the envelope's fate.
+const (
+	// groupHeader is the envelope overhead: payload length plus CRC32.
+	groupHeader = 8
+	// recHeader is the per-record overhead inside the payload.
+	recHeader = 4
+)
 
-// frame prefixes an encoded record with its length and CRC32 so several
-// records can share one storage append (group commit pays one storage round
-// trip for the whole batch) and torn prefixes are detectable on read.
-func frame(buf []byte, rec []byte) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(rec))
-	return append(buf, rec...)
+// frameGroup seals encoded records into one group envelope.
+func frameGroup(encoded [][]byte) []byte {
+	size := groupHeader
+	for _, e := range encoded {
+		size += recHeader + len(e)
+	}
+	buf := make([]byte, groupHeader, size)
+	for _, e := range encoded {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e)))
+		buf = append(buf, e...)
+	}
+	payload := buf[groupHeader:]
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return buf
 }
 
-// unframe splits a storage entry back into encoded records, stopping at the
-// first frame whose header is truncated or whose body fails its checksum —
-// the torn tail a failed append leaves behind. It returns the intact
-// records and the number of trailing bytes dropped (0 for a clean entry).
-func unframe(buf []byte) (frames [][]byte, torn int) {
-	for len(buf) > 0 {
-		if len(buf) < frameHeader {
-			return frames, len(buf)
+// unframeGroup opens a group envelope. ok=false marks a torn envelope — a
+// truncated header, short payload, or checksum mismatch, all artifacts of a
+// failed append — whose contents must be discarded wholesale. A non-nil
+// error means the envelope checksum passed but the payload does not parse:
+// real corruption, not a torn tail.
+func unframeGroup(buf []byte) (frames [][]byte, ok bool, err error) {
+	if len(buf) < groupHeader {
+		return nil, false, nil
+	}
+	plen := binary.LittleEndian.Uint32(buf)
+	sum := binary.LittleEndian.Uint32(buf[4:])
+	body := buf[groupHeader:]
+	if uint64(len(body)) != uint64(plen) {
+		return nil, false, nil
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, false, nil
+	}
+	for len(body) > 0 {
+		if len(body) < recHeader {
+			return nil, false, fmt.Errorf("%w: truncated record header in sealed group", ErrCorrupt)
 		}
-		n := binary.LittleEndian.Uint32(buf)
-		sum := binary.LittleEndian.Uint32(buf[4:])
-		body := buf[frameHeader:]
-		if uint32(len(body)) < n {
-			return frames, len(buf)
-		}
-		if crc32.ChecksumIEEE(body[:n]) != sum {
-			return frames, len(buf)
+		n := binary.LittleEndian.Uint32(body)
+		body = body[recHeader:]
+		if uint64(n) > uint64(len(body)) {
+			return nil, false, fmt.Errorf("%w: record length %d exceeds group payload", ErrCorrupt, n)
 		}
 		frames = append(frames, body[:n])
-		buf = body[n:]
+		body = body[n:]
 	}
-	return frames, 0
+	return frames, true, nil
 }
 
 // appendLocked persists one framed buffer covering LSNs [first, last],
@@ -267,81 +298,159 @@ func (w *Writer) appendLocked(tag uint64, buf []byte, first, last LSN) error {
 	return nil
 }
 
-// Append assigns the next LSN to r, persists it, and returns the LSN.
+// ErrRecordTooLarge is returned when a single record cannot fit one storage
+// append even in a group of its own: no amount of batch splitting can
+// persist it.
+var ErrRecordTooLarge = errors.New("wal: record exceeds extent size")
+
+// encodedSize returns len(Encode(r)) without allocating.
+func encodedSize(r *Record) int {
+	return 49 + len(r.Key) + len(r.Value)
+}
+
+// groupLimit is the largest sealed group one storage append accepts, with
+// headroom for the store's own entry bookkeeping.
+func (w *Writer) groupLimit() int {
+	limit := w.store.ExtentSize() - 64
+	if limit < 256 {
+		limit = 256
+	}
+	return limit
+}
+
+// MaxRecordSize returns the largest Encode(r) size a record may have and
+// still be appendable (in a group of its own if need be). Admission checks
+// above the writer (the group committer) reject larger records before an
+// LSN is assigned, so the failure is an error on one write instead of a
+// poisoned log.
+func (w *Writer) MaxRecordSize() int {
+	return w.groupLimit() - groupHeader - recHeader
+}
+
+// Append assigns the next LSN to r, persists it as a group of one, and
+// returns the LSN.
 func (w *Writer) Append(r *Record) (LSN, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	if n := encodedSize(r); n > w.groupLimit()-groupHeader-recHeader {
+		// No LSN was consumed, so the sequence has no hole: the writer
+		// stays healthy and only this record fails.
+		return 0, fmt.Errorf("%w: %d bytes, extent limit %d", ErrRecordTooLarge, n, w.store.ExtentSize())
+	}
 	r.LSN = w.nextLSN
-	if err := w.appendLocked(r.PageID, frame(nil, Encode(r)), r.LSN, r.LSN); err != nil {
+	if err := w.appendLocked(r.PageID, frameGroup([][]byte{Encode(r)}), r.LSN, r.LSN); err != nil {
 		return 0, err
 	}
 	w.nextLSN++
 	return r.LSN, nil
 }
 
-// AppendBatch persists records as one atomic group with consecutive LSNs
-// and a single storage append — the group-commit path. It returns the LSN
-// of the last record.
+// AppendBatch persists records as atomic groups with consecutive LSNs —
+// the group-commit path. A batch that fits one extent is a single storage
+// append and replays all-or-nothing; an oversized batch is split into
+// several sealed groups, each individually atomic. It returns the LSN of
+// the last record. If any single record exceeds the extent size the batch
+// fails with ErrRecordTooLarge before any LSN is consumed.
 func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 	if len(recs) == 0 {
 		return 0, nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var buf []byte
-	first := w.nextLSN
-	var last LSN
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	max := w.groupLimit() - groupHeader - recHeader
+	for _, r := range recs {
+		if n := encodedSize(r); n > max {
+			return 0, fmt.Errorf("%w: %d bytes, extent limit %d", ErrRecordTooLarge, n, w.store.ExtentSize())
+		}
+	}
 	for _, r := range recs {
 		r.LSN = w.nextLSN
 		w.nextLSN++
-		last = r.LSN
-		buf = frame(buf, Encode(r))
 	}
-	if err := w.appendLocked(0, buf, first, last); err != nil {
+	if err := w.appendGroupsLocked(recs); err != nil {
 		return 0, err
 	}
-	return last, nil
+	return recs[len(recs)-1].LSN, nil
 }
 
 // AppendAssigned persists records whose LSNs were assigned by an external
-// authority (the group-commit logger) as one storage append. Records must
-// continue the writer's LSN sequence in order; the writer's own counter
-// advances past them.
+// authority (the group committer) as sealed groups, splitting at extent
+// boundaries. Records must continue the writer's LSN sequence in order; the
+// writer's own counter advances past them.
+//
+// A record too large for an extent poisons the writer: its LSN is already
+// assigned, so skipping it would punch a permanent hole into the log that
+// recovery could not tell apart from acknowledged-write loss. The committer
+// prevents this case by rejecting such records at admission (MaxRecordSize)
+// before an LSN exists.
 func (w *Writer) AppendAssigned(recs []*Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	// A batch must fit one storage append (an extent); split oversized
-	// batches into several appends, preserving order under the lock.
-	limit := w.store.ExtentSize() - 64
-	if limit < 256 {
-		limit = 256
+	if w.failed != nil {
+		return w.failed
 	}
-	var buf []byte
-	var first LSN
+	// Validate the whole batch before persisting anything, so a poisoning
+	// record cannot leave a partially appended batch behind it.
+	max := w.groupLimit() - groupHeader - recHeader
+	next := w.nextLSN
 	for _, r := range recs {
-		if r.LSN < w.nextLSN {
-			return fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, w.nextLSN)
+		if r.LSN < next {
+			return fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, next)
 		}
+		next = r.LSN + 1
+		if n := encodedSize(r); n > max {
+			w.failed = fmt.Errorf("%w: lsn %d: %w (%d bytes, extent limit %d)",
+				ErrWriterFailed, r.LSN, ErrRecordTooLarge, n, w.store.ExtentSize())
+			return w.failed
+		}
+	}
+	for _, r := range recs {
 		w.nextLSN = r.LSN + 1
+	}
+	return w.appendGroupsLocked(recs)
+}
+
+// appendGroupsLocked seals records into group envelopes — splitting where a
+// group would outgrow one storage append — and persists them in order.
+// Records must fit individually (callers validate) and carry their final
+// LSNs. Caller holds w.mu.
+func (w *Writer) appendGroupsLocked(recs []*Record) error {
+	limit := w.groupLimit()
+	var group [][]byte
+	size := groupHeader
+	var first, last LSN
+	flush := func() error {
+		if len(group) == 0 {
+			return nil
+		}
+		err := w.appendLocked(0, frameGroup(group), first, last)
+		group, size = group[:0], groupHeader
+		return err
+	}
+	for _, r := range recs {
 		encoded := Encode(r)
-		if len(buf) > 0 && len(buf)+frameHeader+len(encoded) > limit {
-			if err := w.appendLocked(0, buf, first, r.LSN-1); err != nil {
+		if len(group) > 0 && size+recHeader+len(encoded) > limit {
+			if err := flush(); err != nil {
 				return err
 			}
-			buf = nil
 		}
-		if len(buf) == 0 {
+		if len(group) == 0 {
 			first = r.LSN
 		}
-		buf = frame(buf, encoded)
+		group = append(group, encoded)
+		size += recHeader + len(encoded)
+		last = r.LSN
 	}
-	if len(buf) == 0 {
-		return nil
-	}
-	return w.appendLocked(0, buf, first, recs[len(recs)-1].LSN)
+	return flush()
 }
 
 // NextLSN returns the LSN the next record will receive.
@@ -418,38 +527,69 @@ func (r *Reader) LastLSN() LSN { return r.last }
 func (r *Reader) Stats() (torn, dups int64) { return r.torn, r.dups }
 
 // Poll returns all records appended since the previous Poll, in LSN order.
-// Torn entry tails are discarded and retry duplicates dropped. On an LSN
-// gap Poll returns the records before the hole together with a *GapError
-// and does not advance the cursor, so the caller decides how to resync.
+// Torn group envelopes are discarded whole and retry duplicates dropped. On
+// an LSN gap Poll returns the records before the hole together with a
+// *GapError and does not advance the cursor, so the caller decides how to
+// resync.
 func (r *Reader) Poll() ([]*Record, error) {
+	groups, err := r.PollGroups()
+	var recs []*Record
+	for _, g := range groups {
+		recs = append(recs, g...)
+	}
+	return recs, err
+}
+
+// PollGroups is Poll preserving commit-group boundaries: each inner slice
+// holds the records one storage append sealed together, so a follower can
+// replay a whole group before publishing its high LSN and never expose a
+// half-applied batch. Records already consumed (snapshot base, retry
+// duplicates) are filtered from their group; groups left empty are elided.
+func (r *Reader) PollGroups() ([][]*Record, error) {
 	entries, next, err := r.store.Scan(storage.StreamWAL, r.cur, 0)
 	if err != nil {
 		return nil, fmt.Errorf("wal: poll at extent %d: %w", r.cur.Extent, err)
 	}
-	var recs []*Record
+	var groups [][]*Record
 	for _, e := range entries {
-		frames, torn := unframe(e.Data)
-		if torn > 0 {
-			r.torn++
+		frames, ok, ferr := unframeGroup(e.Data)
+		if ferr != nil {
+			// The envelope passed its checksum but does not parse: real
+			// corruption, not a torn tail.
+			return groups, fmt.Errorf("wal: entry at %v: %w", e.Loc, ferr)
 		}
+		if !ok {
+			// A torn append: the whole group is invalid, by construction —
+			// no record of a torn flush is ever replayed.
+			r.torn++
+			continue
+		}
+		var grp []*Record
 		for _, f := range frames {
 			rec, derr := Decode(f)
 			if derr != nil {
-				// The frame passed its checksum but does not decode: this is
-				// real corruption, not a torn tail.
-				return recs, fmt.Errorf("wal: entry at %v: %w", e.Loc, derr)
+				if len(grp) > 0 {
+					groups = append(groups, grp)
+				}
+				return groups, fmt.Errorf("wal: entry at %v: %w", e.Loc, derr)
 			}
 			if rec.LSN <= r.last {
 				r.dups++
 				continue
 			}
 			if r.last > 0 && rec.LSN != r.last+1 {
-				return recs, &GapError{Expected: r.last + 1, Got: rec.LSN}
+				if len(grp) > 0 {
+					groups = append(groups, grp)
+				}
+				return groups, &GapError{Expected: r.last + 1, Got: rec.LSN}
 			}
 			r.last = rec.LSN
-			recs = append(recs, rec)
+			grp = append(grp, rec)
+		}
+		if len(grp) > 0 {
+			groups = append(groups, grp)
 		}
 	}
 	r.cur = next
-	return recs, nil
+	return groups, nil
 }

@@ -95,6 +95,15 @@ type Options struct {
 	// (replicated mode; 0: commit as soon as the queue drains).
 	CommitWindow time.Duration
 
+	// CommitMaxBatch caps a WAL commit group and doubles as the size
+	// trigger that cuts a flush before CommitWindow elapses (replicated
+	// mode; 0: 64).
+	CommitMaxBatch int
+
+	// CommitQueueDepth bounds the group committer's pending queue; writers
+	// beyond it block until a flush makes room (replicated mode; 0: 4096).
+	CommitQueueDepth int
+
 	// FlushInterval drives the background dirty-page flusher (replicated
 	// mode; default 50ms). FlushThreshold additionally triggers a flush at
 	// that many dirty pages.
