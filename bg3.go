@@ -25,6 +25,7 @@ package bg3
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bg3/internal/core"
@@ -87,17 +88,29 @@ var ErrNotReplicated = errors.New("bg3: database opened without replication")
 // DB is a BG3 database handle (the read-write node in replicated mode).
 // All methods are safe for concurrent use.
 type DB struct {
-	opts   Options
-	store  *storage.Store
-	engine *core.Engine        // non-replicated mode
-	rw     *replication.RWNode // replicated mode
+	opts  Options
+	store *storage.Store
+
+	// engine and rw are atomic pointers because Failover swaps the leader
+	// in place while reads and writes keep flowing; rw is nil outside
+	// replicated mode. Every access goes through eng()/leader().
+	engine atomic.Pointer[core.Engine]
+	rw     atomic.Pointer[replication.RWNode]
 
 	mu       sync.Mutex // guards replicas
 	replicas []*Replica
 
+	failovers atomic.Int64
+
 	snapStop chan struct{}
 	snapDone chan struct{}
 }
+
+// eng returns the current engine (the leader's in replicated mode).
+func (db *DB) eng() *core.Engine { return db.engine.Load() }
+
+// leader returns the current RW node, nil outside replicated mode.
+func (db *DB) leader() *replication.RWNode { return db.rw.Load() }
 
 var _ graph.Store = (*DB)(nil)
 
@@ -119,26 +132,14 @@ func Open(opts *Options) (*DB, error) {
 		// flush + poll cycles before their memory is released.
 		so.ReclaimGrace = time.Second + 8*fi
 		db.store = storage.Open(so)
-		co := o.coreOptions()
-		co.Storage = nil
-		rw, err := replication.NewRWNode(db.store, replication.RWOptions{
-			Engine:         co,
-			CommitWindow:   o.CommitWindow,
-			MaxBatch:       o.CommitMaxBatch,
-			QueueDepth:     o.CommitQueueDepth,
-			FlushInterval:  fi,
-			FlushThreshold: o.FlushThreshold,
-		})
+		rw, err := replication.NewRWNode(db.store, o.rwOptions())
 		if err != nil {
 			db.store.Close()
 			return nil, err
 		}
-		db.rw = rw
-		db.engine = rw.Engine()
-		reg := db.engine.Metrics()
-		reg.GaugeFunc("replication.replicas", func() int64 { return int64(db.replicaCount()) })
-		reg.GaugeFunc("replication.applied_lsn_lag", func() int64 { return int64(db.replicationLag()) })
-		reg.CounterFunc("replication.resyncs", db.replicaResyncs)
+		db.rw.Store(rw)
+		db.engine.Store(rw.Engine())
+		db.registerReplicationMetrics(db.eng().Metrics())
 		if o.SnapshotInterval > 0 {
 			db.snapStop = make(chan struct{})
 			db.snapDone = make(chan struct{})
@@ -150,9 +151,19 @@ func Open(opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.engine = engine
+	db.engine.Store(engine)
 	db.store = engine.Store()
 	return db, nil
+}
+
+// registerReplicationMetrics wires the DB-level replication gauges into a
+// registry. Called at Open and again after a failover: the promoted leader
+// carries a fresh engine and registry, which would otherwise lose these.
+func (db *DB) registerReplicationMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("replication.replicas", func() int64 { return int64(db.replicaCount()) })
+	reg.GaugeFunc("replication.applied_lsn_lag", func() int64 { return int64(db.replicationLag()) })
+	reg.CounterFunc("replication.resyncs", db.replicaResyncs)
+	reg.CounterFunc("replication.failovers", db.failovers.Load)
 }
 
 // snapshotLoop periodically snapshots the durable state and trims the WAL.
@@ -166,8 +177,8 @@ func (db *DB) snapshotLoop(interval time.Duration) {
 			return
 		case <-ticker.C:
 			// Errors mean the store is closing; keep ticking until stopped.
-			if _, err := db.rw.WriteSnapshot(); err == nil {
-				db.rw.TrimWAL()
+			if _, err := db.leader().WriteSnapshot(); err == nil {
+				db.leader().TrimWAL()
 			}
 		}
 	}
@@ -187,21 +198,21 @@ func (db *DB) Close() {
 	for _, r := range replicas {
 		r.Stop()
 	}
-	if db.rw != nil {
-		db.rw.Stop()
+	if db.leader() != nil {
+		db.leader().Stop()
 		db.store.Close()
 		return
 	}
-	db.engine.Close()
+	db.eng().Close()
 }
 
 // writeStore returns the graph.Store handling writes (the RW node in
 // replicated mode, so the apply barrier and WAL are engaged).
 func (db *DB) writeStore() graph.Store {
-	if db.rw != nil {
-		return db.rw
+	if rw := db.leader(); rw != nil {
+		return rw
 	}
-	return db.engine
+	return db.eng()
 }
 
 // AddVertex upserts a vertex.
@@ -209,7 +220,7 @@ func (db *DB) AddVertex(v Vertex) error { return db.writeStore().AddVertex(v) }
 
 // GetVertex fetches a vertex.
 func (db *DB) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
-	return db.engine.GetVertex(id, typ)
+	return db.eng().GetVertex(id, typ)
 }
 
 // AddEdge upserts a directed edge.
@@ -217,7 +228,7 @@ func (db *DB) AddEdge(e Edge) error { return db.writeStore().AddEdge(e) }
 
 // GetEdge fetches one edge.
 func (db *DB) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
-	return db.engine.GetEdge(src, typ, dst)
+	return db.eng().GetEdge(src, typ, dst)
 }
 
 // DeleteEdge removes one edge.
@@ -234,29 +245,29 @@ func (db *DB) DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error {
 // failing one are not applied. In non-replicated mode (no WAL) the batch
 // degrades to ordered in-memory applies.
 func (db *DB) ApplyBatch(muts []Mutation) error {
-	if db.rw != nil {
-		return db.rw.ApplyBatch(muts)
+	if db.leader() != nil {
+		return db.leader().ApplyBatch(muts)
 	}
-	return db.engine.ApplyBatch(muts)
+	return db.eng().ApplyBatch(muts)
 }
 
 // Neighbors streams src's out-neighbors of the given edge type in
 // destination order until fn returns false or limit edges are delivered
 // (limit <= 0: unlimited).
 func (db *DB) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
-	return db.engine.Neighbors(src, typ, limit, fn)
+	return db.eng().Neighbors(src, typ, limit, fn)
 }
 
 // Degree returns src's out-degree for the given edge type.
 func (db *DB) Degree(src VertexID, typ EdgeType) (int, error) {
-	return db.engine.Degree(src, typ)
+	return db.eng().Degree(src, typ)
 }
 
 // KHop expands hops levels of out-neighbors from start, returning the set
 // of vertices reached (excluding start). perVertexLimit bounds per-vertex
 // fan-out (<= 0: unlimited).
 func (db *DB) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
-	return graph.KHop(db.engine, start, typ, hops, perVertexLimit)
+	return graph.KHop(db.eng(), start, typ, hops, perVertexLimit)
 }
 
 // Pattern is a small query graph for MatchPattern; see pattern.Pattern.
@@ -268,26 +279,26 @@ type PatternEdge = pattern.PEdge
 // MatchPattern finds up to maxMatches embeddings of p anchored at the
 // seed vertices.
 func (db *DB) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
-	return pattern.Match(db.engine, p, seeds, maxMatches)
+	return pattern.Match(db.eng(), p, seeds, maxMatches)
 }
 
 // FindCycles returns simple cycles through start of length 2..maxLen —
 // the risk-control loop detection.
 func (db *DB) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
-	return pattern.FindCycles(db.engine, start, typ, maxLen, maxCycles)
+	return pattern.FindCycles(db.eng(), start, typ, maxLen, maxCycles)
 }
 
 // RunGC triggers one synchronous space-reclamation cycle (batch extents
 // per data stream) and returns the bytes moved.
-func (db *DB) RunGC(batch int) (int64, error) { return db.engine.RunGC(batch) }
+func (db *DB) RunGC(batch int) (int64, error) { return db.eng().RunGC(batch) }
 
 // Checkpoint flushes dirty pages and publishes a WAL checkpoint
 // (replicated mode). In non-replicated mode it is a no-op.
 func (db *DB) Checkpoint() error {
-	if db.rw == nil {
+	if db.leader() == nil {
 		return nil
 	}
-	return db.rw.Checkpoint()
+	return db.leader().Checkpoint()
 }
 
 // Stats summarizes the database's I/O, space, cache, WAL, and replication
@@ -374,13 +385,20 @@ type GCStats struct {
 	ExtentsExpired   int64   `json:"extents_expired"`
 }
 
-// ReplicationStats covers the attached read-only replicas. AppliedLSNLag is
-// the worst lag across replicas: the leader's last assigned LSN minus the
-// replica's applied LSN (Fig. 13).
+// ReplicationStats covers the attached read-only replicas and leader
+// failover. AppliedLSNLag is the worst lag across replicas: the leader's
+// last assigned LSN minus the replica's applied LSN (Fig. 13). Epoch is the
+// WAL fence token the current leader appends under (0 until the first
+// failover); FencedAppends counts appends the shared store rejected with
+// storage.ErrFenced — each one a deposed leader's write that fencing kept
+// out of the log.
 type ReplicationStats struct {
 	Replicas      int    `json:"replicas"`
 	AppliedLSNLag uint64 `json:"applied_lsn_lag"`
 	Resyncs       int64  `json:"resyncs"`
+	Epoch         uint64 `json:"epoch"`
+	Failovers     int64  `json:"failovers"`
+	FencedAppends int64  `json:"fenced_appends"`
 }
 
 // HistogramStats summarizes a latency distribution in microseconds.
@@ -413,15 +431,15 @@ func fanoutStats(s metrics.IntHistogramSnapshot) FanoutStats {
 // Stats returns a snapshot.
 func (db *DB) Stats() Stats {
 	ss := db.store.Stats()
-	fs := db.engine.Forest().Stats()
-	m := db.engine.Mapping()
+	fs := db.eng().Forest().Stats()
+	m := db.eng().Mapping()
 	hits, misses := m.CacheStats()
 	raIssued, raHits := m.ReadaheadStats()
 	var ratio float64
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
-	gcs := db.engine.GCStats()
+	gcs := db.eng().GCStats()
 	s := Stats{
 		Storage: StorageStats{
 			ReadOps:         ss.ReadOps,
@@ -467,23 +485,26 @@ func (db *DB) Stats() Stats {
 			ExtentsExpired:   ss.ExtentsExpired,
 		},
 	}
-	if db.rw != nil {
-		batches, records := db.rw.LoggerStats()
+	if rw := db.leader(); rw != nil {
+		batches, records := rw.LoggerStats()
 		s.WAL = WALStats{
-			Appends:       db.rw.Writer().Appends(),
-			AppendLatency: histogramStats(db.rw.Writer().AppendLatency().Summary()),
+			Appends:       rw.Writer().Appends(),
+			AppendLatency: histogramStats(rw.Writer().AppendLatency().Summary()),
 			CommitBatches: batches,
 			CommitRecords: records,
-			CommitLatency: histogramStats(db.rw.Logger().CommitLatency().Summary()),
-			GroupSize:     fanoutStats(db.rw.Logger().GroupSize().Summary()),
-			GroupStall:    histogramStats(db.rw.Logger().StallLatency().Summary()),
-			LastLSN:       uint64(db.rw.LastLSN()),
-			Checkpoints:   db.rw.Checkpoints(),
+			CommitLatency: histogramStats(rw.Logger().CommitLatency().Summary()),
+			GroupSize:     fanoutStats(rw.Logger().GroupSize().Summary()),
+			GroupStall:    histogramStats(rw.Logger().StallLatency().Summary()),
+			LastLSN:       uint64(rw.LastLSN()),
+			Checkpoints:   rw.Checkpoints(),
 		}
 		s.Replication = ReplicationStats{
 			Replicas:      db.replicaCount(),
 			AppliedLSNLag: db.replicationLag(),
 			Resyncs:       db.replicaResyncs(),
+			Epoch:         rw.Epoch(),
+			Failovers:     db.failovers.Load(),
+			FencedAppends: ss.FencedAppends,
 		}
 	}
 	return s
@@ -498,10 +519,10 @@ func (db *DB) replicaCount() int {
 // replicationLag returns the worst applied-LSN lag across the attached
 // replicas relative to the leader's last assigned LSN.
 func (db *DB) replicationLag() uint64 {
-	if db.rw == nil {
+	if db.leader() == nil {
 		return 0
 	}
-	last := uint64(db.rw.LastLSN())
+	last := uint64(db.leader().LastLSN())
 	db.mu.Lock()
 	replicas := append([]*Replica(nil), db.replicas...)
 	db.mu.Unlock()
@@ -528,10 +549,10 @@ func (db *DB) replicaResyncs() int64 {
 // Metrics exposes the database's metrics registry: every subsystem
 // (storage, WAL, cache, forest, GC, replication) registers its instruments
 // here. Useful for scraping or registering additional application gauges.
-func (db *DB) Metrics() *metrics.Registry { return db.engine.Metrics() }
+func (db *DB) Metrics() *metrics.Registry { return db.eng().Metrics() }
 
 // StatsJSON renders the full metrics registry as stable, sorted JSON.
-func (db *DB) StatsJSON() ([]byte, error) { return db.engine.Metrics().Snapshot().JSON() }
+func (db *DB) StatsJSON() ([]byte, error) { return db.eng().Metrics().Snapshot().JSON() }
 
 // StatsText renders the full metrics registry as sorted, aligned text.
-func (db *DB) StatsText() string { return db.engine.Metrics().Snapshot().Text() }
+func (db *DB) StatsText() string { return db.eng().Metrics().Snapshot().Text() }

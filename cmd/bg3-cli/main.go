@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -35,7 +36,11 @@ var vertexTypes = map[string]bg3.VertexType{
 }
 
 func main() {
-	db, err := bg3.Open(&bg3.Options{ForestSplitThreshold: 1000})
+	replicated := flag.Bool("replicated", false,
+		"open with the WAL replication pipeline (enables the 'failover' command)")
+	flag.Parse()
+
+	db, err := bg3.Open(&bg3.Options{ForestSplitThreshold: 1000, Replicated: *replicated})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bg3-cli:", err)
 		os.Exit(1)
@@ -96,6 +101,7 @@ func dispatch(db *bg3.DB, f []string) error {
   khop <src> <etype> <hops>             multi-hop expansion
   cycles <src> <etype> <maxlen>         loop detection
   gc [batch]                            run space reclamation
+  failover                              depose the leader, promote a follower (needs -replicated)
   stats [json|text]                     engine statistics (full registry as json/text)
   quit
 `)
@@ -268,6 +274,14 @@ func dispatch(db *bg3.DB, f []string) error {
 			return err
 		}
 		fmt.Printf("moved %d bytes\n", moved)
+		return nil
+	case "failover":
+		if err := db.Failover(); err != nil {
+			return err
+		}
+		s := db.Stats()
+		fmt.Printf("promoted: epoch=%d failovers=%d fenced_appends=%d\n",
+			s.Replication.Epoch, s.Replication.Failovers, s.Replication.FencedAppends)
 		return nil
 	case "stats":
 		if len(f) > 1 {

@@ -1,0 +1,95 @@
+package bg3
+
+import (
+	"time"
+
+	"bg3/internal/replication"
+)
+
+// Failover deposes the current leader and promotes a fresh follower over
+// the same shared store — the recovery path for a crashed or hung RW node,
+// and a drill for practicing it (§3.4's single-writer architecture made
+// survivable). The sequence:
+//
+//  1. A new fence epoch is claimed on the WAL stream. From that instant
+//     every append still carried by the old leader fails with an error
+//     wrapping storage.ErrFenced: in-flight writes surface the failure to
+//     their callers instead of being silently lost, and the old leader's
+//     writer fail-stops.
+//  2. A follower bootstraps from the latest snapshot, drains the durable
+//     WAL tail (every write acknowledged before the fence), and is rebuilt
+//     into a live RW engine appending at the new epoch.
+//  3. The DB atomically routes subsequent reads and writes to the promoted
+//     leader, and attached replicas re-bootstrap onto its fresh snapshot.
+//
+// Writes issued concurrently with Failover either commit durably (they beat
+// the fence and the promoted leader replays them) or fail with ErrFenced /
+// wal.ErrWriterFailed — never silent loss. Like crash recovery, promotion
+// needs at least one snapshot on the store; Failover writes one through the
+// old leader on a best-effort basis, which succeeds whenever that leader is
+// still healthy. On a DB opened without Options.Replicated it returns
+// ErrNotReplicated.
+func (db *DB) Failover() error {
+	old := db.leader()
+	if old == nil {
+		return ErrNotReplicated
+	}
+	// Best-effort bootstrap point: a dead or already-fenced leader fails
+	// this harmlessly and the last periodic snapshot is used instead.
+	_, _ = old.WriteSnapshot()
+
+	// The transient follower exists only to be promoted; Promote stops its
+	// poll loop immediately, so the interval never fires.
+	ro, err := replication.NewRONodeFromSnapshot(db.store, time.Hour, 0)
+	if err != nil {
+		return err
+	}
+	rw, err := replication.Promote(ro, db.opts.rwOptions())
+	if err != nil {
+		return err
+	}
+
+	db.rw.Store(rw)
+	db.engine.Store(rw.Engine())
+	db.registerReplicationMetrics(rw.Engine().Metrics())
+	db.failovers.Add(1)
+	old.Stop()
+
+	// The promoted leader replayed into a fresh physical page-ID space and
+	// published a new snapshot; replicas attached to the deposed leader
+	// re-bootstrap from it so they keep serving consistent reads.
+	db.mu.Lock()
+	replicas := append([]*Replica(nil), db.replicas...)
+	db.mu.Unlock()
+	for _, r := range replicas {
+		if err := r.ro.Resync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epoch returns the WAL fence epoch the current leader appends under: 0
+// until the first failover, incremented by each one. Always 0 on a
+// non-replicated DB.
+func (db *DB) Epoch() uint64 {
+	if rw := db.leader(); rw != nil {
+		return rw.Epoch()
+	}
+	return 0
+}
+
+// Failovers returns how many times this DB has promoted a new leader.
+func (db *DB) Failovers() int64 { return db.failovers.Load() }
+
+// Failover deposes the leader of one shard and promotes a follower in its
+// place; see DB.Failover for the sequence and guarantees. Writes routed to
+// the shard during the switch fail with fencing errors rather than being
+// silently dropped.
+func (c *ClusterDB) Failover(shard int) error { return c.cluster.Failover(shard) }
+
+// Failovers returns how many shard leaders this cluster has replaced.
+func (c *ClusterDB) Failovers() int64 { return c.cluster.Failovers() }
+
+// ShardEpoch returns the WAL fence epoch of one shard's current leader.
+func (c *ClusterDB) ShardEpoch(shard int) uint64 { return c.cluster.ShardEpoch(shard) }

@@ -1,0 +1,126 @@
+package bg3
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDBFailover exercises the public failover surface: a replicated DB
+// promotes a new leader in place, every acknowledged write survives, new
+// writes land under the bumped epoch, attached replicas re-bootstrap onto
+// the new leader, and the epoch/failover counters surface in Stats.
+func TestDBFailover(t *testing.T) {
+	db := openDB(t, &Options{Replicated: true, ReplicaPollInterval: time.Millisecond})
+	for i := 0; i < 30; i++ {
+		if err := db.AddEdge(Edge{Src: 1, Dst: VertexID(100 + i), Type: ETypeFollow,
+			Props: Properties{{Name: "n", Value: []byte(fmt.Sprint(i))}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := db.OpenReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Failover(); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got := db.Epoch(); got != 1 {
+		t.Fatalf("Epoch = %d, want 1", got)
+	}
+	if got := db.Failovers(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+
+	for i := 0; i < 30; i++ {
+		e, ok, err := db.GetEdge(1, ETypeFollow, VertexID(100+i))
+		if err != nil || !ok {
+			t.Fatalf("edge %d after failover: ok=%v err=%v", i, ok, err)
+		}
+		if v, _ := e.Props.Get("n"); string(v) != fmt.Sprint(i) {
+			t.Fatalf("edge %d = %q", i, v)
+		}
+	}
+	if err := db.AddEdge(Edge{Src: 2, Dst: 200, Type: ETypeFollow}); err != nil {
+		t.Fatalf("write on promoted leader: %v", err)
+	}
+
+	// The replica re-bootstrapped during Failover; one sync later it serves
+	// the post-failover write.
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := rep.GetEdge(2, ETypeFollow, 200); err != nil || !ok {
+		t.Fatalf("post-failover write on replica: ok=%v err=%v", ok, err)
+	}
+
+	st := db.Stats()
+	if st.Replication.Epoch != 1 || st.Replication.Failovers != 1 {
+		t.Fatalf("Stats replication = %+v", st.Replication)
+	}
+
+	// A second failover stacks: epochs are monotonic across promotions.
+	if err := db.Failover(); err != nil {
+		t.Fatalf("second failover: %v", err)
+	}
+	if got := db.Epoch(); got != 2 {
+		t.Fatalf("Epoch after second failover = %d, want 2", got)
+	}
+	if _, ok, _ := db.GetEdge(2, ETypeFollow, 200); !ok {
+		t.Fatal("write lost across second failover")
+	}
+}
+
+// TestDBFailoverNotReplicated pins the guard: failover needs the WAL
+// pipeline.
+func TestDBFailoverNotReplicated(t *testing.T) {
+	db := openDB(t, nil)
+	if err := db.Failover(); err != ErrNotReplicated {
+		t.Fatalf("err = %v, want ErrNotReplicated", err)
+	}
+	if db.Epoch() != 0 || db.Failovers() != 0 {
+		t.Fatal("non-replicated DB reports failover state")
+	}
+}
+
+// TestClusterDBFailover promotes one shard's leader through the public
+// cluster API: the shard keeps serving routed reads and writes, the other
+// shards are untouched, and the counters advance.
+func TestClusterDBFailover(t *testing.T) {
+	c, err := OpenCluster(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	for i := 1; i <= 40; i++ {
+		if err := c.AddEdge(Edge{Src: VertexID(i), Dst: 1, Type: ETypeFollow,
+			Props: Properties{{Name: "n", Value: []byte{byte(i)}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Failover(0); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got := c.Failovers(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	if c.ShardEpoch(0) != 1 {
+		t.Fatalf("ShardEpoch(0) = %d, want 1", c.ShardEpoch(0))
+	}
+	for i := 1; i <= 40; i++ {
+		e, ok, err := c.GetEdge(VertexID(i), ETypeFollow, 1)
+		if err != nil || !ok {
+			t.Fatalf("edge %d after shard failover: ok=%v err=%v", i, ok, err)
+		}
+		if v, _ := e.Props.Get("n"); len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("edge %d = %x", i, v)
+		}
+	}
+	for i := 41; i <= 60; i++ {
+		if err := c.AddEdge(Edge{Src: VertexID(i), Dst: 2, Type: ETypeFollow}); err != nil {
+			t.Fatalf("post-failover write %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/replication"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// FailoverConfig parameterizes one failover chaos run: a seeded workload
+// interrupted by leader depositions, each answered with an epoch-fenced
+// promotion instead of an in-place recovery.
+type FailoverConfig struct {
+	// Seed drives the workload RNG. Rounds is how many failovers the run
+	// performs, spread evenly through Ops (defaults 3 and 1200).
+	Seed   int64
+	Ops    int
+	Rounds int
+
+	// ZombieWrites is how many writes are attempted on each deposed leader
+	// after its successor has claimed the fence (default 6). Every one must
+	// fail — with an error wrapping storage.ErrFenced or wal.ErrWriterFailed
+	// — and none may become visible on the new leader.
+	ZombieWrites int
+
+	// Key-space bounds, as in Config (defaults 12, 3, 24).
+	Owners, EdgeTypes, Dsts int
+
+	// DeleteFrac is the fraction of deletes (default 0.2).
+	DeleteFrac float64
+
+	// CommitWindow / CommitMaxBatch pass through to each leader's group
+	// committer, so the kill lands mid-group-commit rather than between
+	// single-record flushes.
+	CommitWindow   time.Duration
+	CommitMaxBatch int
+
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Ops <= 0 {
+		c.Ops = 1200
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.ZombieWrites <= 0 {
+		c.ZombieWrites = 6
+	}
+	if c.Owners <= 0 {
+		c.Owners = 12
+	}
+	if c.EdgeTypes <= 0 {
+		c.EdgeTypes = 3
+	}
+	if c.Dsts <= 0 {
+		c.Dsts = 24
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.2
+	}
+	return c
+}
+
+// FailoverReport summarizes a failover chaos run.
+type FailoverReport struct {
+	Ops    int // workload operations issued
+	Acked  int // acknowledged (must survive every failover)
+	Failed int // returned an error (maybe-semantics)
+
+	Failovers     int    // promotions performed
+	CrashKills    int    // rounds where the leader was crashed before promotion
+	LiveKills     int    // rounds where a healthy leader was fenced out
+	ZombieWrites  int    // writes attempted on deposed leaders
+	ZombieFenced  int    // of those, rejected with a fencing/fail-stop error
+	FencedAppends int64  // storage-level appends rejected by the fence
+	FinalEpoch    uint64 // epoch of the last promoted leader
+}
+
+// RunFailover executes one failover chaos run: the workload runs against a
+// leader that is repeatedly deposed — on odd rounds killed mid-group-commit
+// by an injected crash fault (leaving a torn group envelope on the WAL
+// tail), on even rounds left perfectly healthy — and replaced by promoting
+// a read-only follower over the same shared store. After each promotion the
+// deposed leader is used as a zombie: it keeps issuing writes, every one of
+// which must be rejected by the epoch fence rather than silently lost or,
+// worse, silently applied. The oracle then verifies the promoted leader:
+// every acknowledged write survives, failed writes obey maybe-semantics,
+// and no zombie value is visible anywhere.
+func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &FailoverReport{}
+	oracle := NewOracle()
+
+	plan := storage.NewFaultPlan(storage.FaultConfig{Seed: cfg.Seed * 31})
+	plan.SetEnabled(false)
+	st := storage.Open(&storage.Options{
+		ExtentSize:   8 << 10,
+		ReclaimGrace: time.Hour,
+		Faults:       plan,
+	})
+	defer st.Close()
+
+	rwOpts := replication.RWOptions{
+		Engine: core.Options{
+			Tree: bwtree.Config{
+				Policy:         bwtree.ReadOptimized,
+				MaxPageEntries: 24,
+			},
+		},
+		CommitWindow: cfg.CommitWindow,
+		MaxBatch:     cfg.CommitMaxBatch,
+	}
+
+	rw, err := replication.NewRWNode(st, rwOpts)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: failover bootstrap: %w", err)
+	}
+	live := []*replication.RWNode{rw} // every node not yet stopped
+	defer func() {
+		for _, n := range live {
+			n.Stop()
+		}
+	}()
+	if _, err := rw.WriteSnapshot(); err != nil {
+		return rep, fmt.Errorf("chaos: baseline snapshot: %w", err)
+	}
+
+	drawKey := func() EdgeKey {
+		return EdgeKey{
+			Src: graph.VertexID(1 + rng.Intn(cfg.Owners)),
+			Typ: graph.EdgeType(1 + rng.Intn(cfg.EdgeTypes)),
+			Dst: graph.VertexID(1 + rng.Intn(cfg.Dsts)),
+		}
+	}
+	workOne := func(i int) {
+		k := drawKey()
+		rep.Ops++
+		if rng.Float64() < cfg.DeleteFrac {
+			if err := rw.DeleteEdge(k.Src, k.Typ, k.Dst); err != nil {
+				rep.Failed++
+				oracle.FailDelete(k)
+			} else {
+				rep.Acked++
+				oracle.CommitDelete(k)
+			}
+			return
+		}
+		val := fmt.Sprintf("f%d.%d", cfg.Seed, i)
+		e := graph.Edge{Src: k.Src, Dst: k.Dst, Type: k.Typ,
+			Props: graph.Properties{{Name: propName, Value: []byte(val)}}}
+		if err := rw.AddEdge(e); err != nil {
+			rep.Failed++
+			oracle.FailPut(k, val)
+		} else {
+			rep.Acked++
+			oracle.CommitPut(k, val)
+		}
+	}
+
+	// depose fences the current leader out by promoting a fresh follower,
+	// then drives zombie writes through the deposed node. crash kills the
+	// leader mid-group-commit first, so the promotion drain must also cope
+	// with a torn group envelope on the WAL tail.
+	depose := func(round int, crash bool) error {
+		old := rw
+		if crash {
+			rep.CrashKills++
+			plan.SetEnabled(true)
+			// The crash point tears the dying append mid-write, so the kill
+			// lands inside a group envelope, not between flushes.
+			plan.ScheduleCrash(1)
+			for j := 0; j < 4; j++ { // a few ops to hit the crash point
+				workOne(cfg.Ops + round*8 + j)
+			}
+			plan.ClearCrash()
+			plan.SetEnabled(false)
+			if !writerDead(old) {
+				return fmt.Errorf("chaos: round %d: crash fault did not kill the leader", round)
+			}
+		} else {
+			rep.LiveKills++
+		}
+
+		ro, err := replication.NewRONodeFromSnapshot(st, time.Hour, 0)
+		if err != nil {
+			return fmt.Errorf("chaos: round %d: follower bootstrap: %w", round, err)
+		}
+		next, err := replication.Promote(ro, rwOpts)
+		if err != nil {
+			return fmt.Errorf("chaos: round %d: promote: %w", round, err)
+		}
+		live = append(live, next)
+		rep.Failovers++
+
+		// The deposed leader is now a zombie: it may be healthy, it may
+		// even append faster than the new leader — the fence must reject
+		// every attempt with an explicit error. The values are drawn from
+		// the live key space but never registered in the oracle, so any
+		// zombie write that leaked through would be caught by Verify as a
+		// phantom or an impossible value.
+		for j := 0; j < cfg.ZombieWrites; j++ {
+			k := drawKey()
+			rep.ZombieWrites++
+			zerr := old.AddEdge(graph.Edge{Src: k.Src, Dst: k.Dst, Type: k.Typ,
+				Props: graph.Properties{{Name: propName, Value: []byte(fmt.Sprintf("zombie%d.%d", round, j))}}})
+			if zerr == nil {
+				return fmt.Errorf("chaos: round %d: zombie write %d acknowledged after fence", round, j)
+			}
+			if !errors.Is(zerr, storage.ErrFenced) && !errors.Is(zerr, wal.ErrWriterFailed) &&
+				!errors.Is(zerr, storage.ErrCrashed) {
+				return fmt.Errorf("chaos: round %d: zombie write %d failed oddly: %w", round, j, zerr)
+			}
+			rep.ZombieFenced++
+		}
+
+		old.Stop()
+		live = live[1:]
+		rw = next
+		logf("chaos: round %d (crash=%v): promoted to epoch %d after %d acked",
+			round, crash, rw.Epoch(), rep.Acked)
+		if err := oracle.Verify(rw.Engine()); err != nil {
+			return fmt.Errorf("chaos: round %d: after promotion: %w", round, err)
+		}
+		return nil
+	}
+
+	segment := cfg.Ops / (cfg.Rounds + 1)
+	for i := 0; i < cfg.Ops; i++ {
+		workOne(i)
+		if round := i / segment; round >= 1 && round <= cfg.Rounds && i%segment == 0 {
+			if err := depose(round, round%2 == 1); err != nil {
+				return rep, err
+			}
+		}
+	}
+
+	if err := oracle.Verify(rw.Engine()); err != nil {
+		return rep, fmt.Errorf("chaos: final leader verify: %w", err)
+	}
+
+	// A follower bootstrapped after the last failover must agree too: the
+	// promoted leader's snapshot plus the post-fence WAL tail reconstructs
+	// the same graph, with every stale-epoch record skipped.
+	ro, err := replication.NewRONodeFromSnapshot(st, time.Millisecond, 0)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: final follower bootstrap: %w", err)
+	}
+	if err := ro.Poll(); err != nil {
+		ro.Stop()
+		return rep, fmt.Errorf("chaos: final follower poll: %w", err)
+	}
+	verr := oracle.Verify(ro.Replica())
+	ro.Stop()
+	if verr != nil {
+		return rep, fmt.Errorf("chaos: final follower verify: %w", verr)
+	}
+
+	rep.FencedAppends = st.Stats().FencedAppends
+	rep.FinalEpoch = rw.Epoch()
+	logf("chaos: failover done: %d ops (%d acked, %d failed), %d failovers, %d/%d zombies fenced, %d fenced appends, epoch %d",
+		rep.Ops, rep.Acked, rep.Failed, rep.Failovers, rep.ZombieFenced, rep.ZombieWrites,
+		rep.FencedAppends, rep.FinalEpoch)
+	return rep, nil
+}

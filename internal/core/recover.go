@@ -6,6 +6,7 @@ import (
 	"bg3/internal/bwtree"
 	"bg3/internal/forest"
 	"bg3/internal/gc"
+	"bg3/internal/metrics"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -57,7 +58,11 @@ func RecoverWithStore(st *storage.Store, opts Options, state SnapshotState) (*En
 		InitSizeThreshold: opts.InitSizeThreshold,
 	}, init, dedicated)
 
-	e := &Engine{store: st, mapping: m, edges: f, opts: opts}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	e := &Engine{store: st, mapping: m, edges: f, opts: opts, reg: reg}
 	policy := opts.GCPolicy
 	if policy == nil {
 		policy = gc.WorkloadAware{TTL: opts.TTL}
@@ -77,6 +82,7 @@ func RecoverWithStore(st *storage.Store, opts Options, state SnapshotState) (*En
 			r.Start(opts.GCInterval, batch)
 		}
 	}
+	e.registerMetrics(reg)
 	return e, nil
 }
 

@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bg3/internal/core"
@@ -14,8 +16,13 @@ import (
 // shard. The Cluster itself implements graph.Store for the write/serve
 // path; ReadView bundles one RO node per shard for scale-out reads.
 type Cluster struct {
+	// mu guards shards: Failover swaps a shard's leader in place while
+	// routed writes keep arriving. stores is immutable after construction.
+	mu     sync.RWMutex
 	shards []*RWNode
 	stores []*storage.Store
+
+	failovers atomic.Int64
 }
 
 // NewCluster creates n RW shards with identical options. storageOpts may
@@ -45,24 +52,42 @@ func NewCluster(n int, storageOpts *storage.Options, opts RWOptions) (*Cluster, 
 
 // Stop halts every shard.
 func (c *Cluster) Stop() {
-	for i, rw := range c.shards {
-		rw.Stop()
-		c.stores[i].Close()
-	}
+	c.mu.Lock()
+	shards, stores := c.shards, c.stores
 	c.shards = nil
 	c.stores = nil
+	c.mu.Unlock()
+	for i, rw := range shards {
+		rw.Stop()
+		stores[i].Close()
+	}
 }
 
 // Shards returns the number of RW nodes.
-func (c *Cluster) Shards() int { return len(c.shards) }
+func (c *Cluster) Shards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.shards)
+}
+
+// shardAt returns the current leader of shard i.
+func (c *Cluster) shardAt(i int) *RWNode {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shards[i]
+}
 
 // shard routes a vertex to its owning RW node (Fibonacci hashing).
 func (c *Cluster) shard(id graph.VertexID) *RWNode {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	return c.shards[h%uint64(len(c.shards))]
 }
 
 func (c *Cluster) shardIndex(id graph.VertexID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	h := uint64(id) * 0x9E3779B97F4A7C15
 	return int(h % uint64(len(c.shards)))
 }
@@ -102,8 +127,8 @@ var _ graph.Store = (*Cluster)(nil)
 
 // Checkpoint checkpoints every shard.
 func (c *Cluster) Checkpoint() error {
-	for _, rw := range c.shards {
-		if err := rw.Checkpoint(); err != nil {
+	for i, n := 0, c.Shards(); i < n; i++ {
+		if err := c.shardAt(i).Checkpoint(); err != nil {
 			return err
 		}
 	}
@@ -113,9 +138,9 @@ func (c *Cluster) Checkpoint() error {
 // LastLSNs returns each shard's assigned-LSN horizon, index-aligned with
 // the shard order.
 func (c *Cluster) LastLSNs() []uint64 {
-	out := make([]uint64, len(c.shards))
-	for i, rw := range c.shards {
-		out[i] = uint64(rw.LastLSN())
+	out := make([]uint64, c.Shards())
+	for i := range out {
+		out[i] = uint64(c.shardAt(i).LastLSN())
 	}
 	return out
 }
@@ -166,7 +191,7 @@ func (v *ReadView) Sync() error {
 func (v *ReadView) WaitVisible(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for i, ro := range v.ros {
-		lsn := v.cluster.shards[i].LastLSN()
+		lsn := v.cluster.shardAt(i).LastLSN()
 		rem := time.Until(deadline)
 		if rem <= 0 || !ro.WaitVisible(lsn, rem) {
 			return false

@@ -1,0 +1,113 @@
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"bg3/internal/metrics"
+	"bg3/internal/storage"
+)
+
+// Promote turns a read-only follower into the new leader after the old one
+// crashed or must be deposed — the missing half of the paper's single-RW,
+// many-RO architecture (§3.4). The sequence is the BtrLog one:
+//
+//  1. Fence. Claim a fresh epoch on the WAL stream (AdvanceStreamEpoch).
+//     From this instant the shared store rejects every append carrying the
+//     old leader's token with ErrFenced, so a deposed leader that is still
+//     running — or merely slow — cannot extend the log. Its writer
+//     fail-stops on the first rejected append and every in-flight commit
+//     surfaces the error to its caller instead of being silently lost.
+//  2. Drain. Stop the follower's poll loop and synchronously replay the
+//     durable WAL tail. Everything the old leader persisted before the
+//     fence is acknowledged-or-in-doubt state and must survive; after the
+//     fence the tail is frozen, so one drain reads all of it.
+//  3. Rebuild. Reconstruct a live RW engine from the durable state
+//     (snapshot + WAL suffix — the RecoverRWNode machinery) with a writer
+//     holding exactly the claimed epoch, resume the LSN sequence past the
+//     highest durable record, and publish a fresh snapshot so followers can
+//     bootstrap onto the new leader's page-ID space.
+//
+// The follower keeps serving reads from its caught-up replica after Promote
+// returns; followers attached to the old leader should call Resync to adopt
+// the new leader's snapshot. Like RecoverRWNode, Promote requires at least
+// one snapshot on the store. If a competing promotion claims a higher epoch
+// concurrently, exactly one candidate ends up able to append — the loser's
+// node fails with an error wrapping storage.ErrFenced on its first write.
+func Promote(ro *RONode, opts RWOptions) (*RWNode, error) {
+	if ro == nil {
+		return nil, fmt.Errorf("replication: promote: nil follower")
+	}
+	st := ro.store
+	epoch, err := st.AdvanceStreamEpoch(storage.StreamWAL)
+	if err != nil {
+		return nil, fmt.Errorf("replication: promote: fence: %w", err)
+	}
+	ro.Stop()
+	if err := ro.Poll(); err != nil {
+		return nil, fmt.Errorf("replication: promote: drain: %w", err)
+	}
+	rw, err := recoverRWNodeAtEpoch(st, opts, epoch)
+	if err != nil {
+		return nil, fmt.Errorf("replication: promote: %w", err)
+	}
+	metrics.Faults.Recoveries.Inc()
+	return rw, nil
+}
+
+// Failover deposes the shard's current leader and installs a freshly
+// promoted one on the same store: best-effort snapshot (so the promotion
+// has a bootstrap point even if none was ever written — skipped when the
+// old leader is already dead or fenced), attach a transient follower,
+// Promote it, stop the old leader, swap. Writes routed to the shard during
+// the switch fail with errors wrapping storage.ErrFenced or
+// wal.ErrWriterFailed rather than being silently dropped; the caller
+// retries against the new leader.
+func (c *Cluster) Failover(shard int) error {
+	c.mu.RLock()
+	if shard < 0 || shard >= len(c.shards) {
+		c.mu.RUnlock()
+		return fmt.Errorf("replication: failover: no shard %d", shard)
+	}
+	old := c.shards[shard]
+	st := c.stores[shard]
+	c.mu.RUnlock()
+
+	_, _ = old.WriteSnapshot()
+	ro, err := NewRONodeFromSnapshot(st, time.Hour, 0)
+	if err != nil {
+		return fmt.Errorf("replication: failover shard %d: %w", shard, err)
+	}
+	rw, err := Promote(ro, old.opts)
+	if err != nil {
+		return fmt.Errorf("replication: failover shard %d: %w", shard, err)
+	}
+
+	c.mu.Lock()
+	if c.shards == nil || c.shards[shard] != old {
+		// The cluster stopped or another failover won the shard meanwhile;
+		// this leader has been fenced out already.
+		c.mu.Unlock()
+		rw.Stop()
+		return fmt.Errorf("replication: failover shard %d: %w", shard, storage.ErrFenced)
+	}
+	c.shards[shard] = rw
+	c.mu.Unlock()
+	old.Stop()
+	c.failovers.Add(1)
+	return nil
+}
+
+// Failovers returns how many shard leaders have been replaced.
+func (c *Cluster) Failovers() int64 { return c.failovers.Load() }
+
+// ShardEpoch returns the WAL fence epoch the shard's current leader
+// appends under.
+func (c *Cluster) ShardEpoch(shard int) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if shard < 0 || shard >= len(c.shards) {
+		return 0
+	}
+	return c.shards[shard].Epoch()
+}

@@ -1,0 +1,164 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bg3/internal/bwtree"
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+func testRWOpts() RWOptions {
+	return RWOptions{Engine: core.Options{Tree: bwtree.Config{MaxPageEntries: 32}}}
+}
+
+// TestPromote is the happy path: a leader writes, a follower catches up, a
+// promotion fences the leader out and the successor serves everything the
+// old leader acknowledged — including the WAL tail past the snapshot — and
+// accepts new writes under the bumped epoch while the deposed leader's
+// writes fail explicitly.
+func TestPromote(t *testing.T) {
+	st := storage.Open(nil)
+	defer st.Close()
+	old, err := NewRWNode(st, testRWOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Stop()
+
+	put := func(n *RWNode, dst graph.VertexID, val string) error {
+		return n.AddEdge(graph.Edge{Src: 1, Dst: dst, Type: graph.ETypeFollow,
+			Props: graph.Properties{{Name: "p", Value: []byte(val)}}})
+	}
+	for i := 0; i < 10; i++ {
+		if err := put(old, graph.VertexID(i), fmt.Sprintf("pre%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := old.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// A WAL tail beyond the snapshot: the promotion drain must carry it over.
+	for i := 10; i < 15; i++ {
+		if err := put(old, graph.VertexID(i), fmt.Sprintf("tail%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ro, err := NewRONodeFromSnapshot(st, time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := Promote(ro, testRWOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer next.Stop()
+
+	if next.Epoch() != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", next.Epoch())
+	}
+	for i := 0; i < 15; i++ {
+		want := fmt.Sprintf("pre%d", i)
+		if i >= 10 {
+			want = fmt.Sprintf("tail%d", i)
+		}
+		e, ok, err := next.GetEdge(1, graph.ETypeFollow, graph.VertexID(i))
+		if err != nil || !ok {
+			t.Fatalf("edge %d after promotion: ok=%v err=%v", i, ok, err)
+		}
+		if v, _ := e.Props.Get("p"); string(v) != want {
+			t.Fatalf("edge %d = %q, want %q", i, v, want)
+		}
+	}
+
+	if err := put(old, 99, "zombie"); !errors.Is(err, storage.ErrFenced) && !errors.Is(err, wal.ErrWriterFailed) {
+		t.Fatalf("deposed leader write err = %v, want a fencing error", err)
+	}
+	if err := put(next, 20, "post"); err != nil {
+		t.Fatalf("promoted leader write: %v", err)
+	}
+	if _, ok, _ := next.GetEdge(1, graph.ETypeFollow, 99); ok {
+		t.Fatal("zombie write visible on the promoted leader")
+	}
+
+	// A follower bootstrapped after the promotion (new snapshot, new
+	// page-ID space) agrees with the new leader.
+	tail, err := NewRONodeFromSnapshot(st, time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Stop()
+	if err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tail.Replica().GetEdge(1, graph.ETypeFollow, 20); err != nil || !ok {
+		t.Fatalf("post-failover write not visible to follower: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPromoteNilFollower pins the argument contract.
+func TestPromoteNilFollower(t *testing.T) {
+	if _, err := Promote(nil, testRWOpts()); err == nil {
+		t.Fatal("Promote(nil) succeeded")
+	}
+}
+
+// TestClusterFailover swaps one shard's leader in place: writes routed to
+// the shard keep working after the failover, the other shards are
+// untouched, and the epoch/failover counters advance.
+func TestClusterFailover(t *testing.T) {
+	c, err := NewCluster(2, nil, testRWOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Write through the routing layer so both shards hold data.
+	for i := 1; i <= 40; i++ {
+		e := graph.Edge{Src: graph.VertexID(i), Dst: 1, Type: graph.ETypeFollow,
+			Props: graph.Properties{{Name: "p", Value: []byte{byte(i)}}}}
+		if err := c.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := c.Failover(1); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got := c.Failovers(); got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+	if got := c.ShardEpoch(1); got != 1 {
+		t.Fatalf("ShardEpoch(1) = %d, want 1", got)
+	}
+	if got := c.ShardEpoch(0); got != 0 {
+		t.Fatalf("ShardEpoch(0) = %d, want 0 (untouched shard)", got)
+	}
+
+	// Every pre-failover write is still readable through the router, and
+	// new writes land on whichever leader now owns the shard.
+	for i := 1; i <= 40; i++ {
+		e, ok, err := c.GetEdge(graph.VertexID(i), graph.ETypeFollow, 1)
+		if err != nil || !ok {
+			t.Fatalf("edge %d after failover: ok=%v err=%v", i, ok, err)
+		}
+		if v, _ := e.Props.Get("p"); len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("edge %d = %x", i, v)
+		}
+	}
+	for i := 41; i <= 60; i++ {
+		if err := c.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: 2, Type: graph.ETypeFollow}); err != nil {
+			t.Fatalf("post-failover write %d: %v", i, err)
+		}
+	}
+
+	if err := c.Failover(5); err == nil {
+		t.Fatal("failover of a nonexistent shard succeeded")
+	}
+}

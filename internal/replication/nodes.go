@@ -110,6 +110,7 @@ func (n *RWNode) registerMetrics(r *metrics.Registry) {
 	n.logger.RegisterMetrics(r)
 	r.CounterFunc("wal.checkpoints", n.Checkpoints)
 	r.GaugeFunc("wal.last_checkpoint_lsn", func() int64 { return int64(n.lastCheckpoint()) })
+	r.GaugeFunc("replication.epoch", func() int64 { return int64(n.writer.Epoch()) })
 }
 
 // Engine exposes the underlying engine (stats, GC).
@@ -124,6 +125,10 @@ func (n *RWNode) Logger() *GroupCommitLogger { return n.logger }
 // LastLSN returns the most recently assigned WAL LSN — the horizon an RO
 // node must reach to observe every write acknowledged so far.
 func (n *RWNode) LastLSN() wal.LSN { return n.logger.LastLSN() }
+
+// Epoch returns the WAL fence epoch this leader appends under (0 on a
+// store that never failed over).
+func (n *RWNode) Epoch() uint64 { return n.writer.Epoch() }
 
 // Stop halts the flusher and the commit pipeline.
 func (n *RWNode) Stop() {
@@ -396,6 +401,17 @@ func (n *RONode) Poll() error {
 		return err
 	}
 	return nil
+}
+
+// Resync re-bootstraps the follower from the latest snapshot. A failover
+// publishes a new snapshot whose physical page-ID space differs from the
+// deposed leader's, so followers attached before the failover call this to
+// switch onto the new leader's bootstrap point instead of tailing records
+// that reference pages they never mapped.
+func (n *RONode) Resync() error {
+	n.pollMu.Lock()
+	defer n.pollMu.Unlock()
+	return n.resyncLocked()
 }
 
 // resyncLocked re-bootstraps the follower from the latest snapshot: fresh

@@ -463,6 +463,15 @@ func NewRONodeFromSnapshot(st *storage.Store, interval time.Duration, cacheCapac
 // usual. An error is returned when the store holds no snapshot (a fresh
 // store should use NewRWNode).
 func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
+	return recoverRWNodeAtEpoch(st, opts, st.StreamEpoch(storage.StreamWAL))
+}
+
+// recoverRWNodeAtEpoch is RecoverRWNode with an explicit WAL fence token.
+// Plain recovery passes the stream's current epoch; a promotion passes the
+// epoch it claimed when it fenced, so a candidate that lost a concurrent
+// promotion race fails ErrFenced on its first append instead of silently
+// adopting the winner's token.
+func recoverRWNodeAtEpoch(st *storage.Store, opts RWOptions, epoch uint64) (*RWNode, error) {
 	state, meta, found, err := LoadLatestSnapshot(st)
 	if err != nil {
 		return nil, err
@@ -487,7 +496,7 @@ func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 		return nil, err
 	}
 
-	writer := wal.NewWriterFrom(st, maxLSN+1)
+	writer := wal.NewWriterFromEpoch(st, maxLSN+1, epoch)
 	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
 		MaxDelay:   opts.CommitWindow,
 		MaxBatch:   opts.MaxBatch,
@@ -507,6 +516,7 @@ func RecoverRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	n.snap.lastMeta = meta
 	n.snap.lastGen = meta.generation
 	n.snap.hasSnap = true
+	n.registerMetrics(engine.Metrics())
 	if opts.FlushInterval > 0 {
 		go n.flushLoop()
 	} else {

@@ -13,6 +13,7 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("storage.batch_reads", s.batchReads.Load)
 	r.CounterFunc("storage.batch_locs", s.batchLocs.Load)
 	r.CounterFunc("storage.batch_round_trips", s.batchRoundTrips.Load)
+	r.CounterFunc("storage.fenced_appends", s.fencedAppends.Load)
 	r.CounterFunc("storage.gc_bytes_moved", func() int64 { return s.Stats().GCBytesMoved })
 	r.CounterFunc("storage.gc_bytes_reclaimed", func() int64 { return s.Stats().GCBytesReclaimed })
 	r.CounterFunc("storage.gc_records_moved", func() int64 { return s.Stats().GCRecordsMoved })

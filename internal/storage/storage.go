@@ -80,6 +80,11 @@ var (
 	ErrRecordStale = errors.New("storage: record invalidated")
 	ErrTooLarge    = errors.New("storage: record larger than extent size")
 	ErrClosed      = errors.New("storage: store closed")
+	// ErrFenced rejects an append whose epoch token is not the stream's
+	// current epoch. It is permanent for the holder of the stale token —
+	// retrying cannot help, a newer epoch has been opened — so IsTransient
+	// deliberately excludes it and writers fail-stop on it.
+	ErrFenced = errors.New("storage: append epoch fenced")
 )
 
 // Options configures a Store.
@@ -156,6 +161,7 @@ type Metrics struct {
 	LiveBytes        int64 // valid record bytes currently stored
 	TotalBytes       int64 // capacity of all resident extents
 	ExtentCount      int64
+	FencedAppends    int64 // appends rejected with ErrFenced
 }
 
 // GCWriteAmp returns the write amplification of space reclamation: bytes
@@ -187,6 +193,7 @@ type Store struct {
 	batchReads      atomic.Int64
 	batchLocs       atomic.Int64
 	batchRoundTrips atomic.Int64
+	fencedAppends   atomic.Int64
 }
 
 // pause injects simulated storage latency by blocking the calling
@@ -235,8 +242,20 @@ func (s *Store) stream(id StreamID) (*stream, error) {
 
 // Append durably writes data to the tail of the given stream and returns
 // its location. tag is an opaque owner token (BG3 uses the page ID) that
-// space reclamation hands back through RelocateFunc.
+// space reclamation hands back through RelocateFunc. Append carries epoch
+// token 0, so it works on any stream that has never been fenced and fails
+// ErrFenced afterwards.
 func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
+	return s.AppendEpoch(id, 0, tag, data)
+}
+
+// AppendEpoch is Append carrying an explicit fence token. The append is
+// admitted iff epoch equals the stream's current epoch (see
+// OpenStreamEpoch); a mismatch fails ErrFenced and persists nothing — not
+// even a torn prefix, since the fence check precedes fault injection. This
+// is the BtrLog-style single-writer guarantee: a deposed leader's token is
+// rejected by the storage service itself, no cooperation required.
+func (s *Store) AppendEpoch(id StreamID, epoch, tag uint64, data []byte) (Loc, error) {
 	if s.isClosed() {
 		return Loc{}, ErrClosed
 	}
@@ -247,15 +266,21 @@ func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
 	if len(data) > s.opts.ExtentSize {
 		return Loc{}, fmt.Errorf("%w: %d > extent size %d (stream %v, tag %d)", ErrTooLarge, len(data), s.opts.ExtentSize, id, tag)
 	}
+	if err := st.checkEpoch(epoch); err != nil {
+		s.fencedAppends.Add(1)
+		return Loc{}, err
+	}
 	if p := s.opts.Faults; p != nil {
 		out := p.appendDecision(id, len(data))
 		pause(out.spike)
 		if out.err != nil {
 			if out.torn > 0 {
 				// Persist the torn prefix: it occupies the extent tail as a
-				// checksummed-garbage record that readers must detect.
+				// checksummed-garbage record that readers must detect. The
+				// prefix carries the same token, so an append that loses the
+				// fence race persists nothing at all.
 				pause(s.opts.WriteLatency)
-				if _, terr := st.append(tag, data[:out.torn]); terr == nil {
+				if _, terr := st.append(epoch, tag, data[:out.torn]); terr == nil {
 					s.writeOps.Add(1)
 					s.bytesWritten.Add(int64(out.torn))
 				}
@@ -264,13 +289,50 @@ func (s *Store) Append(id StreamID, tag uint64, data []byte) (Loc, error) {
 		}
 	}
 	pause(s.opts.WriteLatency)
-	loc, err := st.append(tag, data)
+	loc, err := st.append(epoch, tag, data)
 	if err != nil {
+		if errors.Is(err, ErrFenced) {
+			s.fencedAppends.Add(1)
+		}
 		return Loc{}, err
 	}
 	s.writeOps.Add(1)
 	s.bytesWritten.Add(int64(len(data)))
 	return loc, nil
+}
+
+// OpenStreamEpoch installs epoch as the stream's fence token, invalidating
+// every lower token: subsequent appends carrying a smaller epoch fail
+// ErrFenced. Opening an epoch below the current one fails ErrFenced
+// (the opener itself has been deposed); re-opening the current epoch is an
+// idempotent no-op. The fence is serialized with in-flight appends on the
+// stream lock — once OpenStreamEpoch returns, no stale-token bytes can land.
+func (s *Store) OpenStreamEpoch(id StreamID, epoch uint64) error {
+	st, err := s.stream(id)
+	if err != nil {
+		return err
+	}
+	return st.openEpoch(epoch)
+}
+
+// AdvanceStreamEpoch atomically fences the stream at current+1 and returns
+// the new epoch. Promotion uses it to claim a fresh epoch without a
+// read-then-open race between competing candidates.
+func (s *Store) AdvanceStreamEpoch(id StreamID) (uint64, error) {
+	st, err := s.stream(id)
+	if err != nil {
+		return 0, err
+	}
+	return st.advanceEpoch(), nil
+}
+
+// StreamEpoch returns the stream's current fence epoch (0 = never fenced).
+func (s *Store) StreamEpoch(id StreamID) uint64 {
+	st, err := s.stream(id)
+	if err != nil {
+		return 0
+	}
+	return st.currentEpoch()
 }
 
 // Read returns a copy of the record at loc. Reading an invalidated record
@@ -320,6 +382,7 @@ func (s *Store) Stats() Metrics {
 		BatchReads:      s.batchReads.Load(),
 		BatchLocs:       s.batchLocs.Load(),
 		BatchRoundTrips: s.batchRoundTrips.Load(),
+		FencedAppends:   s.fencedAppends.Load(),
 	}
 	for _, st := range s.streams {
 		sm := st.stats()

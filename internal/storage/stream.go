@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -117,6 +118,12 @@ type stream struct {
 	active  *extent
 	nextID  ExtentID
 
+	// epoch is the stream's fence token (BtrLog-style). An append is
+	// admitted iff it carries exactly this value; opening a higher epoch
+	// permanently invalidates every lower token. 0 is the unfenced state
+	// all streams start in, and plain Append carries token 0.
+	epoch uint64
+
 	// condemned extents stay readable until the grace period lapses.
 	condemned map[ExtentID]time.Time
 
@@ -150,9 +157,58 @@ func (s *stream) newExtentLocked() *extent {
 	return e
 }
 
-func (s *stream) append(tag uint64, data []byte) (Loc, error) {
+// checkEpoch reports ErrFenced when the token would be rejected right now.
+// Callers use it as a cheap pre-check; append re-verifies under the write
+// lock, which is the authoritative fence-vs-append serialization point.
+func (s *stream) checkEpoch(epoch uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epochErrLocked(epoch)
+}
+
+func (s *stream) epochErrLocked(epoch uint64) error {
+	if epoch != s.epoch {
+		return fmt.Errorf("%w: token %d, stream %v at epoch %d", ErrFenced, epoch, s.id, s.epoch)
+	}
+	return nil
+}
+
+// openEpoch installs a new fence epoch. Opening an epoch below the current
+// one fails ErrFenced (the caller itself has been deposed); re-opening the
+// current epoch is an idempotent no-op.
+func (s *stream) openEpoch(epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if epoch < s.epoch {
+		return fmt.Errorf("%w: cannot open epoch %d, stream %v already at %d", ErrFenced, epoch, s.id, s.epoch)
+	}
+	s.epoch = epoch
+	return nil
+}
+
+// advanceEpoch atomically opens current+1 and returns it.
+func (s *stream) advanceEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
+
+func (s *stream) currentEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+func (s *stream) append(epoch, tag uint64, data []byte) (Loc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The fence check shares the extent lock with the byte append: once
+	// OpenStreamEpoch returns, no stale-token append can land, not even one
+	// already past the store-level pre-checks.
+	if err := s.epochErrLocked(epoch); err != nil {
+		return Loc{}, err
+	}
 	e := s.active
 	if e == nil || len(e.buf)+len(data) > s.opts.ExtentSize {
 		if e != nil {

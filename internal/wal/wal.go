@@ -89,6 +89,7 @@ type Record struct {
 	PageID  uint64
 	AuxPage uint64 // split target / new root / new tree root
 	CkptLSN LSN    // checkpoint horizon, for RecordCheckpoint
+	Epoch   uint64 // fence epoch of the writer that appended the record
 	Key     []byte
 	Value   []byte
 }
@@ -96,27 +97,31 @@ type Record struct {
 // ErrCorrupt is returned when a WAL record fails to decode.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// recFixed is the fixed header size of an encoded record.
+const recFixed = 1 + 8*6 + 4 + 4
+
 // Encode serializes r. Layout (little endian):
 //
-//	type[1] lsn[8] tree[8] page[8] aux[8] ckpt[8] klen[4] vlen[4] key value
+//	type[1] lsn[8] tree[8] page[8] aux[8] ckpt[8] epoch[8] klen[4] vlen[4] key value
 func Encode(r *Record) []byte {
-	buf := make([]byte, 1+8*5+4+4+len(r.Key)+len(r.Value))
+	buf := make([]byte, recFixed+len(r.Key)+len(r.Value))
 	buf[0] = byte(r.Type)
 	binary.LittleEndian.PutUint64(buf[1:], uint64(r.LSN))
 	binary.LittleEndian.PutUint64(buf[9:], r.TreeID)
 	binary.LittleEndian.PutUint64(buf[17:], r.PageID)
 	binary.LittleEndian.PutUint64(buf[25:], r.AuxPage)
 	binary.LittleEndian.PutUint64(buf[33:], uint64(r.CkptLSN))
-	binary.LittleEndian.PutUint32(buf[41:], uint32(len(r.Key)))
-	binary.LittleEndian.PutUint32(buf[45:], uint32(len(r.Value)))
-	copy(buf[49:], r.Key)
-	copy(buf[49+len(r.Key):], r.Value)
+	binary.LittleEndian.PutUint64(buf[41:], r.Epoch)
+	binary.LittleEndian.PutUint32(buf[49:], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(buf[53:], uint32(len(r.Value)))
+	copy(buf[recFixed:], r.Key)
+	copy(buf[recFixed+len(r.Key):], r.Value)
 	return buf
 }
 
 // Decode parses a record previously produced by Encode.
 func Decode(buf []byte) (*Record, error) {
-	if len(buf) < 49 {
+	if len(buf) < recFixed {
 		return nil, fmt.Errorf("%w: short record (%d bytes)", ErrCorrupt, len(buf))
 	}
 	r := &Record{
@@ -126,17 +131,18 @@ func Decode(buf []byte) (*Record, error) {
 		PageID:  binary.LittleEndian.Uint64(buf[17:]),
 		AuxPage: binary.LittleEndian.Uint64(buf[25:]),
 		CkptLSN: LSN(binary.LittleEndian.Uint64(buf[33:])),
+		Epoch:   binary.LittleEndian.Uint64(buf[41:]),
 	}
-	klen := binary.LittleEndian.Uint32(buf[41:])
-	vlen := binary.LittleEndian.Uint32(buf[45:])
-	if int(klen)+int(vlen)+49 != len(buf) {
+	klen := binary.LittleEndian.Uint32(buf[49:])
+	vlen := binary.LittleEndian.Uint32(buf[53:])
+	if int(klen)+int(vlen)+recFixed != len(buf) {
 		return nil, fmt.Errorf("%w: length mismatch klen=%d vlen=%d total=%d", ErrCorrupt, klen, vlen, len(buf))
 	}
 	if klen > 0 {
-		r.Key = append([]byte(nil), buf[49:49+klen]...)
+		r.Key = append([]byte(nil), buf[recFixed:recFixed+klen]...)
 	}
 	if vlen > 0 {
-		r.Value = append([]byte(nil), buf[49+klen:]...)
+		r.Value = append([]byte(nil), buf[recFixed+klen:]...)
 	}
 	if r.Type == 0 || r.Type > RecordOwnerAssign {
 		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, buf[0])
@@ -165,6 +171,12 @@ type Writer struct {
 	store *storage.Store
 	retry storage.RetryPolicy
 
+	// epoch is the fence token every append carries and every record is
+	// stamped with. It is captured from the store's WAL stream at
+	// construction and immutable afterwards: a writer IS one epoch's
+	// tenure, and losing the fence (storage.ErrFenced) poisons it for good.
+	epoch uint64
+
 	mu      sync.Mutex
 	nextLSN LSN
 	failed  error
@@ -181,19 +193,39 @@ func walRetry() storage.RetryPolicy {
 	return p
 }
 
-// NewWriter returns a writer that appends to the store's WAL stream.
+// NewWriter returns a writer that appends to the store's WAL stream. It
+// adopts the stream's current fence epoch, so a writer built after a
+// promotion fenced the stream appends at the new epoch, and a writer built
+// from a stale view is rejected on its first append.
 func NewWriter(store *storage.Store) *Writer {
-	return &Writer{store: store, retry: walRetry(), nextLSN: 1}
+	return &Writer{store: store, retry: walRetry(), nextLSN: 1,
+		epoch: store.StreamEpoch(storage.StreamWAL)}
 }
 
 // NewWriterFrom returns a writer whose next LSN is the given value —
 // recovery resumes the sequence past the highest LSN already in the WAL.
+// Like NewWriter, it adopts the WAL stream's current fence epoch.
 func NewWriterFrom(store *storage.Store, next LSN) *Writer {
 	if next < 1 {
 		next = 1
 	}
-	return &Writer{store: store, retry: walRetry(), nextLSN: next}
+	return &Writer{store: store, retry: walRetry(), nextLSN: next,
+		epoch: store.StreamEpoch(storage.StreamWAL)}
 }
+
+// NewWriterFromEpoch is NewWriterFrom with an explicit fence token — for a
+// promotion that must append at exactly the epoch it claimed. Adopting the
+// stream's current epoch instead would let a candidate that lost a
+// concurrent promotion race append under the winner's epoch; with the
+// explicit token, the loser's first append fails storage.ErrFenced.
+func NewWriterFromEpoch(store *storage.Store, next LSN, epoch uint64) *Writer {
+	w := NewWriterFrom(store, next)
+	w.epoch = epoch
+	return w
+}
+
+// Epoch returns the fence token the writer appends under.
+func (w *Writer) Epoch() uint64 { return w.epoch }
 
 // SetRetry overrides the writer's retry policy (tests).
 func (w *Writer) SetRetry(p storage.RetryPolicy) {
@@ -285,7 +317,7 @@ func (w *Writer) appendLocked(tag uint64, buf []byte, first, last LSN) error {
 	}
 	start := time.Now()
 	err := w.retry.Do("wal: append", func() error {
-		_, aerr := w.store.Append(storage.StreamWAL, tag, buf)
+		_, aerr := w.store.AppendEpoch(storage.StreamWAL, w.epoch, tag, buf)
 		return aerr
 	})
 	w.appendLat.Observe(time.Since(start))
@@ -305,7 +337,7 @@ var ErrRecordTooLarge = errors.New("wal: record exceeds extent size")
 
 // encodedSize returns len(Encode(r)) without allocating.
 func encodedSize(r *Record) int {
-	return 49 + len(r.Key) + len(r.Value)
+	return recFixed + len(r.Key) + len(r.Value)
 }
 
 // groupLimit is the largest sealed group one storage append accepts, with
@@ -341,6 +373,7 @@ func (w *Writer) Append(r *Record) (LSN, error) {
 		return 0, fmt.Errorf("%w: %d bytes, extent limit %d", ErrRecordTooLarge, n, w.store.ExtentSize())
 	}
 	r.LSN = w.nextLSN
+	r.Epoch = w.epoch
 	if err := w.appendLocked(r.PageID, frameGroup([][]byte{Encode(r)}), r.LSN, r.LSN); err != nil {
 		return 0, err
 	}
@@ -437,6 +470,7 @@ func (w *Writer) appendGroupsLocked(recs []*Record) error {
 		return err
 	}
 	for _, r := range recs {
+		r.Epoch = w.epoch
 		encoded := Encode(r)
 		if len(group) > 0 && size+recHeader+len(encoded) > limit {
 			if err := flush(); err != nil {
@@ -472,6 +506,7 @@ func (w *Writer) RegisterMetrics(r *metrics.Registry) {
 	r.RegisterCounter("wal.appends", &w.appends)
 	r.RegisterHistogram("wal.append_us", &w.appendLat)
 	r.GaugeFunc("wal.next_lsn", func() int64 { return int64(w.NextLSN()) })
+	r.GaugeFunc("wal.epoch", func() int64 { return int64(w.epoch) })
 }
 
 // GapError reports a hole in the LSN sequence: a record arrived whose LSN
@@ -493,15 +528,19 @@ func (e *GapError) Error() string {
 // The reader tolerates the two artifacts a retried torn write leaves in an
 // append-only log: a checksummed-garbage tail on one storage entry (dropped
 // and counted) and duplicate records from the retry (deduplicated by LSN).
-// What it does not tolerate is a hole in the LSN sequence — Poll surfaces
-// those as *GapError.
+// It also discards zombie records — records stamped with a fence epoch
+// lower than the highest epoch it has observed, left behind by a deposed
+// leader that raced the fence. What it does not tolerate is a hole in the
+// LSN sequence — Poll surfaces those as *GapError.
 type Reader struct {
 	store *storage.Store
 	cur   storage.Cursor
-	last  LSN // highest LSN returned; duplicates at or below are dropped
+	last  LSN    // highest LSN returned; duplicates at or below are dropped
+	epoch uint64 // highest fence epoch observed; lower-epoch records are zombies
 
-	torn int64 // storage entries with a torn tail encountered
-	dups int64 // duplicate records dropped
+	torn   int64 // storage entries with a torn tail encountered
+	dups   int64 // duplicate records dropped
+	fenced int64 // stale-epoch zombie records skipped
 }
 
 // NewReader returns a reader positioned at the beginning of the WAL.
@@ -525,6 +564,12 @@ func (r *Reader) LastLSN() LSN { return r.last }
 
 // Stats returns the torn-entry and duplicate counts absorbed so far.
 func (r *Reader) Stats() (torn, dups int64) { return r.torn, r.dups }
+
+// FencedSkips returns how many stale-epoch zombie records were discarded.
+func (r *Reader) FencedSkips() int64 { return r.fenced }
+
+// Epoch returns the highest fence epoch the reader has observed.
+func (r *Reader) Epoch() uint64 { return r.epoch }
 
 // Poll returns all records appended since the previous Poll, in LSN order.
 // Torn group envelopes are discarded whole and retry duplicates dropped. On
@@ -573,6 +618,14 @@ func (r *Reader) PollGroups() ([][]*Record, error) {
 				}
 				return groups, fmt.Errorf("wal: entry at %v: %w", e.Loc, derr)
 			}
+			if rec.Epoch < r.epoch {
+				// A zombie from a fenced epoch: the deposed leader's append
+				// raced the fence. Skip it without touching r.last so the
+				// surviving epoch's sequence stays gapless.
+				r.fenced++
+				continue
+			}
+			r.epoch = rec.Epoch
 			if rec.LSN <= r.last {
 				r.dups++
 				continue

@@ -39,7 +39,8 @@ func TestDecodeCorrupt(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{1, 2, 3},
-		make([]byte, 49), // type 0
+		make([]byte, 49), // shorter than the fixed header
+		make([]byte, 57), // type 0
 		append(Encode(&Record{Type: RecordPut, Key: []byte("k")}), 0xFF),
 	}
 	for i, buf := range cases {

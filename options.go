@@ -6,6 +6,7 @@ import (
 	"bg3/internal/bwtree"
 	"bg3/internal/core"
 	"bg3/internal/gc"
+	"bg3/internal/replication"
 	"bg3/internal/storage"
 )
 
@@ -168,5 +169,25 @@ func (o Options) coreOptions() core.Options {
 		TTL:               o.TTL,
 		GCInterval:        o.GCInterval,
 		GCBatch:           o.GCBatch,
+	}
+}
+
+// rwOptions builds the replication.RWOptions a leader runs with — used at
+// Open and again by Failover, so a promoted leader inherits exactly the
+// configuration of the one it replaces.
+func (o Options) rwOptions() replication.RWOptions {
+	fi := o.FlushInterval
+	if fi <= 0 {
+		fi = 50 * time.Millisecond
+	}
+	co := o.coreOptions()
+	co.Storage = nil
+	return replication.RWOptions{
+		Engine:         co,
+		CommitWindow:   o.CommitWindow,
+		MaxBatch:       o.CommitMaxBatch,
+		QueueDepth:     o.CommitQueueDepth,
+		FlushInterval:  fi,
+		FlushThreshold: o.FlushThreshold,
 	}
 }

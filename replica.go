@@ -12,10 +12,10 @@ import (
 // that future replicas bootstrap without replaying the whole WAL, and so
 // TrimWAL can drop the covered WAL prefix. Only valid on a replicated DB.
 func (db *DB) WriteSnapshot() error {
-	if db.rw == nil {
+	if db.leader() == nil {
 		return ErrNotReplicated
 	}
-	_, err := db.rw.WriteSnapshot()
+	_, err := db.leader().WriteSnapshot()
 	return err
 }
 
@@ -24,10 +24,10 @@ func (db *DB) WriteSnapshot() error {
 // snapshot are unaffected; replicas opened afterwards bootstrap from the
 // snapshot automatically.
 func (db *DB) TrimWAL() int {
-	if db.rw == nil {
+	if db.leader() == nil {
 		return 0
 	}
-	return db.rw.TrimWAL()
+	return db.leader().TrimWAL()
 }
 
 // Replica is a read-only BG3 node attached to a replicated DB. It tails
@@ -42,7 +42,7 @@ type Replica struct {
 // OpenReplica attaches a new read-only replica. The DB must have been
 // opened with Options.Replicated.
 func (db *DB) OpenReplica() (*Replica, error) {
-	if db.rw == nil {
+	if db.leader() == nil {
 		return nil, ErrNotReplicated
 	}
 	interval := db.opts.ReplicaPollInterval
