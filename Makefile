@@ -17,10 +17,10 @@ race:
 
 # Benchmark trajectory: throughput, p50/p99 latency, read fan-out, cache
 # hit ratio, allocation cost, and GC write amplification per Table-1
-# workload, plus the replicated write-heavy group-commit scenarios,
-# written to BENCH_PR4.json for diffing across PRs.
+# workload, plus the replicated write-heavy group-commit scenarios (serial
+# and pipelined), written to BENCH_PR6.json for diffing across PRs.
 bench:
-	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR6.json
 
 # Reduced scale for CI; writes a separate file so the checked-in
 # full-scale baselines are never clobbered.
@@ -30,7 +30,7 @@ bench-short:
 # Compare the two checked-in full-scale trajectories; fails on a >20%
 # throughput regression.
 benchdiff:
-	$(GO) run ./cmd/bg3-benchdiff BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/bg3-benchdiff BENCH_PR4.json BENCH_PR6.json
 
 # One benchmark per paper table/figure, plus ablations and micro-benches.
 microbench:

@@ -344,9 +344,23 @@ type WALStats struct {
 	// trip, §3.4).
 	GroupSize FanoutStats `json:"group_size"`
 	// GroupStall is the backpressure writers paid on a full commit queue.
-	GroupStall  HistogramStats `json:"group_stall"`
-	LastLSN     uint64         `json:"last_lsn"`
-	Checkpoints int64          `json:"checkpoints"`
+	GroupStall HistogramStats `json:"group_stall"`
+	// InflightGroups is the number of sealed WAL group appends in flight at
+	// the instant of the stats snapshot; PipelineDepth is the committer's
+	// current effective depth (adaptive sizing may hold it below the
+	// configured CommitPipelineDepth).
+	InflightGroups int `json:"inflight_groups"`
+	PipelineDepth  int `json:"pipeline_depth"`
+	// AckReorder is how long durable groups waited for their predecessors
+	// before their acks could release in LSN order — the cost of in-order
+	// release under out-of-order pipelined completion.
+	AckReorder HistogramStats `json:"ack_reorder"`
+	// PipelineUtilization is the distribution of concurrently in-flight
+	// appends observed at each dispatch (mean > 1 means round trips
+	// actually overlap).
+	PipelineUtilization FanoutStats `json:"pipeline_utilization"`
+	LastLSN             uint64      `json:"last_lsn"`
+	Checkpoints         int64       `json:"checkpoints"`
 }
 
 // CacheStats is the page cache's hit accounting plus the per-read storage
@@ -488,15 +502,19 @@ func (db *DB) Stats() Stats {
 	if rw := db.leader(); rw != nil {
 		batches, records := rw.LoggerStats()
 		s.WAL = WALStats{
-			Appends:       rw.Writer().Appends(),
-			AppendLatency: histogramStats(rw.Writer().AppendLatency().Summary()),
-			CommitBatches: batches,
-			CommitRecords: records,
-			CommitLatency: histogramStats(rw.Logger().CommitLatency().Summary()),
-			GroupSize:     fanoutStats(rw.Logger().GroupSize().Summary()),
-			GroupStall:    histogramStats(rw.Logger().StallLatency().Summary()),
-			LastLSN:       uint64(rw.LastLSN()),
-			Checkpoints:   rw.Checkpoints(),
+			Appends:             rw.Writer().Appends(),
+			AppendLatency:       histogramStats(rw.Writer().AppendLatency().Summary()),
+			CommitBatches:       batches,
+			CommitRecords:       records,
+			CommitLatency:       histogramStats(rw.Logger().CommitLatency().Summary()),
+			GroupSize:           fanoutStats(rw.Logger().GroupSize().Summary()),
+			GroupStall:          histogramStats(rw.Logger().StallLatency().Summary()),
+			InflightGroups:      rw.Logger().InflightGroups(),
+			PipelineDepth:       rw.Logger().PipelineDepth(),
+			AckReorder:          histogramStats(rw.Logger().AckReorder().Summary()),
+			PipelineUtilization: fanoutStats(rw.Logger().InflightUtilization().Summary()),
+			LastLSN:             uint64(rw.LastLSN()),
+			Checkpoints:         rw.Checkpoints(),
 		}
 		s.Replication = ReplicationStats{
 			Replicas:      db.replicaCount(),

@@ -1,5 +1,5 @@
 // bg3-benchjson runs the three Table-1 workloads against a fresh DB each
-// and writes a machine-readable benchmark trajectory (BENCH_PR4.json):
+// and writes a machine-readable benchmark trajectory (BENCH_PR6.json):
 // throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
 // allocation cost per op, batch-read/read-ahead effectiveness, and GC write
 // amplification. It then runs the write-heavy scenarios on a replicated DB
@@ -7,6 +7,9 @@
 // (CommitMaxBatch=1), the same insert stream under group commit, atomic
 // batch inserts, and a 50/50 read-write mix — recording group-commit
 // coalescing (flushes, mean group size, stall p99) alongside throughput.
+// Pipelined variants rerun the single-append, insert, and batch scenarios
+// with CommitPipelineDepth=8, recording ack-reorder p99 and mean in-flight
+// groups so the commit pipeline's overlap is part of the trajectory.
 // CI runs it in -short mode and archives the JSON so regressions show up as
 // a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
@@ -74,6 +77,13 @@ type workloadJSON struct {
 	GroupStallP99US int64   `json:"group_stall_p99_us,omitempty"`
 	WALAppends      int64   `json:"wal_appends,omitempty"`
 	CommitMaxBatch  int     `json:"commit_max_batch,omitempty"`
+
+	// Commit-pipeline effectiveness: configured depth, p99 of the in-order
+	// ack release wait, and mean concurrently in-flight group appends.
+	// Present on the pipelined scenarios; zero elsewhere.
+	PipelineDepth   int     `json:"pipeline_depth,omitempty"`
+	AckReorderP99US int64   `json:"ack_reorder_p99_us,omitempty"`
+	InflightMean    float64 `json:"inflight_mean,omitempty"`
 }
 
 type benchJSON struct {
@@ -88,7 +98,7 @@ type benchJSON struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
@@ -155,26 +165,40 @@ func main() {
 		name     string
 		gen      workload.Generator
 		maxBatch int // 0: default group commit
+		depth    int // 0: serial appends; >1: commit pipelining
 	}
 	writeSpecs := []writeSpec{
-		{"single-append-baseline", workload.NewInsertOnly(vertices, *seed), 1},
-		{"insert-only-grouped", workload.NewInsertOnly(vertices, *seed), 0},
-		{"batch-insert", workload.NewBatchInsert(vertices, 16, *seed), 0},
-		{"mixed-50-50", workload.NewMixedReadWrite(vertices, *seed), 0},
+		{"single-append-baseline", workload.NewInsertOnly(vertices, *seed), 1, 0},
+		{"insert-only-grouped", workload.NewInsertOnly(vertices, *seed), 0, 0},
+		{"batch-insert", workload.NewBatchInsert(vertices, 16, *seed), 0, 0},
+		{"mixed-50-50", workload.NewMixedReadWrite(vertices, *seed), 0, 0},
+		{"single-append-pipelined", workload.NewInsertOnly(vertices, *seed), 1, 8},
+		{"insert-only-pipelined", workload.NewInsertOnly(vertices, *seed), 0, 8},
+		{"batch-insert-pipelined", workload.NewBatchInsert(vertices, 16, *seed), 0, 8},
 	}
 	var baseline float64
+	var baselineP50 int64
 	for _, sp := range writeSpecs {
-		w, err := runWrite(sp.name, sp.gen, sp.maxBatch, vertices, *writeWorkers, writeOpsPerWorker, *seed)
+		w, err := runWrite(sp.name, sp.gen, sp.maxBatch, sp.depth, vertices, *writeWorkers, writeOpsPerWorker, *seed)
 		if err != nil {
 			log.Fatalf("%s: %v", sp.name, err)
 		}
 		report.Workloads = append(report.Workloads, w)
 		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  groups=%d mean=%.1f stall(p99)=%dus\n",
 			w.Name, w.Throughput, w.P50US, w.P99US, w.GroupFlushes, w.GroupSizeMean, w.GroupStallP99US)
+		if sp.depth > 1 {
+			fmt.Printf("%-24s          depth=%d inflight(mean)=%.2f ack-reorder(p99)=%dus\n",
+				"", w.PipelineDepth, w.InflightMean, w.AckReorderP99US)
+		}
 		if sp.name == "single-append-baseline" {
 			baseline = w.Throughput
+			baselineP50 = w.P50US
 		} else if baseline > 0 {
-			fmt.Printf("%-24s %8.2fx vs single-append baseline\n", "", w.Throughput/baseline)
+			fmt.Printf("%-24s %8.2fx vs single-append baseline", "", w.Throughput/baseline)
+			if sp.name == "single-append-pipelined" && w.P50US > 0 {
+				fmt.Printf("  (p50 %.2fx lower)", float64(baselineP50)/float64(w.P50US))
+			}
+			fmt.Println()
 		}
 	}
 
@@ -193,11 +217,12 @@ func main() {
 // whose storage charges a per-append write latency. Group-commit counters
 // are taken as deltas around the measured phase so the parallel preload's
 // flushes don't pollute the coalescing numbers.
-func runWrite(name string, gen workload.Generator, maxBatch, vertices, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+func runWrite(name string, gen workload.Generator, maxBatch, depth, vertices, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
 	db, err := bg3.Open(&bg3.Options{
 		Replicated:          true,
 		StorageWriteLatency: 500 * time.Microsecond,
 		CommitMaxBatch:      maxBatch,
+		CommitPipelineDepth: depth,
 	})
 	if err != nil {
 		return workloadJSON{}, err
@@ -234,6 +259,11 @@ func runWrite(name string, gen workload.Generator, maxBatch, vertices, workers, 
 	}
 	if w.GroupFlushes > 0 {
 		w.GroupSizeMean = float64(after.WAL.CommitRecords-before.WAL.CommitRecords) / float64(w.GroupFlushes)
+	}
+	if depth > 1 {
+		w.PipelineDepth = after.WAL.PipelineDepth
+		w.AckReorderP99US = after.WAL.AckReorder.P99US
+		w.InflightMean = after.WAL.PipelineUtilization.Mean
 	}
 	return w, nil
 }

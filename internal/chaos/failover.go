@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"bg3/internal/bwtree"
@@ -41,6 +42,22 @@ type FailoverConfig struct {
 	// single-record flushes.
 	CommitWindow   time.Duration
 	CommitMaxBatch int
+
+	// PipelineDepth passes through to each leader's committer: > 1 keeps
+	// several group appends in flight, so depositions land with the pipeline
+	// full rather than between serial appends.
+	PipelineDepth int
+
+	// InflightBurst is how many concurrent writes are racing the fence claim
+	// on each live (non-crash) deposition — with PipelineDepth > 1 they keep
+	// multiple groups in flight at the moment the follower is promoted. Each
+	// burst write obeys maybe-semantics: acked ones must survive the
+	// failover, failed ones may or may not. 0 disables the burst.
+	InflightBurst int
+
+	// StorageWriteLatency simulates slow storage appends, widening the
+	// window in which the promotion races in-flight groups.
+	StorageWriteLatency time.Duration
 
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
@@ -82,6 +99,8 @@ type FailoverReport struct {
 	LiveKills     int    // rounds where a healthy leader was fenced out
 	ZombieWrites  int    // writes attempted on deposed leaders
 	ZombieFenced  int    // of those, rejected with a fencing/fail-stop error
+	BurstWrites   int    // concurrent writes racing the fence at depositions
+	BurstAcked    int    // of those, acknowledged durable (must survive)
 	FencedAppends int64  // storage-level appends rejected by the fence
 	FinalEpoch    uint64 // epoch of the last promoted leader
 }
@@ -111,6 +130,7 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 	st := storage.Open(&storage.Options{
 		ExtentSize:   8 << 10,
 		ReclaimGrace: time.Hour,
+		WriteLatency: cfg.StorageWriteLatency,
 		Faults:       plan,
 	})
 	defer st.Close()
@@ -122,8 +142,9 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 				MaxPageEntries: 24,
 			},
 		},
-		CommitWindow: cfg.CommitWindow,
-		MaxBatch:     cfg.CommitMaxBatch,
+		CommitWindow:  cfg.CommitWindow,
+		MaxBatch:      cfg.CommitMaxBatch,
+		PipelineDepth: cfg.PipelineDepth,
 	}
 
 	rw, err := replication.NewRWNode(st, rwOpts)
@@ -175,9 +196,48 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 	// depose fences the current leader out by promoting a fresh follower,
 	// then drives zombie writes through the deposed node. crash kills the
 	// leader mid-group-commit first, so the promotion drain must also cope
-	// with a torn group envelope on the WAL tail.
+	// with a torn group envelope on the WAL tail. On live rounds an
+	// InflightBurst of concurrent writes races the fence claim, so with
+	// PipelineDepth > 1 the promotion lands with several group appends in
+	// flight; each burst write obeys maybe-semantics.
 	depose := func(round int, crash bool) error {
 		old := rw
+		fencedBefore := st.Stats().FencedAppends
+
+		var (
+			burstWG   sync.WaitGroup
+			burstKeys []EdgeKey
+			burstVals []string
+			burstErrs []error
+		)
+		if !crash && cfg.InflightBurst > 0 {
+			burstKeys = make([]EdgeKey, cfg.InflightBurst)
+			burstVals = make([]string, cfg.InflightBurst)
+			burstErrs = make([]error, cfg.InflightBurst)
+			for j := 0; j < cfg.InflightBurst; j++ {
+				// Keys outside the workload's Dst range and unique per burst
+				// write, so the oracle's expected value is never ambiguous
+				// under concurrency.
+				k := EdgeKey{
+					Src: graph.VertexID(1 + j%cfg.Owners),
+					Typ: graph.EdgeType(1 + j%cfg.EdgeTypes),
+					Dst: graph.VertexID(cfg.Dsts + 1 + round*cfg.InflightBurst + j),
+				}
+				v := fmt.Sprintf("burst%d.%d.%d", cfg.Seed, round, j)
+				burstKeys[j], burstVals[j] = k, v
+				burstWG.Add(1)
+				go func(j int, k EdgeKey, v string) {
+					defer burstWG.Done()
+					burstErrs[j] = old.AddEdge(graph.Edge{Src: k.Src, Dst: k.Dst, Type: k.Typ,
+						Props: graph.Properties{{Name: propName, Value: []byte(v)}}})
+				}(j, k, v)
+			}
+			// Let the leading groups reach storage so the fence claim lands
+			// mid-pipeline: some burst writes ack durable before it, the rest
+			// are caught in flight.
+			time.Sleep(2 * cfg.StorageWriteLatency)
+		}
+
 		if crash {
 			rep.CrashKills++
 			plan.SetEnabled(true)
@@ -207,12 +267,40 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 		live = append(live, next)
 		rep.Failovers++
 
+		// Resolve the burst that raced the fence claim: an acked write was
+		// durable before the fence and must survive the failover; a failed
+		// one is a maybe. Registration happens serially, after the race.
+		burstWG.Wait()
+		for j := range burstErrs {
+			rep.Ops++
+			rep.BurstWrites++
+			if burstErrs[j] == nil {
+				rep.Acked++
+				rep.BurstAcked++
+				oracle.CommitPut(burstKeys[j], burstVals[j])
+			} else {
+				rep.Failed++
+				oracle.FailPut(burstKeys[j], burstVals[j])
+			}
+		}
+
+		// Let the deposed pipeline's in-flight appends finish before the
+		// zero-byte accounting below: a fenced flight's storage round trip
+		// can outlive its (already failed) commit ack.
+		for i := 0; old.Logger().InflightGroups() > 0 && i < 10000; i++ {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if n := old.Logger().InflightGroups(); n != 0 {
+			return fmt.Errorf("chaos: round %d: %d deposed flights stuck in flight", round, n)
+		}
+
 		// The deposed leader is now a zombie: it may be healthy, it may
 		// even append faster than the new leader — the fence must reject
 		// every attempt with an explicit error. The values are drawn from
 		// the live key space but never registered in the oracle, so any
 		// zombie write that leaked through would be caught by Verify as a
 		// phantom or an impossible value.
+		zombieBytesBefore := st.Stats().BytesWritten
 		for j := 0; j < cfg.ZombieWrites; j++ {
 			k := drawKey()
 			rep.ZombieWrites++
@@ -226,6 +314,18 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 				return fmt.Errorf("chaos: round %d: zombie write %d failed oddly: %w", round, j, zerr)
 			}
 			rep.ZombieFenced++
+		}
+
+		// Fenced appends persist nothing: the whole zombie phase — with the
+		// new leader idle and the deposed pipeline drained — must leave the
+		// store's byte count untouched.
+		if delta := st.Stats().BytesWritten - zombieBytesBefore; delta != 0 {
+			return fmt.Errorf("chaos: round %d: fenced zombie writes persisted %d bytes", round, delta)
+		}
+		// A live deposition always exercises the fence with real appends —
+		// either a burst group caught mid-flight or the first zombie write.
+		if !crash && cfg.ZombieWrites > 0 && st.Stats().FencedAppends == fencedBefore {
+			return fmt.Errorf("chaos: round %d: live deposition produced no fenced appends", round)
 		}
 
 		old.Stop()

@@ -53,3 +53,58 @@ func TestFailoverChaos(t *testing.T) {
 		})
 	}
 }
+
+// TestFailoverChaosPipelined is the same property with the commit pipeline
+// wide open: each leader keeps up to 4 group appends in flight over slow
+// storage, and every live deposition fires a burst of concurrent writes so
+// the fence claim lands with the pipeline full. Acked burst writes must
+// survive the promotion, fenced in-flight groups must persist zero bytes
+// (asserted inside RunFailover), and zombies stay locked out.
+func TestFailoverChaosPipelined(t *testing.T) {
+	ops := 900
+	if testing.Short() {
+		ops = 300
+	}
+	for _, seed := range []int64{3, 4} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := RunFailover(FailoverConfig{
+				Seed:                seed,
+				Ops:                 ops,
+				Rounds:              3,
+				ZombieWrites:        8,
+				CommitWindow:        200 * time.Microsecond,
+				CommitMaxBatch:      8,
+				PipelineDepth:       4,
+				InflightBurst:       16,
+				StorageWriteLatency: 300 * time.Microsecond,
+				Logf:                t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("property violated: %v", err)
+			}
+			if rep.Acked == 0 {
+				t.Fatal("no operation was ever acknowledged; the run is vacuous")
+			}
+			if rep.Failovers != 3 {
+				t.Fatalf("performed %d failovers, want 3", rep.Failovers)
+			}
+			if rep.BurstWrites == 0 {
+				t.Fatal("no burst write ever raced a fence claim; the pipelined run is vacuous")
+			}
+			if rep.ZombieFenced != rep.ZombieWrites {
+				t.Errorf("zombie writes fenced %d/%d; every one must fail explicitly",
+					rep.ZombieFenced, rep.ZombieWrites)
+			}
+			if rep.FencedAppends == 0 {
+				t.Error("no append was ever rejected by the storage fence; the pipeline never hit it")
+			}
+			// One epoch per failover, plus possibly one more per promotion
+			// when recovery finds durable post-gap debris from the killed
+			// pipeline and bumps the epoch to fence it out.
+			if rep.FinalEpoch < 3 || rep.FinalEpoch > 6 {
+				t.Errorf("final epoch %d, want 3..6 (one per failover + debris bumps)", rep.FinalEpoch)
+			}
+			t.Logf("burst: %d/%d acked across depositions", rep.BurstAcked, rep.BurstWrites)
+		})
+	}
+}

@@ -156,9 +156,12 @@ func TestRecoverTornWALTable(t *testing.T) {
 	}
 }
 
-// A hole in the replayed suffix means acknowledged records vanished from
-// the log (trim raced recovery, or an extent was destroyed). Recovery must
-// refuse to proceed rather than silently lose the writes after the hole.
+// A hole in the replayed suffix means either acknowledged records vanished
+// from the log (trim raced recovery, an extent was destroyed) or a
+// pipelined commit failed mid-flight, leaving never-acknowledged debris
+// past the gapless prefix. Replay must stop exactly at the prefix and
+// surface the parked debris so recovery can fence it — and with reordering
+// disabled, refuse to proceed outright.
 func TestReplayWALGapAborts(t *testing.T) {
 	st := storage.Open(nil)
 	w := wal.NewWriter(st)
@@ -194,8 +197,29 @@ func TestReplayWALGapAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recovered.Close()
+	r := wal.NewReader(st)
+	maxLSN, err := recovered.ReplayWAL(r, 1)
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	if maxLSN != 2 {
+		t.Fatalf("replay advanced to LSN %d, want the gapless prefix 2", maxLSN)
+	}
+	if r.PendingGroups() != 1 {
+		t.Fatalf("pending groups after replay = %d, want the post-hole group parked", r.PendingGroups())
+	}
+
+	// With reordering disabled (strict depth-1 semantics) the hole aborts
+	// the recovery loudly.
+	recovered2, err := RecoverWithStore(st, Options{Tree: bwtree.Config{FlushMode: bwtree.FlushAsync}}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered2.Close()
+	strict := wal.NewReader(st)
+	strict.SetReorderWindow(0)
 	var gap *wal.GapError
-	if _, err := recovered.ReplayWAL(wal.NewReader(st), 1); !errors.As(err, &gap) {
-		t.Fatalf("ReplayWAL with a hole returned %v, want *GapError", err)
+	if _, err := recovered2.ReplayWAL(strict, 1); !errors.As(err, &gap) {
+		t.Fatalf("strict ReplayWAL with a hole returned %v, want *GapError", err)
 	}
 }

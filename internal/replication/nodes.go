@@ -31,6 +31,16 @@ type RWOptions struct {
 	// block until a flush makes room (0: 4096).
 	QueueDepth int
 
+	// PipelineDepth is how many sealed WAL group appends the committer
+	// keeps in flight concurrently; acks still release strictly in LSN
+	// order (0 or 1: serial, one append at a time).
+	PipelineDepth int
+
+	// AdaptivePipeline lets the committer resize its effective depth and
+	// window between 1 and PipelineDepth based on queue-stall pressure and
+	// group fill.
+	AdaptivePipeline bool
+
 	// FlushInterval drives the background dirty-page flusher; 0 disables
 	// the background thread (call Checkpoint manually).
 	FlushInterval time.Duration
@@ -74,9 +84,11 @@ type RWNode struct {
 func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	writer := wal.NewWriter(st)
 	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
-		MaxDelay:   opts.CommitWindow,
-		MaxBatch:   opts.MaxBatch,
-		QueueDepth: opts.QueueDepth,
+		MaxDelay:      opts.CommitWindow,
+		MaxBatch:      opts.MaxBatch,
+		QueueDepth:    opts.QueueDepth,
+		PipelineDepth: opts.PipelineDepth,
+		AdaptiveDepth: opts.AdaptivePipeline,
 	})
 	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
 	opts.Engine.Logger = logger

@@ -495,12 +495,26 @@ func recoverRWNodeAtEpoch(st *storage.Store, opts RWOptions, epoch uint64) (*RWN
 	if err != nil {
 		return nil, err
 	}
+	if reader.PendingGroups() > 0 {
+		// The log tail holds debris from a failed pipelined commit: durable
+		// groups past the gapless prefix whose writers were never
+		// acknowledged. The new tenure reuses their LSNs, so bump the fence
+		// epoch once more — readers then order the debris before the first
+		// new-epoch append and discard it wholesale, instead of resurrecting
+		// never-acked records or mistaking the reused LSNs for duplicates.
+		epoch, err = st.AdvanceStreamEpoch(storage.StreamWAL)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	writer := wal.NewWriterFromEpoch(st, maxLSN+1, epoch)
 	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
-		MaxDelay:   opts.CommitWindow,
-		MaxBatch:   opts.MaxBatch,
-		QueueDepth: opts.QueueDepth,
+		MaxDelay:      opts.CommitWindow,
+		MaxBatch:      opts.MaxBatch,
+		QueueDepth:    opts.QueueDepth,
+		PipelineDepth: opts.PipelineDepth,
+		AdaptiveDepth: opts.AdaptivePipeline,
 	})
 	engine.AttachLogger(logger)
 

@@ -44,6 +44,7 @@ func TestReaderSkipsZombieTails(t *testing.T) {
 		dups    int64
 		epoch   uint64 // reader's final epoch
 		gap     bool
+		pending int // groups parked in the reorder window
 	}{
 		{
 			name:    "clean epoch handoff",
@@ -115,9 +116,25 @@ func TestReaderSkipsZombieTails(t *testing.T) {
 				env([2]uint64{1, 0}),
 				env([2]uint64{3, 1}), // LSN 2 is genuinely missing
 			},
-			want:  []uint64{1},
-			epoch: 1,
-			gap:   true,
+			// The hole could still be an in-flight pipelined append, so the
+			// first poll parks the group instead of erroring; only repeated
+			// polls without progress escalate to a GapError.
+			want:    []uint64{1},
+			epoch:   1,
+			pending: 1,
+		},
+		{
+			name: "fence purges a parked zombie group",
+			entries: []epochEntry{
+				env([2]uint64{1, 0}),
+				env([2]uint64{3, 0}, [2]uint64{4, 0}), // deposed pipeline debris past a hole
+				env([2]uint64{2, 1}),                  // the successor's tenure begins
+			},
+			// Observing epoch 1 proves the parked epoch-0 group can never
+			// connect: the fence ordered it before any epoch-1 append.
+			want:   []uint64{1, 2},
+			fenced: 2,
+			epoch:  1,
 		},
 	}
 
@@ -127,13 +144,21 @@ func TestReaderSkipsZombieTails(t *testing.T) {
 			defer st.Close()
 			for _, e := range tc.entries {
 				var frames [][]byte
-				for _, r := range e.recs {
+				var meta GroupMeta
+				for i, r := range e.recs {
+					if i == 0 {
+						meta.First = LSN(r.lsn)
+					}
+					if r.epoch > meta.Epoch {
+						meta.Epoch = r.epoch
+					}
 					frames = append(frames, Encode(&Record{
 						Type: RecordPut, LSN: LSN(r.lsn), Epoch: r.epoch,
 						Key: []byte("k"), Value: []byte("v"),
 					}))
 				}
-				buf := frameGroup(frames)
+				meta.Count = len(frames)
+				buf := frameGroup(meta, frames)
 				if e.torn {
 					buf = buf[:len(buf)-3]
 				}
@@ -170,6 +195,9 @@ func TestReaderSkipsZombieTails(t *testing.T) {
 			}
 			if r.Epoch() != tc.epoch {
 				t.Errorf("reader epoch = %d, want %d", r.Epoch(), tc.epoch)
+			}
+			if r.PendingGroups() != tc.pending {
+				t.Errorf("pending groups = %d, want %d", r.PendingGroups(), tc.pending)
 			}
 		})
 	}

@@ -138,11 +138,16 @@ func TestReaderReportsGap(t *testing.T) {
 	}
 	// Forge a hole: skip LSN 4 and append 5 directly.
 	forged := &Record{Type: RecordPut, LSN: 5, Key: []byte("z")}
-	if _, err := st.Append(storage.StreamWAL, 0, frameGroup([][]byte{Encode(forged)})); err != nil {
+	buf := frameGroup(GroupMeta{First: 5, Count: 1}, [][]byte{Encode(forged)})
+	if _, err := st.Append(storage.StreamWAL, 0, buf); err != nil {
 		t.Fatal(err)
 	}
-	r := NewReader(st)
-	recs, err := r.Poll()
+
+	// With reordering disabled (strict depth-1 semantics) the hole is an
+	// immediate GapError.
+	strict := NewReader(st)
+	strict.SetReorderWindow(0)
+	recs, err := strict.Poll()
 	var gap *GapError
 	if !errors.As(err, &gap) {
 		t.Fatalf("err = %v, want *GapError", err)
@@ -155,8 +160,33 @@ func TestReaderReportsGap(t *testing.T) {
 	}
 	// The cursor did not advance past the hole: a second poll re-reports
 	// the gap instead of silently skipping it.
-	if _, err := r.Poll(); !errors.As(err, &gap) {
+	if _, err := strict.Poll(); !errors.As(err, &gap) {
 		t.Fatalf("second poll err = %v, want the gap again", err)
+	}
+
+	// A windowed reader first parks the group — the hole could be a
+	// pipelined append still in flight — and only escalates to a GapError
+	// after repeated polls show no progress.
+	r := NewReader(st)
+	recs, err = r.Poll()
+	if err != nil {
+		t.Fatalf("windowed first poll: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("windowed poll delivered %d records, want 3", len(recs))
+	}
+	if r.PendingGroups() != 1 {
+		t.Fatalf("pending groups = %d, want the post-hole group parked", r.PendingGroups())
+	}
+	err = nil
+	for i := 0; i < defaultStuckPolls+2 && err == nil; i++ {
+		_, err = r.Poll()
+	}
+	if !errors.As(err, &gap) {
+		t.Fatalf("stuck polls err = %v, want *GapError", err)
+	}
+	if gap.Expected != 4 || gap.Got != 5 {
+		t.Fatalf("escalated gap = %+v, want expected 4 got 5", gap)
 	}
 }
 

@@ -2,7 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"bg3/internal/storage"
 )
 
 // FuzzUnframeGroup throws arbitrary bytes — plus torn and corrupted variants
@@ -22,8 +25,8 @@ import (
 // Seed corpus: testdata/fuzz/FuzzUnframeGroup (checked in).
 func FuzzUnframeGroup(f *testing.F) {
 	// A group of one empty record, a multi-record group, and junk.
-	f.Add(frameGroup([][]byte{{}}))
-	f.Add(frameGroup([][]byte{
+	f.Add(frameGroup(GroupMeta{First: 1, Count: 1}, [][]byte{{}}))
+	f.Add(frameGroup(GroupMeta{Epoch: 3, First: 1, Count: 2}, [][]byte{
 		Encode(&Record{Type: RecordPut, LSN: 1, Key: []byte("k"), Value: []byte("v")}),
 		Encode(&Record{Type: RecordDelete, LSN: 2, Key: []byte("k")}),
 	}))
@@ -31,16 +34,19 @@ func FuzzUnframeGroup(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		frames, ok, err := unframeGroup(data)
+		meta, frames, ok, err := unframeGroup(data)
 		if ok && err != nil {
 			t.Fatalf("ok with error: %v", err)
 		}
 		if !ok {
 			return
 		}
+		if len(frames) != meta.Count {
+			t.Fatalf("ok envelope: %d frames but meta count %d", len(frames), meta.Count)
+		}
 
 		// Canonical round trip.
-		resealed := frameGroup(frames)
+		resealed := frameGroup(meta, frames)
 		if !bytes.Equal(resealed, data) {
 			t.Fatalf("re-sealing %d frames does not reproduce the envelope:\n in: %x\nout: %x",
 				len(frames), data, resealed)
@@ -54,26 +60,155 @@ func FuzzUnframeGroup(f *testing.F) {
 		// Torn-tail property: a failed append persists a byte prefix; every
 		// strict prefix must be rejected as torn, not parsed and not flagged
 		// as corruption.
-		for _, cut := range []int{0, 1, groupHeader - 1, groupHeader, len(data) / 2, len(data) - 1} {
+		for _, cut := range []int{0, 1, groupHeader - 1, groupHeader, groupHeader + metaHeader - 1, len(data) / 2, len(data) - 1} {
 			if cut < 0 || cut >= len(data) {
 				continue
 			}
-			if _, pok, perr := unframeGroup(data[:cut]); pok || perr != nil {
+			if _, _, pok, perr := unframeGroup(data[:cut]); pok || perr != nil {
 				t.Fatalf("prefix of %d/%d bytes: ok=%v err=%v, want torn", cut, len(data), pok, perr)
 			}
 		}
 
 		// Bit-rot property: any single-byte flip breaks either the length
-		// check or the payload CRC.
-		for _, i := range []int{0, 4, groupHeader, len(data) / 2, len(data) - 1} {
+		// check or the payload CRC — the meta block included.
+		for _, i := range []int{0, 4, groupHeader, groupHeader + 1, groupHeader + metaHeader, len(data) / 2, len(data) - 1} {
 			if i < 0 || i >= len(data) {
 				continue
 			}
 			mut := bytes.Clone(data)
 			mut[i] ^= 0x01
-			if _, mok, merr := unframeGroup(mut); mok || merr != nil {
+			if _, _, mok, merr := unframeGroup(mut); mok || merr != nil {
 				t.Fatalf("flip at byte %d/%d: ok=%v err=%v, want torn", i, len(data), mok, merr)
 			}
+		}
+	})
+}
+
+// Damage actions a fuzzed multi-group tail can apply per group.
+const (
+	tailIntact = iota
+	tailTorn
+	tailFlip
+	tailDrop
+)
+
+// FuzzReaderMultiGroupTail writes K pipelined group envelopes to raw
+// storage — an arbitrary subset torn, bit-flipped, or dropped entirely, as
+// a crashed pipelined leader would leave them — and checks the reader's
+// durable-prefix contract:
+//
+//   - exactly the records of the gapless intact prefix are delivered, in
+//     LSN order;
+//   - no record from a group at or past the first damaged group is ever
+//     delivered (no post-gap resurrection), on this poll or any later one;
+//   - intact post-gap groups are parked as pending, and a persistent gap
+//     escalates to GapError rather than silent loss.
+//
+// Seed corpus: testdata/fuzz/FuzzReaderMultiGroupTail (checked in).
+func FuzzReaderMultiGroupTail(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 1, 2, 0, 0, 0, 0, 7, 13})          // 5 groups, second torn
+	f.Add([]byte{2, 0, 0, 0, 3, 1, 5})                    // 3 groups, gap then flip
+	f.Add([]byte{4, 2, 2, 2, 2, 0, 0, 0, 0, 0, 99, 3, 1}) // all intact
+	f.Add([]byte{0, 0, 1})                                // first group torn: empty prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		at := func(i int) byte {
+			if i < len(data) {
+				return data[i]
+			}
+			return 0
+		}
+		k := 1 + int(at(0))%5
+
+		st := storage.Open(&storage.Options{})
+		defer st.Close()
+
+		// Build and append the damaged tail, tracking where the gapless
+		// intact prefix ends.
+		var (
+			lsn       LSN = 1
+			prefixEnd LSN
+			inPrefix  = true
+			pending   int
+		)
+		for i := 0; i < k; i++ {
+			n := 1 + int(at(1+i))%3
+			first := lsn
+			frames := make([][]byte, n)
+			for j := 0; j < n; j++ {
+				frames[j] = Encode(&Record{Type: RecordPut, LSN: lsn, Key: []byte{byte(lsn)}})
+				lsn++
+			}
+			env := frameGroup(GroupMeta{First: first, Count: n}, frames)
+			action := int(at(1+k+i)) % 4
+			entropy := int(at(1 + 2*k + i))
+			switch action {
+			case tailTorn:
+				env = env[:1+entropy%(len(env)-1)]
+			case tailFlip:
+				env[entropy%len(env)] ^= 0x01
+			case tailDrop:
+				env = nil
+			}
+			if action == tailIntact {
+				if inPrefix {
+					prefixEnd = lsn - 1
+				} else {
+					pending++
+				}
+			} else {
+				inPrefix = false
+			}
+			if env != nil {
+				if _, err := st.Append(storage.StreamWAL, 0, env); err != nil {
+					t.Fatalf("raw append: %v", err)
+				}
+			}
+		}
+
+		// Recovery always declares its base (snapshot horizon, here stream
+		// birth), so the reader is anchored: it must never adopt a post-gap
+		// group as a new origin.
+		r := NewReader(st)
+		r.SetBase(0)
+		recs, err := r.Poll()
+		if err != nil {
+			t.Fatalf("first poll: %v", err)
+		}
+		if len(recs) != int(prefixEnd) {
+			t.Fatalf("delivered %d records, want gapless prefix of %d", len(recs), prefixEnd)
+		}
+		for i, rec := range recs {
+			if rec.LSN != LSN(i+1) {
+				t.Fatalf("record %d has LSN %d, want in-order prefix", i, rec.LSN)
+			}
+		}
+		if got := r.PendingGroups(); got != pending {
+			t.Fatalf("%d groups parked, want %d intact post-gap groups", got, pending)
+		}
+
+		// Later polls must hold the line: no post-gap resurrection, and a
+		// persistent gap escalates to GapError instead of silence.
+		var sawGap bool
+		for i := 0; i < defaultStuckPolls+2; i++ {
+			more, perr := r.Poll()
+			if len(more) != 0 {
+				t.Fatalf("poll %d resurrected %d post-gap records (first LSN %d)", i, len(more), more[0].LSN)
+			}
+			if perr != nil {
+				var gap *GapError
+				if !errors.As(perr, &gap) {
+					t.Fatalf("poll %d: %v, want GapError", i, perr)
+				}
+				if gap.Expected != prefixEnd+1 {
+					t.Fatalf("gap reported at %d, want %d", gap.Expected, prefixEnd+1)
+				}
+				sawGap = true
+			}
+		}
+		if pending > 0 && !sawGap {
+			t.Fatalf("%d groups parked behind a permanent gap but no GapError escalated", pending)
 		}
 	})
 }

@@ -27,6 +27,17 @@ type GroupCommitterOptions struct {
 	// blocks until a flush makes room (backpressure rather than unbounded
 	// memory); the stall is recorded in wal.group_stall_us. 0 means 4096.
 	QueueDepth int
+	// PipelineDepth is how many sealed group appends the committer keeps in
+	// flight concurrently (BtrLog-style commit pipelining). Storage
+	// completions may land out of order, but acks are released strictly in
+	// LSN order: a group's writers learn of durability only once every
+	// earlier group is durable too. <= 1 preserves the serial
+	// one-append-at-a-time behaviour.
+	PipelineDepth int
+	// AdaptiveDepth lets the committer resize its effective depth and
+	// accumulation window between 1 and PipelineDepth, widening under
+	// queue-stall pressure and narrowing when groups run near-empty.
+	AdaptiveDepth bool
 }
 
 func (o GroupCommitterOptions) withDefaults() GroupCommitterOptions {
@@ -39,6 +50,9 @@ func (o GroupCommitterOptions) withDefaults() GroupCommitterOptions {
 	if o.QueueDepth < o.MaxBatch {
 		o.QueueDepth = o.MaxBatch
 	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 1
+	}
 	return o
 }
 
@@ -49,6 +63,34 @@ type commitReq struct {
 	done chan error
 }
 
+// sealedAppender is the slice of *Writer the committer drives: serial LSN
+// sealing plus concurrent sealed-group appends. Narrowed to an interface so
+// the pipeline's scheduling can be property-tested against a fake storage
+// with controlled completion order.
+type sealedAppender interface {
+	MaxRecordSize() int
+	NextLSN() LSN
+	SealAssigned(recs []*Record) ([]SealedGroup, error)
+	AppendSealed(g SealedGroup) error
+}
+
+var _ sealedAppender = (*Writer)(nil)
+
+// flight is one sealed group dispatched to storage and not yet released.
+// Flights retire from the FIFO strictly in dispatch (= LSN) order, however
+// their storage appends complete.
+type flight struct {
+	g      SealedGroup
+	reqs   []commitReq
+	done   bool
+	err    error
+	doneAt time.Time // when the storage append completed
+}
+
+// adaptEvery is how many released groups pass between adaptive-depth
+// reassessments.
+const adaptEvery = 16
+
 // GroupCommitter batches WAL records into shared storage appends and is the
 // node's LSN authority — the paper's §3.4 write-side amortization: many
 // logical writes share one ms-latency storage round trip. It sits between
@@ -57,12 +99,19 @@ type commitReq struct {
 // LogAsync assigns the LSN immediately — callers hold their page latch only
 // for that instant — and returns a wait function that blocks until the
 // record's group is durable; Log is the synchronous convenience wrapper.
-// A flush is cut when MaxBatch records are pending or MaxDelay has passed
-// since the flusher woke, whichever comes first. A failed flush fans its
-// error to every record in that flush (and, because a storage failure
-// poisons the Writer fail-stop, to everything behind it).
+// A flush is cut when MaxBatch records are pending or the accumulation
+// window has passed since the flusher woke, whichever comes first.
+//
+// With PipelineDepth > 1 the committer keeps several sealed groups in
+// flight at once. Completions may arrive out of order, but release is
+// strictly in order: a group acks its writers only when it reaches the head
+// of the flight FIFO and everything ahead of it is durable. A failed flight
+// partitions the LSN space exactly at the last gapless durable prefix —
+// every record before the failed group was acked durable, every record in
+// or after it (in flight, sealed, or still queued) fails, and the committer
+// fail-stops.
 type GroupCommitter struct {
-	w    *Writer
+	a    sealedAppender
 	opts GroupCommitterOptions
 
 	mu      sync.Mutex
@@ -72,46 +121,85 @@ type GroupCommitter struct {
 	wake    chan struct{}
 	full    chan struct{}
 	stopped bool
+	poison  error // first failure; records admitted afterwards get it
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 
+	// fmu guards the flight FIFO and the pipeline's adaptive state. Lock
+	// order is fmu -> mu -> statsMu; never the reverse.
+	fmu       sync.Mutex
+	slot      sync.Cond // signaled when a flight completes (slot frees)
+	flights   []*flight // dispatched, not yet released, FIFO in LSN order
+	inflight  int       // dispatched flights whose append has not completed
+	effDepth  int       // current pipeline depth (adaptive)
+	effWindow time.Duration
+	pipeDead  bool
+	pipeErr   error
+	wg        sync.WaitGroup
+
+	// adaptive sampling state, guarded by fmu
+	sinceAdapt   int
+	lastStalls   int64
+	adaptRecords int64
+	adaptFlushes int64
+
 	statsMu sync.Mutex
 	batches int64
 	records int64
 
-	commitLat metrics.Histogram    // enqueue to durable, per record
-	groupSize metrics.IntHistogram // records per flush
-	flushes   metrics.Counter      // storage flushes issued
-	stallLat  metrics.Histogram    // time writers spent blocked on a full queue
+	commitLat    metrics.Histogram    // enqueue to durable, per record
+	groupSize    metrics.IntHistogram // records per flush
+	flushes      metrics.Counter      // storage flushes issued
+	stallLat     metrics.Histogram    // time writers spent blocked on a full queue
+	ackReorder   metrics.Histogram    // completion-to-release wait per group
+	inflightHist metrics.IntHistogram // in-flight appends observed at dispatch
 }
 
 // NewGroupCommitter starts the committer goroutine against w.
 func NewGroupCommitter(w *Writer, opts GroupCommitterOptions) *GroupCommitter {
+	return newGroupCommitterFor(w, opts)
+}
+
+// newGroupCommitterFor is NewGroupCommitter against any sealed appender
+// (property tests substitute a fake storage with controlled completions).
+func newGroupCommitterFor(a sealedAppender, opts GroupCommitterOptions) *GroupCommitter {
+	opts = opts.withDefaults()
 	c := &GroupCommitter{
-		w:       w,
-		opts:    opts.withDefaults(),
-		nextLSN: w.NextLSN(),
-		wake:    make(chan struct{}, 1),
-		full:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		a:         a,
+		opts:      opts,
+		nextLSN:   a.NextLSN(),
+		wake:      make(chan struct{}, 1),
+		full:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		effDepth:  opts.PipelineDepth,
+		effWindow: opts.MaxDelay,
+	}
+	if opts.AdaptiveDepth && opts.PipelineDepth > 1 {
+		// Adaptive sizing starts serial and earns its depth: it widens only
+		// when queue stalls show the single in-flight append is the
+		// bottleneck, so an idle stream keeps the serial committer's
+		// amortization.
+		c.effDepth = 1
 	}
 	c.space.L = &c.mu
+	c.slot.L = &c.fmu
 	go c.run()
 	return c
 }
 
 // LogAsync assigns the next LSN to rec, enqueues it for group commit, and
 // returns the LSN plus a wait function that blocks until the record is
-// durable. Enqueue order equals LSN order, so the WAL on storage is always
-// LSN-sorted. A record too large to ever fit a storage append is rejected
-// here, before an LSN exists — the failure stays scoped to this one write
-// instead of fail-stopping the log.
+// durable. Enqueue order equals LSN order, so acks release in LSN order
+// even when pipelined storage appends complete out of it. A record too
+// large to ever fit a storage append is rejected here, before an LSN
+// exists — the failure stays scoped to this one write instead of
+// fail-stopping the log.
 func (c *GroupCommitter) LogAsync(rec *Record) (LSN, func() error) {
-	if n := encodedSize(rec); n > c.w.MaxRecordSize() {
-		err := fmt.Errorf("%w: %d bytes, max %d", ErrRecordTooLarge, n, c.w.MaxRecordSize())
+	if n := encodedSize(rec); n > c.a.MaxRecordSize() {
+		err := fmt.Errorf("%w: %d bytes, max %d", ErrRecordTooLarge, n, c.a.MaxRecordSize())
 		return 0, func() error { return err }
 	}
 	req := commitReq{rec: rec, at: time.Now(), done: make(chan error, 1)}
@@ -122,8 +210,12 @@ func (c *GroupCommitter) LogAsync(rec *Record) (LSN, func() error) {
 		c.stallLat.Observe(time.Since(start))
 	}
 	if c.stopped {
+		err := c.poison
+		if err == nil {
+			err = ErrCommitterStopped
+		}
 		c.mu.Unlock()
-		return 0, func() error { return ErrCommitterStopped }
+		return 0, func() error { return err }
 	}
 	rec.LSN = c.nextLSN
 	c.nextLSN++
@@ -135,7 +227,7 @@ func (c *GroupCommitter) LogAsync(rec *Record) (LSN, func() error) {
 	default:
 	}
 	if n >= c.opts.MaxBatch {
-		// Size trigger: cut the flush without waiting out MaxDelay.
+		// Size trigger: cut the flush without waiting out the window.
 		select {
 		case c.full <- struct{}{}:
 		default:
@@ -160,31 +252,55 @@ func (c *GroupCommitter) LastLSN() LSN {
 	return c.nextLSN - 1
 }
 
+// window returns the current accumulation window (adaptive).
+func (c *GroupCommitter) window() time.Duration {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.effWindow
+}
+
 func (c *GroupCommitter) run() {
 	defer close(c.done)
+	defer func() {
+		// Sealed flights always run to completion and release (ack or
+		// partition); only the unsealed queue — a suffix of the LSN space —
+		// fails on shutdown, so stopping never punches a hole into the acks.
+		c.failPending(ErrCommitterStopped)
+		c.wg.Wait()
+	}()
 	for {
 		select {
 		case <-c.stop:
-			c.failPending(ErrCommitterStopped)
 			return
 		case <-c.wake:
 		}
-		// Let a group accumulate for MaxDelay — or until the size trigger
+		// Let a group accumulate for the window — or until the size trigger
 		// fires — then drain in MaxBatch flushes until the queue is empty.
-		if c.opts.MaxDelay > 0 {
-			timer := time.NewTimer(c.opts.MaxDelay)
+		if d := c.window(); d > 0 {
+			timer := time.NewTimer(d)
 			select {
 			case <-timer.C:
 			case <-c.full:
 				timer.Stop()
 			case <-c.stop:
 				timer.Stop()
-				c.failPending(ErrCommitterStopped)
 				return
 			}
 		}
 		for {
+			// Wait for a free pipeline slot BEFORE cutting the batch, so the
+			// queue keeps accumulating while every slot is busy. At depth 1
+			// this is exactly the serial committer's amortization — the
+			// in-flight append's round trip is the accumulation window — and
+			// at depth K the cut happens as late as admission allows.
+			c.waitSlot()
 			c.mu.Lock()
+			if c.stopped {
+				// The pipeline failed underneath us: everything is acked or
+				// failed already.
+				c.mu.Unlock()
+				return
+			}
 			n := len(c.pending)
 			if n == 0 {
 				c.mu.Unlock()
@@ -203,18 +319,183 @@ func (c *GroupCommitter) run() {
 			for i, req := range batch {
 				recs[i] = req.rec
 			}
-			err := c.w.AppendAssigned(recs)
-			now := time.Now()
-			for _, req := range batch {
-				c.commitLat.Observe(now.Sub(req.at))
-				req.done <- err
+			groups, err := c.a.SealAssigned(recs)
+			if err != nil {
+				now := time.Now()
+				for _, req := range batch {
+					c.commitLat.Observe(now.Sub(req.at))
+					req.done <- err
+				}
+				c.failPending(err)
+				return
 			}
-			c.groupSize.Observe(int64(n))
-			c.flushes.Inc()
-			c.statsMu.Lock()
-			c.batches++
-			c.records += int64(n)
-			c.statsMu.Unlock()
+			// One cut batch seals into one or more groups (extent splits);
+			// each becomes its own flight, dispatched in LSN order.
+			rest := batch
+			for _, g := range groups {
+				f := &flight{g: g, reqs: rest[:g.Count]}
+				rest = rest[g.Count:]
+				if perr := c.dispatch(f); perr != nil {
+					// The pipeline died while we waited for a slot; dispatch
+					// acked f's requests, fail the rest of the batch here.
+					now := time.Now()
+					for _, req := range rest {
+						c.commitLat.Observe(now.Sub(req.at))
+						req.done <- fmt.Errorf("wal: commit pipeline failed: %w", perr)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// waitSlot blocks until the pipeline has a free slot (or has died) without
+// admitting anything. The run loop calls it before cutting a batch so the
+// queue accumulates for the whole time the pipeline is saturated; dispatch
+// then admits without blocking (the run loop is the only dispatcher, so the
+// free slot cannot be stolen in between).
+func (c *GroupCommitter) waitSlot() {
+	c.fmu.Lock()
+	for c.inflight >= c.effDepth && !c.pipeDead {
+		c.slot.Wait()
+	}
+	c.fmu.Unlock()
+}
+
+// dispatch admits a flight into the pipeline, blocking while every slot is
+// taken, and starts its storage append. Returns the pipeline's poison error
+// if it died before the flight could be admitted (the flight's requests are
+// failed here).
+func (c *GroupCommitter) dispatch(f *flight) error {
+	c.fmu.Lock()
+	for c.inflight >= c.effDepth && !c.pipeDead {
+		c.slot.Wait()
+	}
+	if c.pipeDead {
+		err := c.pipeErr
+		c.fmu.Unlock()
+		now := time.Now()
+		for _, req := range f.reqs {
+			c.commitLat.Observe(now.Sub(req.at))
+			req.done <- fmt.Errorf("wal: commit pipeline failed: %w", err)
+		}
+		return err
+	}
+	c.flights = append(c.flights, f)
+	c.inflight++
+	c.inflightHist.Observe(int64(c.inflight))
+	c.fmu.Unlock()
+	c.wg.Add(1)
+	go c.runFlight(f)
+	return nil
+}
+
+// runFlight performs one flight's storage append and retires whatever
+// contiguous durable prefix of the FIFO its completion unlocked.
+func (c *GroupCommitter) runFlight(f *flight) {
+	defer c.wg.Done()
+	err := c.a.AppendSealed(f.g)
+	c.fmu.Lock()
+	f.err = err
+	f.done = true
+	f.doneAt = time.Now()
+	c.inflight--
+	c.releaseLocked()
+	c.slot.Broadcast()
+	c.fmu.Unlock()
+}
+
+// releaseLocked retires completed flights from the FIFO head, acking their
+// writers in LSN order. A failed head fail-stops the pipeline: its own
+// requests and those of every flight behind it — durable or not — fail, so
+// the set of acked records is exactly the gapless durable prefix. Caller
+// holds c.fmu.
+func (c *GroupCommitter) releaseLocked() {
+	now := time.Now()
+	for len(c.flights) > 0 && c.flights[0].done {
+		f := c.flights[0]
+		c.flights = c.flights[1:]
+		if f.err != nil {
+			c.pipeDead = true
+			c.pipeErr = f.err
+			trailing := c.flights
+			c.flights = nil
+			c.slot.Broadcast()
+			for _, req := range f.reqs {
+				c.commitLat.Observe(now.Sub(req.at))
+				req.done <- f.err
+			}
+			// Later flights may already be durable, but their predecessors
+			// are not: acking them would advertise a hole. They fail with
+			// maybe-semantics — recovery delivers only the gapless prefix.
+			for _, ff := range trailing {
+				for _, req := range ff.reqs {
+					c.commitLat.Observe(now.Sub(req.at))
+					req.done <- fmt.Errorf("wal: commit pipeline failed at lsn %d..%d: %w",
+						f.g.First, f.g.Last, f.err)
+				}
+			}
+			c.failPending(f.err)
+			return
+		}
+		c.ackReorder.Observe(now.Sub(f.doneAt))
+		for _, req := range f.reqs {
+			c.commitLat.Observe(now.Sub(req.at))
+			req.done <- nil
+		}
+		c.groupSize.Observe(int64(len(f.reqs)))
+		c.flushes.Inc()
+		c.statsMu.Lock()
+		c.batches++
+		c.records += int64(len(f.reqs))
+		c.statsMu.Unlock()
+		c.adaptRecords += int64(len(f.reqs))
+		c.adaptFlushes++
+		c.maybeAdaptLocked()
+	}
+}
+
+// maybeAdaptLocked reassesses the pipeline's effective depth and window
+// every adaptEvery released groups: queue stalls (writers blocked on a full
+// queue) mean the pipeline is the bottleneck — widen it and shorten the
+// accumulation window; near-empty groups with no stalls mean depth is
+// wasted — narrow it and let groups accumulate longer, recovering the
+// serial committer's amortization. Caller holds c.fmu.
+func (c *GroupCommitter) maybeAdaptLocked() {
+	if !c.opts.AdaptiveDepth || c.opts.PipelineDepth <= 1 {
+		return
+	}
+	c.sinceAdapt++
+	if c.sinceAdapt < adaptEvery {
+		return
+	}
+	c.sinceAdapt = 0
+	stalls := c.stallLat.Count()
+	stallsDelta := stalls - c.lastStalls
+	c.lastStalls = stalls
+	avgGroup := float64(c.adaptRecords) / float64(c.adaptFlushes)
+	c.adaptRecords, c.adaptFlushes = 0, 0
+	switch {
+	case stallsDelta > 0 && c.effDepth < c.opts.PipelineDepth:
+		c.effDepth *= 2
+		if c.effDepth > c.opts.PipelineDepth {
+			c.effDepth = c.opts.PipelineDepth
+		}
+		if c.opts.MaxDelay > 0 {
+			c.effWindow /= 2
+			if min := c.opts.MaxDelay / 8; c.effWindow < min {
+				c.effWindow = min
+			}
+		}
+		c.slot.Broadcast()
+	case stallsDelta == 0 && c.effDepth > 1 && avgGroup*4 < float64(c.opts.MaxBatch):
+		c.effDepth--
+		if c.opts.MaxDelay > 0 {
+			c.effWindow += c.opts.MaxDelay / 8
+			if c.effWindow > c.opts.MaxDelay {
+				c.effWindow = c.opts.MaxDelay
+			}
 		}
 	}
 }
@@ -222,6 +503,12 @@ func (c *GroupCommitter) run() {
 func (c *GroupCommitter) failPending(err error) {
 	c.mu.Lock()
 	c.stopped = true
+	if c.poison == nil && !errors.Is(err, ErrCommitterStopped) {
+		// A real failure poisons the committer: records admitted after it
+		// keep reporting the original cause (fence, exhausted retries), not
+		// a generic shutdown.
+		c.poison = err
+	}
 	pending := c.pending
 	c.pending = nil
 	c.space.Broadcast()
@@ -231,7 +518,8 @@ func (c *GroupCommitter) failPending(err error) {
 	}
 }
 
-// Stop terminates the committer. Pending records fail.
+// Stop terminates the committer. Sealed flights complete and release
+// normally; records still queued fail with ErrCommitterStopped.
 func (c *GroupCommitter) Stop() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
@@ -250,12 +538,38 @@ func (c *GroupCommitter) GroupSize() *metrics.IntHistogram { return &c.groupSize
 
 // CommitLatency returns the enqueue-to-durable latency histogram. It covers
 // the full client-visible commit wait: the group window plus the storage
-// append (and its retries).
+// append (and its retries) plus any in-order release wait.
 func (c *GroupCommitter) CommitLatency() *metrics.Histogram { return &c.commitLat }
 
 // StallLatency returns the histogram of time writers spent blocked on a
 // full queue (backpressure).
 func (c *GroupCommitter) StallLatency() *metrics.Histogram { return &c.stallLat }
+
+// AckReorder returns the histogram of how long each durable group waited
+// for its predecessors before its acks could release — the price of
+// in-order release under out-of-order completion (zero when completions
+// arrive in LSN order).
+func (c *GroupCommitter) AckReorder() *metrics.Histogram { return &c.ackReorder }
+
+// InflightUtilization returns the distribution of concurrently in-flight
+// appends observed at each dispatch; a mean above 1 means the pipeline is
+// actually overlapping storage round trips.
+func (c *GroupCommitter) InflightUtilization() *metrics.IntHistogram { return &c.inflightHist }
+
+// InflightGroups returns how many sealed groups are in flight right now.
+func (c *GroupCommitter) InflightGroups() int {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.inflight
+}
+
+// PipelineDepth returns the committer's current effective depth (equal to
+// the configured depth unless adaptive sizing resized it).
+func (c *GroupCommitter) PipelineDepth() int {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.effDepth
+}
 
 // RegisterMetrics exposes the committer's accounting under the "wal."
 // prefix, next to the writer's per-append metrics.
@@ -264,6 +578,10 @@ func (c *GroupCommitter) RegisterMetrics(r *metrics.Registry) {
 	r.RegisterIntHistogram("wal.group_size", &c.groupSize)
 	r.RegisterCounter("wal.group_flushes", &c.flushes)
 	r.RegisterHistogram("wal.group_stall_us", &c.stallLat)
+	r.RegisterHistogram("wal.ack_reorder_us", &c.ackReorder)
+	r.RegisterIntHistogram("wal.inflight_groups", &c.inflightHist)
+	r.GaugeFunc("wal.pipeline_depth", func() int64 { return int64(c.PipelineDepth()) })
+	r.GaugeFunc("wal.pipeline_inflight", func() int64 { return int64(c.InflightGroups()) })
 	r.CounterFunc("wal.commit_batches", func() int64 { b, _ := c.BatchStats(); return b })
 	r.CounterFunc("wal.commit_records", func() int64 { _, n := c.BatchStats(); return n })
 	r.GaugeFunc("wal.last_lsn", func() int64 { return int64(c.LastLSN()) })

@@ -244,27 +244,51 @@ func (w *Writer) Err() error {
 // Group envelope framing. One storage append carries exactly one sealed
 // group of records:
 //
-//	plen[4] pcrc[4] { rlen[4] record }...
+//	plen[4] pcrc[4] magic[1] epoch[8] first[8] count[4] { rlen[4] record }...
 //
-// The CRC covers the whole payload, so a torn write — which persists some
-// byte prefix of the envelope — invalidates the entire group. Readers
-// therefore replay a group completely or not at all, which is what makes a
-// crash in the middle of a group-commit flush recoverable: every record in
-// the flush shares the envelope's fate.
+// The CRC covers the whole payload — meta and records alike — so a torn
+// write, which persists some byte prefix of the envelope, invalidates the
+// entire group. Readers therefore replay a group completely or not at all,
+// which is what makes a crash in the middle of a group-commit flush
+// recoverable: every record in the flush shares the envelope's fate.
+//
+// The meta block is what lets groups complete out of order under the commit
+// pipeline: (epoch, first, count) identify the group's place in the LSN
+// sequence and the fence tenure it was sealed under without decoding a
+// single record, so a reader can hold a group aside until its predecessors
+// land and discard a fenced tenure's stragglers wholesale.
 const (
 	// groupHeader is the envelope overhead: payload length plus CRC32.
 	groupHeader = 8
+	// metaHeader is the payload's leading meta block: magic, epoch, first
+	// LSN, record count.
+	metaHeader = 1 + 8 + 8 + 4
 	// recHeader is the per-record overhead inside the payload.
 	recHeader = 4
+	// groupMagic marks the envelope format; CRC-valid payloads with a
+	// different first byte are foreign data, reported as corruption.
+	groupMagic = 0xB6
 )
 
+// GroupMeta is the sealed group's self-description, covered by the
+// envelope checksum.
+type GroupMeta struct {
+	Epoch uint64 // fence epoch the group was sealed under
+	First LSN    // LSN of the group's first record
+	Count int    // records in the group
+}
+
 // frameGroup seals encoded records into one group envelope.
-func frameGroup(encoded [][]byte) []byte {
-	size := groupHeader
+func frameGroup(meta GroupMeta, encoded [][]byte) []byte {
+	size := groupHeader + metaHeader
 	for _, e := range encoded {
 		size += recHeader + len(e)
 	}
 	buf := make([]byte, groupHeader, size)
+	buf = append(buf, groupMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, meta.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(meta.First))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(meta.Count))
 	for _, e := range encoded {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e)))
 		buf = append(buf, e...)
@@ -280,54 +304,56 @@ func frameGroup(encoded [][]byte) []byte {
 // failed append — whose contents must be discarded wholesale. A non-nil
 // error means the envelope checksum passed but the payload does not parse:
 // real corruption, not a torn tail.
-func unframeGroup(buf []byte) (frames [][]byte, ok bool, err error) {
-	if len(buf) < groupHeader {
-		return nil, false, nil
+func unframeGroup(buf []byte) (meta GroupMeta, frames [][]byte, ok bool, err error) {
+	if len(buf) < groupHeader+metaHeader {
+		return meta, nil, false, nil
 	}
 	plen := binary.LittleEndian.Uint32(buf)
 	sum := binary.LittleEndian.Uint32(buf[4:])
 	body := buf[groupHeader:]
 	if uint64(len(body)) != uint64(plen) {
-		return nil, false, nil
+		return meta, nil, false, nil
 	}
 	if crc32.ChecksumIEEE(body) != sum {
-		return nil, false, nil
+		return meta, nil, false, nil
 	}
+	if body[0] != groupMagic {
+		return meta, nil, false, fmt.Errorf("%w: sealed group magic %#x", ErrCorrupt, body[0])
+	}
+	meta.Epoch = binary.LittleEndian.Uint64(body[1:])
+	meta.First = LSN(binary.LittleEndian.Uint64(body[9:]))
+	meta.Count = int(binary.LittleEndian.Uint32(body[17:]))
+	body = body[metaHeader:]
 	for len(body) > 0 {
 		if len(body) < recHeader {
-			return nil, false, fmt.Errorf("%w: truncated record header in sealed group", ErrCorrupt)
+			return meta, nil, false, fmt.Errorf("%w: truncated record header in sealed group", ErrCorrupt)
 		}
 		n := binary.LittleEndian.Uint32(body)
 		body = body[recHeader:]
 		if uint64(n) > uint64(len(body)) {
-			return nil, false, fmt.Errorf("%w: record length %d exceeds group payload", ErrCorrupt, n)
+			return meta, nil, false, fmt.Errorf("%w: record length %d exceeds group payload", ErrCorrupt, n)
 		}
 		frames = append(frames, body[:n])
 		body = body[n:]
 	}
-	return frames, true, nil
+	if len(frames) != meta.Count {
+		return meta, nil, false, fmt.Errorf("%w: sealed group holds %d records, meta declares %d",
+			ErrCorrupt, len(frames), meta.Count)
+	}
+	return meta, frames, true, nil
 }
 
-// appendLocked persists one framed buffer covering LSNs [first, last],
-// retrying transient failures and poisoning the writer when they exhaust.
-// Caller holds w.mu.
-func (w *Writer) appendLocked(tag uint64, buf []byte, first, last LSN) error {
-	if w.failed != nil {
-		return w.failed
-	}
-	start := time.Now()
-	err := w.retry.Do("wal: append", func() error {
-		_, aerr := w.store.AppendEpoch(storage.StreamWAL, w.epoch, tag, buf)
-		return aerr
-	})
-	w.appendLat.Observe(time.Since(start))
-	w.appends.Inc()
-	if err != nil {
-		w.failed = fmt.Errorf("%w: lsn %d..%d (stream %v): %w",
-			ErrWriterFailed, first, last, storage.StreamWAL, err)
-		return w.failed
-	}
-	return nil
+// SealedGroup is one framed group envelope ready for a single storage
+// append: an immutable unit of durability. Sealing (LSN assignment, epoch
+// stamping, envelope framing) is separated from appending so the commit
+// pipeline can keep several sealed groups in flight concurrently while the
+// LSN sequence itself stays strictly serial.
+type SealedGroup struct {
+	Data  []byte // the envelope, as frameGroup produced it
+	First LSN    // first LSN in the group
+	Last  LSN    // last LSN in the group
+	Count int    // records sealed
+	Epoch uint64 // fence epoch the group was sealed under
 }
 
 // ErrRecordTooLarge is returned when a single record cannot fit one storage
@@ -356,28 +382,15 @@ func (w *Writer) groupLimit() int {
 // LSN is assigned, so the failure is an error on one write instead of a
 // poisoned log.
 func (w *Writer) MaxRecordSize() int {
-	return w.groupLimit() - groupHeader - recHeader
+	return w.groupLimit() - groupHeader - metaHeader - recHeader
 }
 
 // Append assigns the next LSN to r, persists it as a group of one, and
 // returns the LSN.
 func (w *Writer) Append(r *Record) (LSN, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.failed != nil {
-		return 0, w.failed
-	}
-	if n := encodedSize(r); n > w.groupLimit()-groupHeader-recHeader {
-		// No LSN was consumed, so the sequence has no hole: the writer
-		// stays healthy and only this record fails.
-		return 0, fmt.Errorf("%w: %d bytes, extent limit %d", ErrRecordTooLarge, n, w.store.ExtentSize())
-	}
-	r.LSN = w.nextLSN
-	r.Epoch = w.epoch
-	if err := w.appendLocked(r.PageID, frameGroup([][]byte{Encode(r)}), r.LSN, r.LSN); err != nil {
+	if _, err := w.AppendBatch([]*Record{r}); err != nil {
 		return 0, err
 	}
-	w.nextLSN++
 	return r.LSN, nil
 }
 
@@ -392,13 +405,17 @@ func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 		return 0, nil
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.failed != nil {
-		return 0, w.failed
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
 	}
-	max := w.groupLimit() - groupHeader - recHeader
+	max := w.MaxRecordSize()
 	for _, r := range recs {
 		if n := encodedSize(r); n > max {
+			// No LSN was consumed, so the sequence has no hole: the writer
+			// stays healthy and only this batch fails.
+			w.mu.Unlock()
 			return 0, fmt.Errorf("%w: %d bytes, extent limit %d", ErrRecordTooLarge, n, w.store.ExtentSize())
 		}
 	}
@@ -406,8 +423,12 @@ func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 		r.LSN = w.nextLSN
 		w.nextLSN++
 	}
-	if err := w.appendGroupsLocked(recs); err != nil {
-		return 0, err
+	groups := w.sealLocked(recs)
+	w.mu.Unlock()
+	for _, g := range groups {
+		if err := w.AppendSealed(g); err != nil {
+			return 0, err
+		}
 	}
 	return recs[len(recs)-1].LSN, nil
 }
@@ -415,76 +436,138 @@ func (w *Writer) AppendBatch(recs []*Record) (LSN, error) {
 // AppendAssigned persists records whose LSNs were assigned by an external
 // authority (the group committer) as sealed groups, splitting at extent
 // boundaries. Records must continue the writer's LSN sequence in order; the
-// writer's own counter advances past them.
+// writer's own counter advances past them. It is SealAssigned followed by a
+// serial AppendSealed per group — the depth-1 commit path.
+func (w *Writer) AppendAssigned(recs []*Record) error {
+	groups, err := w.SealAssigned(recs)
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if err := w.AppendSealed(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SealAssigned validates records whose LSNs were assigned by an external
+// authority, stamps them with the writer's fence epoch, advances the
+// writer's LSN counter past them, and seals them into group envelopes —
+// splitting where a group would outgrow one storage append. It performs no
+// I/O: the returned groups are persisted by AppendSealed, possibly
+// concurrently, which is how the commit pipeline keeps several appends in
+// flight while sealing stays strictly serial in LSN order.
 //
 // A record too large for an extent poisons the writer: its LSN is already
 // assigned, so skipping it would punch a permanent hole into the log that
 // recovery could not tell apart from acknowledged-write loss. The committer
 // prevents this case by rejecting such records at admission (MaxRecordSize)
 // before an LSN exists.
-func (w *Writer) AppendAssigned(recs []*Record) error {
+func (w *Writer) SealAssigned(recs []*Record) ([]SealedGroup, error) {
 	if len(recs) == 0 {
-		return nil
+		return nil, nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return w.failed
+		return nil, w.failed
 	}
-	// Validate the whole batch before persisting anything, so a poisoning
-	// record cannot leave a partially appended batch behind it.
-	max := w.groupLimit() - groupHeader - recHeader
+	// Validate the whole batch before sealing anything, so a poisoning
+	// record cannot leave a partially sealed batch behind it.
+	max := w.MaxRecordSize()
 	next := w.nextLSN
 	for _, r := range recs {
 		if r.LSN < next {
-			return fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, next)
+			return nil, fmt.Errorf("wal: assigned LSN %d behind writer position %d", r.LSN, next)
 		}
 		next = r.LSN + 1
 		if n := encodedSize(r); n > max {
 			w.failed = fmt.Errorf("%w: lsn %d: %w (%d bytes, extent limit %d)",
 				ErrWriterFailed, r.LSN, ErrRecordTooLarge, n, w.store.ExtentSize())
-			return w.failed
+			return nil, w.failed
 		}
 	}
-	for _, r := range recs {
-		w.nextLSN = r.LSN + 1
-	}
-	return w.appendGroupsLocked(recs)
+	w.nextLSN = next
+	return w.sealLocked(recs), nil
 }
 
-// appendGroupsLocked seals records into group envelopes — splitting where a
-// group would outgrow one storage append — and persists them in order.
-// Records must fit individually (callers validate) and carry their final
-// LSNs. Caller holds w.mu.
-func (w *Writer) appendGroupsLocked(recs []*Record) error {
+// sealLocked stamps records with the writer's epoch and seals them into
+// group envelopes, splitting where a group would outgrow one storage
+// append. Records must fit individually (callers validate) and carry their
+// final LSNs. Caller holds w.mu.
+func (w *Writer) sealLocked(recs []*Record) []SealedGroup {
 	limit := w.groupLimit()
-	var group [][]byte
-	size := groupHeader
+	var groups []SealedGroup
+	var frames [][]byte
+	size := groupHeader + metaHeader
 	var first, last LSN
-	flush := func() error {
-		if len(group) == 0 {
-			return nil
+	flush := func() {
+		if len(frames) == 0 {
+			return
 		}
-		err := w.appendLocked(0, frameGroup(group), first, last)
-		group, size = group[:0], groupHeader
-		return err
+		meta := GroupMeta{Epoch: w.epoch, First: first, Count: len(frames)}
+		groups = append(groups, SealedGroup{
+			Data:  frameGroup(meta, frames),
+			First: first,
+			Last:  last,
+			Count: len(frames),
+			Epoch: w.epoch,
+		})
+		frames, size = nil, groupHeader+metaHeader
 	}
 	for _, r := range recs {
 		r.Epoch = w.epoch
 		encoded := Encode(r)
-		if len(group) > 0 && size+recHeader+len(encoded) > limit {
-			if err := flush(); err != nil {
-				return err
-			}
+		if len(frames) > 0 && size+recHeader+len(encoded) > limit {
+			flush()
 		}
-		if len(group) == 0 {
+		if len(frames) == 0 {
 			first = r.LSN
 		}
-		group = append(group, encoded)
+		frames = append(frames, encoded)
 		size += recHeader + len(encoded)
 		last = r.LSN
 	}
-	return flush()
+	flush()
+	return groups
+}
+
+// AppendSealed persists one sealed group with a single storage append,
+// retrying transient failures and poisoning the writer when they exhaust.
+// It does not hold the writer's mutex across the storage round trip, so
+// several sealed groups may be in flight concurrently; the group carries
+// its own fence epoch, which storage checks on every append, so a fence
+// raised mid-flight fails every outstanding append without persisting a
+// byte. Storage completion order may differ from LSN order — readers
+// reorder within a bounded window.
+func (w *Writer) AppendSealed(g SealedGroup) error {
+	w.mu.Lock()
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return err
+	}
+	retry := w.retry
+	w.mu.Unlock()
+	start := time.Now()
+	err := retry.Do("wal: append", func() error {
+		_, aerr := w.store.AppendEpoch(storage.StreamWAL, g.Epoch, 0, g.Data)
+		return aerr
+	})
+	w.appendLat.Observe(time.Since(start))
+	w.appends.Inc()
+	if err == nil {
+		return nil
+	}
+	ferr := fmt.Errorf("%w: lsn %d..%d (stream %v): %w",
+		ErrWriterFailed, g.First, g.Last, storage.StreamWAL, err)
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = ferr
+	}
+	w.mu.Unlock()
+	return ferr
 }
 
 // NextLSN returns the LSN the next record will receive.
@@ -510,9 +593,10 @@ func (w *Writer) RegisterMetrics(r *metrics.Registry) {
 }
 
 // GapError reports a hole in the LSN sequence: a record arrived whose LSN
-// is not the successor of the last one seen. Gaps mean the reader's view of
-// the log is missing acknowledged records — a trimmed or lost WAL extent —
-// and the consumer must resynchronize from a snapshot (followers) or abort
+// is not the successor of the last one seen and the hole did not fill
+// within the reader's reorder window. Gaps mean the reader's view of the
+// log is missing acknowledged records — a trimmed or lost WAL extent — and
+// the consumer must resynchronize from a snapshot (followers) or abort
 // (crash recovery).
 type GapError struct {
 	Expected LSN // the LSN the sequence required next
@@ -523,20 +607,51 @@ func (e *GapError) Error() string {
 	return fmt.Sprintf("wal: gap in log: expected lsn %d, got %d", e.Expected, e.Got)
 }
 
+// Reorder-buffer defaults. Storage completion order may trail LSN order by
+// at most the commit pipeline's depth, so a small window suffices; the
+// stuck-poll limit bounds how long a reader waits for a hole to fill before
+// declaring it permanent.
+const (
+	defaultReorderWindow = 64
+	defaultStuckPolls    = 8
+)
+
+// pendingGroup is a decoded group envelope held aside because its first
+// LSN does not yet connect to the delivered prefix.
+type pendingGroup struct {
+	recs  []*Record
+	first LSN
+	epoch uint64
+}
+
 // Reader tails the WAL stream of a shared store. Each RO node owns one.
 //
-// The reader tolerates the two artifacts a retried torn write leaves in an
-// append-only log: a checksummed-garbage tail on one storage entry (dropped
-// and counted) and duplicate records from the retry (deduplicated by LSN).
-// It also discards zombie records — records stamped with a fence epoch
-// lower than the highest epoch it has observed, left behind by a deposed
-// leader that raced the fence. What it does not tolerate is a hole in the
-// LSN sequence — Poll surfaces those as *GapError.
+// The reader tolerates the artifacts the write path leaves in an
+// append-only log: a checksummed-garbage tail from a torn write (dropped
+// and counted), duplicate records from a retried append (deduplicated by
+// LSN), and zombie groups stamped with a fence epoch lower than the highest
+// epoch observed — left behind by a deposed leader that raced the fence.
+//
+// Because the commit pipeline keeps several group appends in flight,
+// storage completion order may differ from LSN order: a group whose first
+// LSN runs ahead of the delivered prefix is held in a bounded reorder
+// window until its predecessors land. Only a hole that persists — the
+// window overflows, or enough polls pass without progress — is surfaced as
+// *GapError, which means acknowledged records are genuinely missing
+// (trimmed or lost WAL extent) and the consumer must resynchronize from a
+// snapshot (followers) or abort (crash recovery).
 type Reader struct {
 	store *storage.Store
 	cur   storage.Cursor
 	last  LSN    // highest LSN returned; duplicates at or below are dropped
-	epoch uint64 // highest fence epoch observed; lower-epoch records are zombies
+	epoch uint64 // highest fence epoch observed; lower-epoch groups are zombies
+	based bool   // sequence anchored (SetBase called) even while last == 0
+
+	window     int // max out-of-order groups held; 0 = immediate GapError
+	stuckLimit int // polls without progress before a hole is permanent
+	stuck      int // consecutive polls with pending groups and no progress
+
+	pending map[LSN]*pendingGroup // keyed by first LSN
 
 	torn   int64 // storage entries with a torn tail encountered
 	dups   int64 // duplicate records dropped
@@ -545,19 +660,35 @@ type Reader struct {
 
 // NewReader returns a reader positioned at the beginning of the WAL.
 func NewReader(store *storage.Store) *Reader {
-	return &Reader{store: store}
+	return &Reader{store: store, window: defaultReorderWindow, stuckLimit: defaultStuckPolls}
 }
 
 // NewReaderAt returns a reader positioned at the given cursor (snapshot
 // bootstrap: tail only the WAL suffix the snapshot does not cover).
 func NewReaderAt(store *storage.Store, cur storage.Cursor) *Reader {
-	return &Reader{store: store, cur: cur}
+	r := NewReader(store)
+	r.cur = cur
+	return r
 }
 
 // SetBase declares every LSN at or below lsn already consumed (by a
 // snapshot): such records are silently dropped and the sequence check
 // starts at lsn+1.
-func (r *Reader) SetBase(lsn LSN) { r.last = lsn }
+func (r *Reader) SetBase(lsn LSN) {
+	r.last = lsn
+	r.based = true
+}
+
+// SetReorderWindow bounds how many out-of-order groups the reader holds
+// aside waiting for a hole to fill. n = 0 disables reordering entirely: any
+// out-of-order group is an immediate GapError (the strict pre-pipeline
+// behaviour, for tests and depth-1 deployments).
+func (r *Reader) SetReorderWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.window = n
+}
 
 // LastLSN returns the highest LSN the reader has returned.
 func (r *Reader) LastLSN() LSN { return r.last }
@@ -568,14 +699,20 @@ func (r *Reader) Stats() (torn, dups int64) { return r.torn, r.dups }
 // FencedSkips returns how many stale-epoch zombie records were discarded.
 func (r *Reader) FencedSkips() int64 { return r.fenced }
 
+// PendingGroups returns how many out-of-order groups are currently held in
+// the reorder window — durable groups that cannot be delivered because an
+// earlier LSN has not been observed. After a full replay, a non-zero value
+// means the log tail holds debris from a failed pipelined commit: groups
+// past the gapless durable prefix that were never acknowledged.
+func (r *Reader) PendingGroups() int { return len(r.pending) }
+
 // Epoch returns the highest fence epoch the reader has observed.
 func (r *Reader) Epoch() uint64 { return r.epoch }
 
 // Poll returns all records appended since the previous Poll, in LSN order.
 // Torn group envelopes are discarded whole and retry duplicates dropped. On
-// an LSN gap Poll returns the records before the hole together with a
-// *GapError and does not advance the cursor, so the caller decides how to
-// resync.
+// a permanent LSN gap Poll returns the records before the hole together
+// with a *GapError, so the caller decides how to resync.
 func (r *Reader) Poll() ([]*Record, error) {
 	groups, err := r.PollGroups()
 	var recs []*Record
@@ -583,6 +720,70 @@ func (r *Reader) Poll() ([]*Record, error) {
 		recs = append(recs, g...)
 	}
 	return recs, err
+}
+
+// anchored reports whether the reader knows where the LSN sequence starts:
+// either a base was declared or a record has been delivered.
+func (r *Reader) anchored() bool { return r.based || r.last > 0 }
+
+// smallestPending returns the lowest first LSN held in the reorder window
+// (0 when empty).
+func (r *Reader) smallestPending() LSN {
+	var min LSN
+	for first := range r.pending {
+		if min == 0 || first < min {
+			min = first
+		}
+	}
+	return min
+}
+
+// purgeFenced drops pending groups sealed under an epoch below the
+// reader's, returning how many it removed. Epochs are non-decreasing in
+// storage order (the store re-checks the fence under the stream lock that
+// orders entries), so once a higher epoch is observed, lower-epoch holes
+// can never fill: the groups are debris from a fenced tenure.
+func (r *Reader) purgeFenced() int {
+	purged := 0
+	for first, pg := range r.pending {
+		if pg.epoch < r.epoch {
+			r.fenced += int64(len(pg.recs))
+			delete(r.pending, first)
+			purged++
+		}
+	}
+	return purged
+}
+
+// deliver appends the group's novel records to the delivered sequence,
+// dropping duplicates and fenced zombies. A hole inside a single group is
+// structurally impossible for a sealed envelope, so it is an immediate
+// GapError, never buffered.
+func (r *Reader) deliver(recs []*Record) ([]*Record, error) {
+	var grp []*Record
+	for _, rec := range recs {
+		if rec.Epoch < r.epoch {
+			// A zombie from a fenced epoch: the deposed leader's append
+			// raced the fence. Skip it without touching r.last so the
+			// surviving epoch's sequence stays gapless.
+			r.fenced++
+			continue
+		}
+		if rec.Epoch > r.epoch {
+			r.epoch = rec.Epoch
+			r.purgeFenced()
+		}
+		if rec.LSN <= r.last {
+			r.dups++
+			continue
+		}
+		if r.last > 0 && rec.LSN != r.last+1 {
+			return grp, &GapError{Expected: r.last + 1, Got: rec.LSN}
+		}
+		r.last = rec.LSN
+		grp = append(grp, rec)
+	}
+	return grp, nil
 }
 
 // PollGroups is Poll preserving commit-group boundaries: each inner slice
@@ -596,8 +797,9 @@ func (r *Reader) PollGroups() ([][]*Record, error) {
 		return nil, fmt.Errorf("wal: poll at extent %d: %w", r.cur.Extent, err)
 	}
 	var groups [][]*Record
+	progressed := false
 	for _, e := range entries {
-		frames, ok, ferr := unframeGroup(e.Data)
+		meta, frames, ok, ferr := unframeGroup(e.Data)
 		if ferr != nil {
 			// The envelope passed its checksum but does not parse: real
 			// corruption, not a torn tail.
@@ -609,40 +811,113 @@ func (r *Reader) PollGroups() ([][]*Record, error) {
 			r.torn++
 			continue
 		}
-		var grp []*Record
+		if meta.Epoch > r.epoch {
+			r.epoch = meta.Epoch
+			if r.purgeFenced() > 0 {
+				progressed = true
+			}
+		} else if meta.Epoch < r.epoch {
+			// The whole group was sealed under a fenced tenure: zombie.
+			r.fenced += int64(meta.Count)
+			continue
+		}
+		if meta.Count == 0 {
+			continue
+		}
+		recs := make([]*Record, 0, len(frames))
 		for _, f := range frames {
 			rec, derr := Decode(f)
 			if derr != nil {
-				if len(grp) > 0 {
-					groups = append(groups, grp)
-				}
 				return groups, fmt.Errorf("wal: entry at %v: %w", e.Loc, derr)
 			}
-			if rec.Epoch < r.epoch {
-				// A zombie from a fenced epoch: the deposed leader's append
-				// raced the fence. Skip it without touching r.last so the
-				// surviving epoch's sequence stays gapless.
-				r.fenced++
-				continue
-			}
-			r.epoch = rec.Epoch
-			if rec.LSN <= r.last {
-				r.dups++
-				continue
-			}
-			if r.last > 0 && rec.LSN != r.last+1 {
-				if len(grp) > 0 {
-					groups = append(groups, grp)
-				}
-				return groups, &GapError{Expected: r.last + 1, Got: rec.LSN}
-			}
-			r.last = rec.LSN
-			grp = append(grp, rec)
+			recs = append(recs, rec)
 		}
-		if len(grp) > 0 {
-			groups = append(groups, grp)
+		switch {
+		case r.anchored() && meta.First <= r.last+1,
+			!r.anchored() && meta.First == 1:
+			grp, gerr := r.deliver(recs)
+			if len(grp) > 0 {
+				groups = append(groups, grp)
+				progressed = true
+			}
+			if gerr != nil {
+				return groups, gerr
+			}
+		default:
+			// Out of order: the group ran ahead of the delivered prefix
+			// (pipelined completion) or the log head is missing. Hold it.
+			if r.window == 0 {
+				return groups, &GapError{Expected: r.last + 1, Got: meta.First}
+			}
+			if r.pending == nil {
+				r.pending = make(map[LSN]*pendingGroup)
+			}
+			// A retried torn append can stash the same group twice; the
+			// copies are identical, so overwriting is idempotent.
+			r.pending[meta.First] = &pendingGroup{recs: recs, first: meta.First, epoch: meta.Epoch}
+		}
+		// Drain every held group the delivery just connected.
+		if drained, gerr := r.drainPending(&groups); gerr != nil {
+			return groups, gerr
+		} else if drained {
+			progressed = true
 		}
 	}
 	r.cur = next
+	if len(r.pending) == 0 {
+		r.stuck = 0
+		return groups, nil
+	}
+	if progressed {
+		r.stuck = 0
+	} else {
+		r.stuck++
+	}
+	if !r.anchored() && (len(r.pending) > r.window || r.stuck > r.stuckLimit) {
+		// Nothing ever connected to LSN 1 and the head never arrived: the
+		// log's prefix is genuinely gone (trimmed without a declared base).
+		// Adopt the smallest held group as the start of the sequence.
+		r.last = r.smallestPending() - 1
+		r.based = true
+		r.stuck = 0
+		if _, gerr := r.drainPending(&groups); gerr != nil {
+			return groups, gerr
+		}
+		if len(r.pending) == 0 {
+			return groups, nil
+		}
+	}
+	if len(r.pending) > r.window || r.stuck > r.stuckLimit {
+		return groups, &GapError{Expected: r.last + 1, Got: r.smallestPending()}
+	}
 	return groups, nil
+}
+
+// drainPending delivers held groups, in LSN order, for as long as the next
+// one connects to the delivered prefix. Reports whether anything left the
+// window.
+func (r *Reader) drainPending(groups *[][]*Record) (bool, error) {
+	drained := false
+	for r.anchored() {
+		var found *pendingGroup
+		for _, pg := range r.pending {
+			if pg.first <= r.last+1 {
+				found = pg
+				break
+			}
+		}
+		if found == nil {
+			return drained, nil
+		}
+		delete(r.pending, found.first)
+		drained = true
+		grp, gerr := r.deliver(found.recs)
+		if len(grp) > 0 {
+			*groups = append(*groups, grp)
+		}
+		if gerr != nil {
+			return drained, gerr
+		}
+	}
+	return drained, nil
 }

@@ -224,7 +224,11 @@ func TestNewReaderAt(t *testing.T) {
 	if _, err := w.Append(&Record{Type: RecordPut, Key: []byte("tail")}); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := NewReaderAt(st, cur).Poll()
+	// Snapshot bootstrap: the cursor says where to scan, the base says
+	// where the LSN sequence resumes (ReplayWAL always declares it).
+	r := NewReaderAt(st, cur)
+	r.SetBase(5)
+	recs, err := r.Poll()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -105,6 +105,19 @@ type Options struct {
 	// beyond it block until a flush makes room (replicated mode; 0: 4096).
 	CommitQueueDepth int
 
+	// CommitPipelineDepth keeps up to this many WAL group appends in
+	// flight concurrently (BtrLog-style commit pipelining). Storage
+	// completions may land out of order, but commit acks always release in
+	// LSN order (replicated mode; 0 or 1: serial appends, today's
+	// behaviour).
+	CommitPipelineDepth int
+
+	// CommitAdaptivePipeline lets the committer resize its effective
+	// pipeline depth and accumulation window between 1 and
+	// CommitPipelineDepth, driven by queue-stall pressure and group fill
+	// (replicated mode).
+	CommitAdaptivePipeline bool
+
 	// FlushInterval drives the background dirty-page flusher (replicated
 	// mode; default 50ms). FlushThreshold additionally triggers a flush at
 	// that many dirty pages.
@@ -183,11 +196,13 @@ func (o Options) rwOptions() replication.RWOptions {
 	co := o.coreOptions()
 	co.Storage = nil
 	return replication.RWOptions{
-		Engine:         co,
-		CommitWindow:   o.CommitWindow,
-		MaxBatch:       o.CommitMaxBatch,
-		QueueDepth:     o.CommitQueueDepth,
-		FlushInterval:  fi,
-		FlushThreshold: o.FlushThreshold,
+		Engine:           co,
+		CommitWindow:     o.CommitWindow,
+		MaxBatch:         o.CommitMaxBatch,
+		QueueDepth:       o.CommitQueueDepth,
+		PipelineDepth:    o.CommitPipelineDepth,
+		AdaptivePipeline: o.CommitAdaptivePipeline,
+		FlushInterval:    fi,
+		FlushThreshold:   o.FlushThreshold,
 	}
 }
