@@ -266,8 +266,15 @@ func (db *DB) Degree(src VertexID, typ EdgeType) (int, error) {
 // KHop expands hops levels of out-neighbors from start, returning the set
 // of vertices reached (excluding start). perVertexLimit bounds per-vertex
 // fan-out (<= 0: unlimited).
+//
+// The whole traversal runs against one pinned read epoch: every hop sees
+// the graph as of the same group-commit boundary, so concurrent batches
+// can no longer tear a multi-hop read (observing a later hop's state from
+// after a commit the earlier hops predate).
 func (db *DB) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
-	return graph.KHop(db.eng(), start, typ, hops, perVertexLimit)
+	s := db.Snapshot()
+	defer s.Close()
+	return graph.KHop(s.view, start, typ, hops, perVertexLimit)
 }
 
 // Pattern is a small query graph for MatchPattern; see pattern.Pattern.
@@ -277,15 +284,19 @@ type Pattern = pattern.Pattern
 type PatternEdge = pattern.PEdge
 
 // MatchPattern finds up to maxMatches embeddings of p anchored at the
-// seed vertices.
+// seed vertices. Like KHop, the whole match runs at one pinned read epoch.
 func (db *DB) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
-	return pattern.Match(db.eng(), p, seeds, maxMatches)
+	s := db.Snapshot()
+	defer s.Close()
+	return pattern.Match(s.view, p, seeds, maxMatches)
 }
 
 // FindCycles returns simple cycles through start of length 2..maxLen —
-// the risk-control loop detection.
+// the risk-control loop detection. Runs at one pinned read epoch.
 func (db *DB) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
-	return pattern.FindCycles(db.eng(), start, typ, maxLen, maxCycles)
+	s := db.Snapshot()
+	defer s.Close()
+	return pattern.FindCycles(s.view, start, typ, maxLen, maxCycles)
 }
 
 // RunGC triggers one synchronous space-reclamation cycle (batch extents
@@ -311,6 +322,7 @@ type Stats struct {
 	Cache       CacheStats       `json:"cache"`
 	Forest      ForestStats      `json:"forest"`
 	GC          GCStats          `json:"gc"`
+	MVCC        MVCCStats        `json:"mvcc"`
 	Replication ReplicationStats `json:"replication"`
 }
 
@@ -397,6 +409,27 @@ type GCStats struct {
 	Runs             int64   `json:"runs"`
 	ExtentsReclaimed int64   `json:"extents_reclaimed"`
 	ExtentsExpired   int64   `json:"extents_expired"`
+	// PinDeferred counts extent picks the reclaimer skipped because a
+	// pinned snapshot may still read their invalidated records.
+	PinDeferred int64 `json:"pin_deferred"`
+}
+
+// MVCCStats is the read-epoch clock's accounting. All zero on a DB opened
+// without Options.Replicated (no WAL, no epochs: reads are latest-state).
+type MVCCStats struct {
+	// ReadEpoch is the current read epoch: the highest group-released WAL
+	// LSN. A snapshot pinned now observes exactly this boundary.
+	ReadEpoch uint64 `json:"read_epoch"`
+	// PinnedEpochs is the number of live snapshot pins.
+	PinnedEpochs int64 `json:"pinned_epochs"`
+	// EpochLag is ReadEpoch minus the oldest pinned epoch (LSN distance):
+	// how much history the oldest snapshot holds back from consolidation.
+	EpochLag uint64 `json:"epoch_lag"`
+	// PinsTotal counts snapshots taken over the DB's lifetime.
+	PinsTotal int64 `json:"pins_total"`
+	// RetainedBytes is the in-memory size of delta-chain history kept above
+	// the retention floor for pinned snapshots.
+	RetainedBytes int64 `json:"retained_bytes"`
 }
 
 // ReplicationStats covers the attached read-only replicas and leader
@@ -497,7 +530,18 @@ func (db *DB) Stats() Stats {
 			Runs:             gcs.Runs,
 			ExtentsReclaimed: ss.ExtentsReclaimed,
 			ExtentsExpired:   ss.ExtentsExpired,
+			PinDeferred:      gcs.PinDeferred,
 		},
+	}
+	if src := db.eng().Epochs(); src != nil {
+		es := src.Stats()
+		s.MVCC = MVCCStats{
+			ReadEpoch:     uint64(es.Current),
+			PinnedEpochs:  es.Pinned,
+			EpochLag:      es.Lag,
+			PinsTotal:     es.PinsTotal,
+			RetainedBytes: db.eng().RetainedBytes(),
+		}
 	}
 	if rw := db.leader(); rw != nil {
 		batches, records := rw.LoggerStats()

@@ -1,5 +1,5 @@
 // bg3-benchjson runs the three Table-1 workloads against a fresh DB each
-// and writes a machine-readable benchmark trajectory (BENCH_PR6.json):
+// and writes a machine-readable benchmark trajectory (BENCH_PR7.json):
 // throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
 // allocation cost per op, batch-read/read-ahead effectiveness, and GC write
 // amplification. It then runs the write-heavy scenarios on a replicated DB
@@ -9,7 +9,10 @@
 // coalescing (flushes, mean group size, stall p99) alongside throughput.
 // Pipelined variants rerun the single-append, insert, and batch scenarios
 // with CommitPipelineDepth=8, recording ack-reorder p99 and mean in-flight
-// groups so the commit pipeline's overlap is part of the trajectory.
+// groups so the commit pipeline's overlap is part of the trajectory. A
+// pinned-reader variant reruns the pipelined insert stream with concurrent
+// snapshot readers, recording the MVCC interference tax (retained history,
+// epoch lag, GC deferrals) next to the same write metrics.
 // CI runs it in -short mode and archives the JSON so regressions show up as
 // a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
@@ -19,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bg3"
@@ -84,6 +90,17 @@ type workloadJSON struct {
 	PipelineDepth   int     `json:"pipeline_depth,omitempty"`
 	AckReorderP99US int64   `json:"ack_reorder_p99_us,omitempty"`
 	InflightMean    float64 `json:"inflight_mean,omitempty"`
+
+	// MVCC snapshot-read interference: concurrent pinned readers, the
+	// snapshots they took, the history those pins forced the Bw-tree to
+	// retain, and the extent reclaims GC deferred for them. Present on the
+	// pinned-reader scenario; zero elsewhere.
+	SnapshotReaders int   `json:"snapshot_readers,omitempty"`
+	SnapshotsTaken  int64 `json:"snapshots_taken,omitempty"`
+	SnapshotReadOps int64 `json:"snapshot_read_ops,omitempty"`
+	ReadEpoch       int64 `json:"read_epoch,omitempty"`
+	RetainedBytes   int64 `json:"retained_bytes,omitempty"`
+	GCPinDeferred   int64 `json:"gc_pin_deferred,omitempty"`
 }
 
 type benchJSON struct {
@@ -98,7 +115,7 @@ type benchJSON struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
@@ -166,20 +183,26 @@ func main() {
 		gen      workload.Generator
 		maxBatch int // 0: default group commit
 		depth    int // 0: serial appends; >1: commit pipelining
+		readers  int // >0: concurrent snapshot-pinned traversal readers
 	}
 	writeSpecs := []writeSpec{
-		{"single-append-baseline", workload.NewInsertOnly(vertices, *seed), 1, 0},
-		{"insert-only-grouped", workload.NewInsertOnly(vertices, *seed), 0, 0},
-		{"batch-insert", workload.NewBatchInsert(vertices, 16, *seed), 0, 0},
-		{"mixed-50-50", workload.NewMixedReadWrite(vertices, *seed), 0, 0},
-		{"single-append-pipelined", workload.NewInsertOnly(vertices, *seed), 1, 8},
-		{"insert-only-pipelined", workload.NewInsertOnly(vertices, *seed), 0, 8},
-		{"batch-insert-pipelined", workload.NewBatchInsert(vertices, 16, *seed), 0, 8},
+		{"single-append-baseline", workload.NewInsertOnly(vertices, *seed), 1, 0, 0},
+		{"insert-only-grouped", workload.NewInsertOnly(vertices, *seed), 0, 0, 0},
+		{"batch-insert", workload.NewBatchInsert(vertices, 16, *seed), 0, 0, 0},
+		{"mixed-50-50", workload.NewMixedReadWrite(vertices, *seed), 0, 0, 0},
+		{"single-append-pipelined", workload.NewInsertOnly(vertices, *seed), 1, 8, 0},
+		{"insert-only-pipelined", workload.NewInsertOnly(vertices, *seed), 0, 8, 0},
+		{"batch-insert-pipelined", workload.NewBatchInsert(vertices, 16, *seed), 0, 8, 0},
+		// Same write stream as insert-only-pipelined, but with snapshot
+		// readers continuously pinning epochs and traversing: the pair
+		// quantifies the MVCC interference tax (delta history retained for
+		// pins, epoch lag, and any write-throughput cost).
+		{"insert-only-pinned-readers", workload.NewInsertOnly(vertices, *seed), 0, 8, 4},
 	}
 	var baseline float64
 	var baselineP50 int64
 	for _, sp := range writeSpecs {
-		w, err := runWrite(sp.name, sp.gen, sp.maxBatch, sp.depth, vertices, *writeWorkers, writeOpsPerWorker, *seed)
+		w, err := runWrite(sp.name, sp.gen, sp.maxBatch, sp.depth, sp.readers, vertices, *writeWorkers, writeOpsPerWorker, *seed)
 		if err != nil {
 			log.Fatalf("%s: %v", sp.name, err)
 		}
@@ -189,6 +212,10 @@ func main() {
 		if sp.depth > 1 {
 			fmt.Printf("%-24s          depth=%d inflight(mean)=%.2f ack-reorder(p99)=%dus\n",
 				"", w.PipelineDepth, w.InflightMean, w.AckReorderP99US)
+		}
+		if sp.readers > 0 {
+			fmt.Printf("%-24s          readers=%d snapshots=%d reads=%d retained(max)=%dB epoch=%d\n",
+				"", w.SnapshotReaders, w.SnapshotsTaken, w.SnapshotReadOps, w.RetainedBytes, w.ReadEpoch)
 		}
 		if sp.name == "single-append-baseline" {
 			baseline = w.Throughput
@@ -216,8 +243,11 @@ func main() {
 // runWrite measures a write-heavy workload on a fresh replicated database
 // whose storage charges a per-append write latency. Group-commit counters
 // are taken as deltas around the measured phase so the parallel preload's
-// flushes don't pollute the coalescing numbers.
-func runWrite(name string, gen workload.Generator, maxBatch, depth, vertices, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+// flushes don't pollute the coalescing numbers. With readers > 0, that many
+// goroutines continuously open snapshots and traverse the preloaded graph
+// through them for the whole measured phase, so the write numbers include
+// the cost of pinned epochs (retained delta history, epoch-floor checks).
+func runWrite(name string, gen workload.Generator, maxBatch, depth, readers, vertices, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
 	db, err := bg3.Open(&bg3.Options{
 		Replicated:          true,
 		StorageWriteLatency: 500 * time.Microsecond,
@@ -237,8 +267,49 @@ func runWrite(name string, gen workload.Generator, maxBatch, depth, vertices, wo
 		return workloadJSON{}, err
 	}
 
+	var (
+		stop          = make(chan struct{})
+		readerWG      sync.WaitGroup
+		snapsTaken    atomic.Int64
+		snapReads     atomic.Int64
+		retainedMax   atomic.Int64
+		snapReadLimit = 32
+	)
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed + 1000 + int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := db.Snapshot()
+				snapsTaken.Add(1)
+				for i := 0; i < 16; i++ {
+					src := bg3.VertexID(rng.Intn(vertices))
+					_ = s.Neighbors(src, graph.ETypeFollow, snapReadLimit,
+						func(bg3.VertexID, bg3.Properties) bool { return true })
+					snapReads.Add(1)
+				}
+				// Sample the retention cost while the pin is live; it is
+				// zero once every snapshot closes.
+				if snapsTaken.Load()%32 == 0 {
+					if rb := db.Stats().MVCC.RetainedBytes; rb > retainedMax.Load() {
+						retainedMax.Store(rb)
+					}
+				}
+				s.Close()
+			}
+		}(r)
+	}
+
 	before := db.Stats()
 	res := workload.Run(db, gen, workers, opsPerWorker, seed+200)
+	close(stop)
+	readerWG.Wait()
 	after := db.Stats()
 
 	w := workloadJSON{
@@ -264,6 +335,14 @@ func runWrite(name string, gen workload.Generator, maxBatch, depth, vertices, wo
 		w.PipelineDepth = after.WAL.PipelineDepth
 		w.AckReorderP99US = after.WAL.AckReorder.P99US
 		w.InflightMean = after.WAL.PipelineUtilization.Mean
+	}
+	if readers > 0 {
+		w.SnapshotReaders = readers
+		w.SnapshotsTaken = snapsTaken.Load()
+		w.SnapshotReadOps = snapReads.Load()
+		w.ReadEpoch = int64(after.MVCC.ReadEpoch)
+		w.RetainedBytes = retainedMax.Load()
+		w.GCPinDeferred = after.GC.PinDeferred - before.GC.PinDeferred
 	}
 	return w, nil
 }

@@ -17,6 +17,8 @@
 // RW latch protecting the inner-node structure during splits.
 package bwtree
 
+import "bg3/internal/mvcc"
+
 // DeltaPolicy selects how updates are persisted.
 type DeltaPolicy int
 
@@ -92,6 +94,22 @@ type Config struct {
 	// the Bw-tree", §4.3.1). Pages grow without bound; use only in
 	// controlled experiments.
 	DisableSplit bool
+
+	// ReadaheadLimit bounds the scan read-ahead goroutines in flight per
+	// tree; launches beyond it are dropped (counted in
+	// bwtree.readahead_rejected) rather than queued, so a long scan over a
+	// cold tree cannot pile unbounded prefetchers onto shared storage.
+	// Default 4.
+	ReadaheadLimit int
+
+	// Epochs, when set, is the MVCC read-epoch clock the tree serves
+	// snapshot reads against: ops are stamped with their WAL LSN, ScanAt /
+	// GetAt filter history by a pinned horizon, and consolidation folds
+	// only ops at or below the clock's retention floor (the oldest pinned
+	// epoch) into page bases. Nil disables retention entirely — every
+	// reader sees the latest state and consolidation folds everything,
+	// today's single-node behaviour.
+	Epochs *mvcc.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInnerEntries <= 0 {
 		c.MaxInnerEntries = 128
+	}
+	if c.ReadaheadLimit <= 0 {
+		c.ReadaheadLimit = 4
 	}
 	return c
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"bg3/internal/wal"
 )
 
 // kv is one key-value pair in a materialized page.
@@ -12,11 +14,15 @@ type kv struct {
 	val []byte
 }
 
-// op is one logical update carried by a delta record.
+// op is one logical update carried by a delta record. lsn is the WAL LSN
+// the update committed under (0 on trees without a logger): snapshot reads
+// at horizon H reconstruct a page's content by applying only ops with
+// lsn <= H on top of the stable base image.
 type op struct {
 	del bool
 	key []byte
 	val []byte
+	lsn wal.LSN
 }
 
 // ErrCorruptPage is returned when a durable page image fails to decode.
@@ -74,23 +80,32 @@ func decodeLeaf(buf []byte) ([]kv, error) {
 	return entries, nil
 }
 
+// stampedOpsFlag marks the LSN-stamped delta format in the count word.
+// Legacy records (count without the flag) decode with every stamp zero,
+// i.e. visible at any snapshot horizon.
+const stampedOpsFlag = 0x8000_0000
+
 // encodeOps serializes a delta record (one op for the traditional policy,
 // the whole merged history for the read-optimized policy):
 //
-//	count[4] { del[1] klen[4] vlen[4] key val }*
+//	count[4]|flag { del[1] lsn[8] klen[4] vlen[4] key val }*
+//
+// Per-op LSN stamps survive the round trip so a rebuilt or replicated
+// delta chain keeps the visibility boundaries snapshot reads filter by.
 func encodeOps(ops []op) []byte {
 	size := 4
 	for _, o := range ops {
-		size += 9 + len(o.key) + len(o.val)
+		size += 17 + len(o.key) + len(o.val)
 	}
 	buf := make([]byte, 0, size)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops))|stampedOpsFlag)
 	for _, o := range ops {
 		if o.del {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
 		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.lsn))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.key)))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(o.val)))
 		buf = append(buf, o.key...)
@@ -105,21 +120,33 @@ func decodeOps(buf []byte) ([]op, error) {
 	}
 	n := binary.LittleEndian.Uint32(buf)
 	buf = buf[4:]
+	stamped := n&stampedOpsFlag != 0
+	n &^= stampedOpsFlag
+	hdr := uint32(9)
+	if stamped {
+		hdr = 17
+	}
 	ops := make([]op, 0, n)
 	for i := uint32(0); i < n; i++ {
-		if len(buf) < 9 {
+		if uint32(len(buf)) < hdr {
 			return nil, fmt.Errorf("%w: truncated delta op %d", ErrCorruptPage, i)
 		}
 		del := buf[0] == 1
-		klen := binary.LittleEndian.Uint32(buf[1:])
-		vlen := binary.LittleEndian.Uint32(buf[5:])
-		buf = buf[9:]
+		var lsn wal.LSN
+		rest := buf[1:]
+		if stamped {
+			lsn = wal.LSN(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+		klen := binary.LittleEndian.Uint32(rest)
+		vlen := binary.LittleEndian.Uint32(rest[4:])
+		buf = buf[hdr:]
 		if uint32(len(buf)) < klen+vlen {
 			return nil, fmt.Errorf("%w: truncated delta payload %d", ErrCorruptPage, i)
 		}
 		// Like decodeLeaf, ops alias buf: delta payloads are applied, never
 		// edited, and readers own the buffer they decode from.
-		o := op{del: del, key: buf[:klen:klen]}
+		o := op{del: del, key: buf[:klen:klen], lsn: lsn}
 		if vlen > 0 {
 			o.val = buf[klen : klen+vlen : klen+vlen]
 		}

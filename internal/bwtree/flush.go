@@ -95,6 +95,13 @@ func (t *Tree) FlushDirty() ([]MappingUpdate, error) {
 }
 
 // flushPageLocked persists one dirty page. e.mu must be held.
+//
+// Consolidation respects the MVCC retention floor: only history ops at or
+// below the oldest pinned epoch may be folded into the new base; newer
+// ("retained") ops stay on the delta chain, stamps intact, so pinned
+// snapshots can keep reconstructing the versions between the floor and
+// the head. Without an epoch clock the floor is +inf and the whole
+// history folds, exactly as before.
 func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 	if !e.dirty {
 		return nil, nil
@@ -102,14 +109,56 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 	if e.cached == nil {
 		return nil, fmt.Errorf("bwtree: dirty page %d lost its content", e.id)
 	}
+	floor := t.retentionFloor()
+	histLen := len(e.deltaOps) + len(e.pending)
+	retained := histRetained(e, floor)
 	rewriteBase := e.splitPending ||
 		e.baseLoc.IsZero() ||
-		len(e.deltaOps)+len(e.pending) > t.cfg.ConsolidateNum
+		(histLen > t.cfg.ConsolidateNum && len(retained) < histLen)
 
 	if rewriteBase {
-		loc, err := t.flushAppend(storage.StreamBase, uint64(e.id), encodeLeaf(e.cached))
+		base := e.cached
+		if len(retained) == 0 {
+			// The whole history folds, so the cached content is the new
+			// stable image — but it must be detached from e.cached, whose
+			// backing array later writes mutate in place (stableCopy is a
+			// no-op without an epoch clock).
+			base = t.stableCopy(base)
+		} else {
+			// Fold only the releasable prefix of history into the base;
+			// the stable image plus the foldable ops, clipped to the
+			// page's current range (post-split pages carry wider images).
+			stable, err := t.stableLocked(e)
+			if err != nil {
+				return nil, err
+			}
+			foldable := make([]op, 0, histLen-len(retained))
+			for _, o := range e.deltaOps {
+				if o.lsn <= floor {
+					foldable = append(foldable, o)
+				}
+			}
+			for _, o := range e.pending {
+				if o.lsn <= floor {
+					foldable = append(foldable, o)
+				}
+			}
+			base = clipRangeView(mergeOpsCopy(stable, foldable), e.lo, e.hi)
+			base = append([]kv(nil), base...)
+		}
+		loc, err := t.flushAppend(storage.StreamBase, uint64(e.id), encodeLeaf(base))
 		if err != nil {
 			return nil, err
+		}
+		var dloc storage.Loc
+		if len(retained) > 0 {
+			// The retained suffix must be durable alongside the new base,
+			// or a crash would roll the page back past released commits.
+			dloc, err = t.flushAppend(storage.StreamDelta, uint64(e.id), encodeOps(retained))
+			if err != nil {
+				t.store.Invalidate(loc) // orphan the just-written base
+				return nil, err
+			}
 		}
 		if !e.baseLoc.IsZero() {
 			t.store.Invalidate(e.baseLoc)
@@ -120,6 +169,11 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		e.baseLoc = loc
 		e.deltaLocs = nil
 		e.deltaOps = nil
+		e.stable = base
+		if len(retained) > 0 {
+			e.deltaLocs = []storage.Loc{dloc}
+			e.deltaOps = retained
+		}
 		if !e.splitPending {
 			t.consolidations.Add(1)
 		}

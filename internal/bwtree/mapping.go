@@ -51,6 +51,16 @@ type pageEntry struct {
 	splitPending bool // the page split in memory; next flush must rewrite its base
 	prefetched   bool // content was installed by scan read-ahead, not a demand miss
 
+	// stable is the page's content at its last base fold point — the image
+	// snapshot reads rebuild old views from by replaying only history ops
+	// at or below their horizon. When nil it is lazily re-derived by
+	// decoding baseLoc (the two are equivalent by construction: every base
+	// rewrite installs the folded content here). The one exception is the
+	// right half of an in-memory split, whose baseLoc is still zero: its
+	// stable is seeded from the parent's and pinned in memory by the dirty
+	// flag until the first flush writes a real base.
+	stable []kv
+
 	lo, hi []byte // key range covered: [lo, hi), hi == nil means +inf
 	next   PageID // right sibling, 0 at the rightmost leaf
 
@@ -111,8 +121,10 @@ type Mapping struct {
 	coalesced atomic.Int64 // misses that piggybacked on another reader's flight
 	evictions atomic.Int64
 
-	readaheadIssued atomic.Int64
-	readaheadHits   atomic.Int64
+	readaheadIssued   atomic.Int64
+	readaheadHits     atomic.Int64
+	readaheadRejected atomic.Int64 // launches dropped by the per-tree in-flight cap
+	scanRestarts      atomic.Int64 // scans re-routed after an unmapped right sibling
 
 	// fanout records the storage reads each Get paid to materialize its
 	// leaf — Fig. 9's per-read I/O: 0 on a cache hit, 1 + chain length on
@@ -300,6 +312,15 @@ func (m *Mapping) ReadaheadStats() (issued, hits int64) {
 	return m.readaheadIssued.Load(), m.readaheadHits.Load()
 }
 
+// ReadaheadRejected returns how many read-ahead launches were dropped
+// because the owning tree already had its full quota of prefetchers in
+// flight.
+func (m *Mapping) ReadaheadRejected() int64 { return m.readaheadRejected.Load() }
+
+// ScanRestarts returns how many times a scan re-routed from its cursor
+// after finding its right sibling unmapped mid-scan.
+func (m *Mapping) ScanRestarts() int64 { return m.scanRestarts.Load() }
+
 // Evictions returns how many cached pages the LRU sweeps have dropped.
 func (m *Mapping) Evictions() int64 { return m.evictions.Load() }
 
@@ -347,6 +368,8 @@ func (m *Mapping) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("bwtree.cache_shard_entries_max", func() int64 { _, max := m.shardEntrySpread(); return max })
 	r.CounterFunc("bwtree.readahead_issued", m.readaheadIssued.Load)
 	r.CounterFunc("bwtree.readahead_hits", m.readaheadHits.Load)
+	r.CounterFunc("bwtree.readahead_rejected", m.readaheadRejected.Load)
+	r.CounterFunc("bwtree.scan_restarts", m.scanRestarts.Load)
 	r.RegisterIntHistogram("bwtree.read_fanout", &m.fanout)
 	r.RegisterHistogram("bwtree.materialize_us", &m.materializeLat)
 	r.GaugeFunc("bwtree.pages", func() int64 { return int64(m.PageCount()) })
@@ -394,6 +417,11 @@ func (m *Mapping) noteCached(e *pageEntry) {
 			if !victim.dirty {
 				victim.cached = nil
 				victim.prefetched = false
+				// A clean page's stable image is re-derivable from its
+				// base location, so eviction may drop it too. (Dirty
+				// pages — including unflushed split halves whose stable
+				// is not yet durable — are never evicted.)
+				victim.stable = nil
 				m.evictions.Add(1)
 			} else {
 				// Dirty pages are pinned; re-insert at the front so they
@@ -498,14 +526,54 @@ func (m *Mapping) TakeRelocated() []MappingUpdate {
 	return out
 }
 
+// RetainedBytes sums the bytes of history ops stamped above h — the delta
+// memory the retention floor is holding back from consolidation for the
+// benefit of pinned snapshots. O(pages); intended for metrics snapshots.
+func (m *Mapping) RetainedBytes(h wal.LSN) int64 {
+	// Snapshot the page list before taking any page latch: a splitter
+	// holds its page latch while registering the new sibling (which needs
+	// m.mu), so holding m.mu across e.mu here would deadlock against it.
+	m.mu.RLock()
+	pages := make([]*pageEntry, 0, len(m.pages))
+	for _, e := range m.pages {
+		if e.isLeaf {
+			pages = append(pages, e)
+		}
+	}
+	m.mu.RUnlock()
+	var total int64
+	for _, e := range pages {
+		e.mu.Lock()
+		for _, o := range e.deltaOps {
+			if o.lsn > h {
+				total += int64(len(o.key) + len(o.val) + 33)
+			}
+		}
+		for _, o := range e.pending {
+			if o.lsn > h {
+				total += int64(len(o.key) + len(o.val) + 33)
+			}
+		}
+		e.mu.Unlock()
+	}
+	return total
+}
+
 // MemoryUsage estimates the resident bytes of the mapping table and all
 // cached page content — the space measurement of the Fig. 11 experiment.
 func (m *Mapping) MemoryUsage() int64 {
 	const entryOverhead = 160 // struct, map slot, latch
+	// Same lock-order discipline as RetainedBytes: never hold m.mu across
+	// a page latch, or a splitter (page latch held, registering its new
+	// sibling under m.mu) deadlocks against this walk.
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	var total int64
+	pages := make([]*pageEntry, 0, len(m.pages))
 	for _, e := range m.pages {
+		pages = append(pages, e)
+	}
+	m.mu.RUnlock()
+	var total int64
+	for _, e := range pages {
 		total += entryOverhead
 		e.mu.Lock()
 		for _, p := range e.cached {
@@ -516,6 +584,9 @@ func (m *Mapping) MemoryUsage() int64 {
 		}
 		for _, o := range e.pending {
 			total += int64(len(o.key) + len(o.val) + 33)
+		}
+		for _, p := range e.stable {
+			total += int64(len(p.key) + len(p.val) + 32)
 		}
 		total += int64(len(e.lo) + len(e.hi) + 16*len(e.deltaLocs))
 		if e.inner != nil {

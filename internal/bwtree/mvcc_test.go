@@ -1,0 +1,386 @@
+package bwtree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bg3/internal/mvcc"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// stubAsyncLogger hands out LSNs immediately and "commits" when the wait
+// runs, advancing the epoch clock the way the RW node's group committer
+// does at ack release. Single-threaded tests call writes in order, so
+// advances are in order too.
+type stubAsyncLogger struct {
+	mu  sync.Mutex
+	lsn wal.LSN
+	src *mvcc.Source
+}
+
+func (l *stubAsyncLogger) Log(rec *wal.Record) (wal.LSN, error) {
+	lsn, w := l.LogAsync(rec)
+	return lsn, w()
+}
+
+func (l *stubAsyncLogger) LogAsync(rec *wal.Record) (wal.LSN, func() error) {
+	l.mu.Lock()
+	l.lsn++
+	lsn := l.lsn
+	l.mu.Unlock()
+	return lsn, func() error {
+		if l.src != nil {
+			l.src.Advance(mvcc.Epoch(lsn))
+		}
+		return nil
+	}
+}
+
+// newEpochTree builds an async-flushed tree wired to a fresh epoch clock.
+func newEpochTree(t *testing.T, cfg Config) (*Tree, *mvcc.Source, *storage.Store) {
+	t.Helper()
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	m := NewMapping(cfg.CacheCapacity, false)
+	src := mvcc.NewSource(0)
+	cfg.FlushMode = FlushAsync
+	cfg.Epochs = src
+	tr, err := New(m, st, cfg, &stubAsyncLogger{src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, src, st
+}
+
+func collectAt(t *testing.T, tr *Tree, h wal.LSN) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	if err := tr.ScanAt(nil, nil, 0, h, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEpochsRequireAsyncFlush(t *testing.T) {
+	st := storage.Open(&storage.Options{ExtentSize: 1 << 16})
+	m := NewMapping(0, false)
+	_, err := New(m, st, Config{Epochs: mvcc.NewSource(0)}, nil)
+	if err == nil {
+		t.Fatal("sync tree with an epoch clock should be rejected")
+	}
+}
+
+func TestGetAtScanAtSnapshot(t *testing.T) {
+	tr, src, _ := newEpochTree(t, Config{})
+	for i, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		if err := tr.Put([]byte(kv[0]), []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	p := src.Pin()
+	defer p.Close()
+	h := wal.LSN(p.Epoch())
+
+	// Mutate past the pin: overwrite, insert, delete.
+	if err := tr.Put([]byte("b"), []byte("2-new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("d"), []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok, _ := tr.GetAt([]byte("b"), h); !ok || string(v) != "2" {
+		t.Fatalf("GetAt(b, %d) = %q %v, want 2", h, v, ok)
+	}
+	if v, ok, _ := tr.GetAt([]byte("a"), h); !ok || string(v) != "1" {
+		t.Fatalf("GetAt(a, %d) = %q %v, want 1 (deleted after pin)", h, v, ok)
+	}
+	if _, ok, _ := tr.GetAt([]byte("d"), h); ok {
+		t.Fatal("GetAt(d) visible below its commit epoch")
+	}
+	got := collectAt(t, tr, h)
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	if len(got) != len(want) {
+		t.Fatalf("ScanAt view = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ScanAt view[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+
+	// The unpinned present sees everything.
+	if v, ok, _ := tr.Get([]byte("b")); !ok || string(v) != "2-new" {
+		t.Fatalf("Get(b) = %q %v, want 2-new", v, ok)
+	}
+	if _, ok, _ := tr.Get([]byte("a")); ok {
+		t.Fatal("Get(a) should be deleted at the head")
+	}
+}
+
+func TestFlushRetainsPinnedHistory(t *testing.T) {
+	tr, src, _ := newEpochTree(t, Config{ConsolidateNum: 4, DisableSplit: true})
+	for i := 0; i < 5; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := src.Pin()
+	h := wal.LSN(p.Epoch())
+	for i := 0; i < 15; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i+5)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consolidating flush under the pin: ops above the floor must stay on
+	// the delta chain.
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if rb := tr.m.RetainedBytes(h); rb == 0 {
+		t.Fatal("no retained delta bytes after a pinned consolidation")
+	}
+	got := collectAt(t, tr, h)
+	if len(got) != 5 {
+		t.Fatalf("pinned view has %d keys after flush, want 5: %v", len(got), got)
+	}
+	for i := 0; i < 5; i++ {
+		if got[fmt.Sprintf("k%02d", i)] != "old" {
+			t.Fatalf("pinned view lost k%02d: %v", i, got)
+		}
+	}
+	if n, err := tr.Len(); err != nil || n != 20 {
+		t.Fatalf("head Len = %d %v, want 20", n, err)
+	}
+
+	// Release the pin: the next consolidating flush folds everything.
+	p.Close()
+	if err := tr.Put([]byte("k99"), []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if rb := tr.m.RetainedBytes(h); rb != 0 {
+		t.Fatalf("retained bytes = %d after the pin closed and a fold ran", rb)
+	}
+	if n, _ := tr.Len(); n != 21 {
+		t.Fatalf("Len = %d after fold, want 21", n)
+	}
+}
+
+func TestSplitPreservesPinnedView(t *testing.T) {
+	tr, src, _ := newEpochTree(t, Config{MaxPageEntries: 8, MaxInnerEntries: 4, ConsolidateNum: 4})
+	for i := 0; i < 6; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := src.Pin()
+	defer p.Close()
+	h := wal.LSN(p.Epoch())
+
+	// Drive repeated splits (and flushes mid-way) past the pin.
+	for i := 0; i < 60; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i+6)), []byte("post")); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 == 0 {
+			if _, err := tr.FlushDirty(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Stats().Splits == 0 {
+		t.Fatal("test expected splits to occur")
+	}
+	got := collectAt(t, tr, h)
+	if len(got) != 6 {
+		t.Fatalf("pinned view has %d keys across splits, want 6: %v", len(got), got)
+	}
+	for i := 0; i < 6; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if got[k] != "pre" {
+			t.Fatalf("pinned view[%s] = %q, want pre", k, got[k])
+		}
+		if v, ok, _ := tr.GetAt([]byte(k), h); !ok || string(v) != "pre" {
+			t.Fatalf("GetAt(%s) = %q %v across splits", k, v, ok)
+		}
+	}
+	if n, _ := tr.Len(); n != 66 {
+		t.Fatalf("head Len = %d, want 66", n)
+	}
+}
+
+// TestScanRestartsAfterUnmap reproduces the torn-scan bug: the right
+// sibling disappears from the mapping between leaves (as a concurrent
+// structural change retiring the page would do) and the scan must re-route
+// from its cursor instead of silently ending early.
+func TestScanRestartsAfterUnmap(t *testing.T) {
+	tr, _ := newTestTree(t, Config{MaxPageEntries: 8, MaxInnerEntries: 4})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves := tr.LeafDirectory()
+	if len(leaves) < 3 {
+		t.Fatalf("need >= 3 leaves, got %d", len(leaves))
+	}
+
+	// While the scan is delivering the first leaf, retire the second leaf:
+	// clone it under a fresh page ID, swap the sibling link, and unmap the
+	// original — the scan's captured next pointer now dangles.
+	victim := leaves[1].Page
+	sabotaged := false
+	sabotage := func() {
+		old := tr.m.get(victim)
+		old.mu.Lock()
+		clone := &pageEntry{
+			id: tr.m.allocPageID(), tree: tr, isLeaf: true,
+			baseLoc:   old.baseLoc,
+			deltaLocs: append([]storage.Loc(nil), old.deltaLocs...),
+			deltaOps:  append([]op(nil), old.deltaOps...),
+			cached:    old.cached,
+			lo:        old.lo, hi: old.hi, next: old.next,
+		}
+		tr.m.register(clone)
+		tr.m.remove(victim)
+		old.mu.Unlock()
+		first := tr.m.get(leaves[0].Page)
+		first.mu.Lock()
+		first.next = clone.id
+		first.mu.Unlock()
+	}
+
+	before := tr.m.ScanRestarts()
+	var got []string
+	err := tr.Scan(nil, nil, 0, func(k, v []byte) bool {
+		got = append(got, string(k))
+		if !sabotaged && len(got) == 1 {
+			sabotage()
+			sabotaged = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan delivered %d keys, want %d (truncated at the unmapped sibling)", len(got), n)
+	}
+	for i, k := range got {
+		if want := fmt.Sprintf("k%03d", i); k != want {
+			t.Fatalf("scan[%d] = %s, want %s", i, k, want)
+		}
+	}
+	if tr.m.ScanRestarts() == before {
+		t.Fatal("scan did not record a restart")
+	}
+}
+
+// TestPrefetchBounded pins the read-ahead cap: launches beyond the
+// in-flight budget are dropped and counted, never queued or spawned.
+func TestPrefetchBounded(t *testing.T) {
+	tr, _ := newTestTree(t, Config{ReadaheadLimit: 2})
+	// Saturate the in-flight budget.
+	tr.prefetchSem <- struct{}{}
+	tr.prefetchSem <- struct{}{}
+	tr.launchPrefetch(PageID(1))
+	tr.launchPrefetch(PageID(1))
+	if got := tr.m.ReadaheadRejected(); got != 2 {
+		t.Fatalf("readahead rejected = %d, want 2", got)
+	}
+	// Free the budget: launches go through again and return their token.
+	<-tr.prefetchSem
+	<-tr.prefetchSem
+	tr.launchPrefetch(PageID(1 << 60)) // unknown page: prefetch exits at once
+	deadline := time.Now().Add(2 * time.Second)
+	for len(tr.prefetchSem) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch token never returned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := tr.m.ReadaheadRejected(); got != 2 {
+		t.Fatalf("readahead rejected moved to %d, want 2", got)
+	}
+}
+
+// TestStressLenUnderSplits races Len against concurrent writers. Len pins
+// an epoch, so keys relocating rightward mid-walk can be neither skipped
+// nor double-counted: successive calls are monotone and the final count is
+// exact. (Runs under -race in CI's stress step.)
+func TestStressLenUnderSplits(t *testing.T) {
+	tr, _, _ := newEpochTree(t, Config{MaxPageEntries: 8, MaxInnerEntries: 4, ConsolidateNum: 4})
+	const writers, perWriter = 4, 120
+	var writerWG, lenWG sync.WaitGroup
+	stop := make(chan struct{})
+	var lenErr error
+	var lenMu sync.Mutex
+	lenWG.Add(1)
+	go func() {
+		defer lenWG.Done()
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n, err := tr.Len()
+			if err != nil {
+				lenMu.Lock()
+				lenErr = err
+				lenMu.Unlock()
+				return
+			}
+			if n < prev || n > writers*perWriter {
+				lenMu.Lock()
+				lenErr = fmt.Errorf("Len = %d (prev %d, max %d)", n, prev, writers*perWriter)
+				lenMu.Unlock()
+				return
+			}
+			prev = n
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := tr.Put([]byte(fmt.Sprintf("w%d-%04d", w, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%40 == 0 {
+					if _, err := tr.FlushDirty(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	lenWG.Wait()
+	lenMu.Lock()
+	defer lenMu.Unlock()
+	if lenErr != nil {
+		t.Fatal(lenErr)
+	}
+	if n, _ := tr.Len(); n != writers*perWriter {
+		t.Fatalf("final Len = %d, want %d", n, writers*perWriter)
+	}
+}

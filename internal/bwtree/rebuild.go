@@ -37,11 +37,12 @@ func Rebuild(m *Mapping, store *storage.Store, cfg Config, logger WALLogger, id 
 	}
 	cfg = cfg.withDefaults()
 	t := &Tree{
-		id:     id,
-		store:  store,
-		m:      m,
-		cfg:    cfg,
-		logger: logger,
+		id:          id,
+		store:       store,
+		m:           m,
+		cfg:         cfg,
+		logger:      logger,
+		prefetchSem: make(chan struct{}, cfg.ReadaheadLimit),
 	}
 	if cfg.FlushMode == FlushAsync {
 		t.dirtySet = make(map[PageID]struct{})
@@ -135,10 +136,11 @@ func (t *Tree) SetLogger(l WALLogger) { t.logger = l }
 func NewEmptyWithID(m *Mapping, store *storage.Store, cfg Config, id TreeID) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	t := &Tree{
-		id:    id,
-		store: store,
-		m:     m,
-		cfg:   cfg,
+		id:          id,
+		store:       store,
+		m:           m,
+		cfg:         cfg,
+		prefetchSem: make(chan struct{}, cfg.ReadaheadLimit),
 	}
 	if cfg.FlushMode == FlushAsync {
 		if cfg.NoCache {

@@ -62,23 +62,34 @@ type Tree struct {
 	// dirty pages awaiting the async flusher; nil in sync mode.
 	dirtyMu  sync.Mutex
 	dirtySet map[PageID]struct{}
+
+	// prefetchSem bounds scan read-ahead goroutines in flight for this
+	// tree (cap = cfg.ReadaheadLimit); launches that would exceed it are
+	// dropped and counted in readahead_rejected.
+	prefetchSem chan struct{}
 }
 
 // New creates an empty tree registered in m, persisting to store.
 func New(m *Mapping, store *storage.Store, cfg Config, logger WALLogger) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	t := &Tree{
-		id:     m.allocTreeID(),
-		store:  store,
-		m:      m,
-		cfg:    cfg,
-		logger: logger,
+		id:          m.allocTreeID(),
+		store:       store,
+		m:           m,
+		cfg:         cfg,
+		logger:      logger,
+		prefetchSem: make(chan struct{}, cfg.ReadaheadLimit),
 	}
 	if cfg.FlushMode == FlushAsync {
 		if cfg.NoCache {
 			return nil, fmt.Errorf("bwtree: async flushing requires the page cache")
 		}
 		t.dirtySet = make(map[PageID]struct{})
+	} else if cfg.Epochs != nil {
+		// Sync flushing folds every op into a base inline, which cannot
+		// honor a retention floor; the epoch clock rides the group-commit
+		// (async) pipeline only.
+		return nil, fmt.Errorf("bwtree: epoch clock requires async flushing")
 	}
 	rootEntry := &pageEntry{
 		id:     m.allocPageID(),
@@ -421,29 +432,7 @@ func locsEqual(a, b []storage.Loc) bool {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	t.gets.Add(1)
-	for {
-		e := t.latchLeaf(key)
-		entries, reads, err := t.materializeShared(e)
-		if err != nil {
-			e.mu.Unlock()
-			return nil, false, err
-		}
-		if !e.covers(key) {
-			// A split narrowed the leaf while the latch was dropped for the
-			// shared load; re-route from the top.
-			e.mu.Unlock()
-			continue
-		}
-		t.m.fanout.Observe(int64(reads))
-		idx, found := searchKV(entries, key)
-		var out []byte
-		if found {
-			out = append([]byte(nil), entries[idx].val...)
-		}
-		e.mu.Unlock()
-		return out, found, nil
-	}
+	return t.GetAt(key, horizonAll)
 }
 
 // Put upserts a key-value pair.
@@ -553,6 +542,7 @@ func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bo
 		if async, ok := t.logger.(AsyncWALLogger); ok {
 			lsn, w := async.LogAsync(rec)
 			e.lsn = lsn
+			o.lsn = lsn
 			wait = w
 		} else {
 			lsn, err := t.logger.Log(rec)
@@ -560,6 +550,7 @@ func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bo
 				return false, false, nil, err
 			}
 			e.lsn = lsn
+			o.lsn = lsn
 		}
 	}
 
@@ -689,15 +680,24 @@ func (t *Tree) writeBaseLocked(e *pageEntry, content []kv) (bool, error) {
 	e.deltaLocs = nil
 	e.deltaOps = nil
 	e.cached = content
+	e.stable = t.stableCopy(content) // the new base IS the fold point
 	t.m.noteCached(e)
 	return !t.cfg.DisableSplit && len(content) > t.cfg.MaxPageEntries, nil
 }
 
 // Len returns the total number of live keys (walks every leaf; intended
-// for tests and small trees).
+// for tests and small trees). When the tree has an epoch clock it counts
+// under a pinned snapshot, so concurrent splits cannot double-count keys
+// relocated rightward mid-walk.
 func (t *Tree) Len() (int, error) {
+	h := horizonAll
+	if t.cfg.Epochs != nil {
+		p := t.cfg.Epochs.Pin()
+		defer p.Close()
+		h = wal.LSN(p.Epoch())
+	}
 	n := 0
-	err := t.Scan(nil, nil, 0, func(k, v []byte) bool { n++; return true })
+	err := t.ScanAt(nil, nil, 0, h, func(k, v []byte) bool { n++; return true })
 	return n, err
 }
 
@@ -708,13 +708,27 @@ func (t *Tree) Len() (int, error) {
 // a traversal that looks up the vertices it discovers). The callback must
 // not retain its arguments.
 func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool) error {
+	return t.ScanAt(from, to, limit, horizonAll, fn)
+}
+
+// ScanAt is Scan as of horizon h: every leaf's content is reconstructed
+// at the same commit point, so the whole iteration observes one
+// group-commit boundary. If a right sibling is unmapped mid-scan (its
+// page was retired by a concurrent structural change), the scan re-routes
+// from the last delivered key instead of silently truncating.
+func (t *Tree) ScanAt(from, to []byte, limit int, h wal.LSN, fn func(key, value []byte) bool) error {
 	if from == nil {
 		from = []byte{}
 	}
-	e := t.latchLeaf(from)
+	// cursor is the resume point: the first key still owed to the caller
+	// is the first key >= cursor (> cursor once started, because cursor
+	// then names the last key already delivered).
+	cursor := from
+	started := false
+	e := t.latchLeaf(cursor)
 	delivered := 0
 	for {
-		entries, reads, err := t.materializeShared(e)
+		entries, reads, err := t.viewShared(e, h)
 		if err != nil {
 			e.mu.Unlock()
 			return err
@@ -724,7 +738,10 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 			e.prefetched = false
 			t.m.readaheadHits.Add(1)
 		}
-		start, _ := searchKV(entries, from)
+		start, found := searchKV(entries, cursor)
+		if started && found {
+			start++ // cursor itself was already delivered
+		}
 		// Snapshot only what this scan can still deliver: the upper bound
 		// and the remaining limit both cap it. Graph traversals scan many
 		// short adjacency ranges out of wide leaves, so copying the whole
@@ -738,6 +755,9 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 		if limit > 0 && end-start > limit-delivered {
 			end = start + (limit - delivered)
 		}
+		if end < start {
+			end = start
+		}
 		snapshot := append([]kv(nil), entries[start:end]...)
 		ended := end < len(entries) // the bound or the limit falls inside this leaf
 		next := e.next
@@ -747,13 +767,15 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 		// run, overlapping the next cold materialization with consumption —
 		// but only when the scan will actually get there.
 		if next != 0 && !ended {
-			go t.prefetch(next)
+			t.launchPrefetch(next)
 		}
 
 		for _, pair := range snapshot {
 			if !fn(pair.key, pair.val) {
 				return nil
 			}
+			cursor = pair.key
+			started = true
 			delivered++
 		}
 		if limit > 0 && delivered >= limit {
@@ -764,10 +786,32 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 		}
 		ne := t.m.get(next)
 		if ne == nil {
-			return nil
+			// The right sibling was unmapped while the latch was down.
+			// Earlier the scan silently ended here, truncating results;
+			// re-route from the cursor instead — every key at or below it
+			// was already delivered, so the restart is exactly-once.
+			t.m.scanRestarts.Add(1)
+			e = t.latchLeaf(cursor)
+			continue
 		}
 		ne.mu.Lock()
 		e = ne
+	}
+}
+
+// launchPrefetch starts a read-ahead goroutine for page id unless the
+// per-tree in-flight cap is already saturated, in which case the launch is
+// dropped (and counted): scan speed never creates unbounded goroutine
+// pileups against cold storage.
+func (t *Tree) launchPrefetch(id PageID) {
+	select {
+	case t.prefetchSem <- struct{}{}:
+		go func() {
+			defer func() { <-t.prefetchSem }()
+			t.prefetch(id)
+		}()
+	default:
+		t.m.readaheadRejected.Add(1)
 	}
 }
 
@@ -859,6 +903,14 @@ func (t *Tree) splitPageLocked(id PageID, waits *[]func() error) error {
 	rightContent := append([]kv(nil), content[mid:]...)
 	leftContent := append([]kv(nil), content[:mid]...)
 
+	// Carry the right range's history and stable image onto the new page
+	// before any state moves, so pinned snapshots can still reconstruct
+	// pre-split versions of keys that migrate right. (No-op without an
+	// epoch clock or when the whole history is below the retention floor.)
+	if err := t.seedRightHistory(e, right, sep, rightContent); err != nil {
+		return err
+	}
+
 	if t.logger != nil {
 		if _, err := t.logStructural(&wal.Record{
 			Type: wal.RecordNewPage, TreeID: uint64(t.id), PageID: uint64(right.id),
@@ -896,6 +948,11 @@ func (t *Tree) splitPageLocked(id PageID, waits *[]func() error) error {
 		e.baseLoc = lloc
 		e.deltaLocs = nil
 		e.deltaOps = nil
+		e.stable = t.stableCopy(leftContent)
+		right.stable = t.stableCopy(rightContent)
+		// A sync split folds everything into fresh bases; drop any seeded
+		// history so "stable + hist = content" still holds for the halves.
+		right.pending = nil
 	} else {
 		// Dirty pages; the flusher rewrites both bases at the next group
 		// commit (§3.4 step 7).

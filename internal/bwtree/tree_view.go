@@ -1,0 +1,256 @@
+package bwtree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+// horizonAll is the visibility horizon of an unpinned read: every op is
+// visible, regardless of stamp. Reads at horizonAll take the exact code
+// path the tree had before MVCC epochs existed.
+const horizonAll = wal.LSN(math.MaxUint64)
+
+// retentionFloor returns the LSN at or below which history may be folded
+// into page bases: the oldest pinned epoch of the tree's clock, or
+// everything when no clock is wired (single-node / sync trees).
+func (t *Tree) retentionFloor() wal.LSN {
+	if t.cfg.Epochs == nil {
+		return horizonAll
+	}
+	return wal.LSN(t.cfg.Epochs.Floor())
+}
+
+// histNewestLSN returns the stamp of the page's newest history op (0 when
+// the history is empty). History is deltaOps followed by pending, each
+// LSN-ascending because ops are stamped and appended under the page latch,
+// so the last op carries the maximum.
+func histNewestLSN(e *pageEntry) wal.LSN {
+	if n := len(e.pending); n > 0 {
+		return e.pending[n-1].lsn
+	}
+	if n := len(e.deltaOps); n > 0 {
+		return e.deltaOps[n-1].lsn
+	}
+	return 0
+}
+
+// histRetained returns a copy of the page's history ops stamped above
+// floor, oldest first — the suffix consolidation must keep on the delta
+// chain for pinned snapshots.
+func histRetained(e *pageEntry, floor wal.LSN) []op {
+	if floor == horizonAll {
+		return nil
+	}
+	var out []op
+	for _, o := range e.deltaOps {
+		if o.lsn > floor {
+			out = append(out, o)
+		}
+	}
+	for _, o := range e.pending {
+		if o.lsn > floor {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// visibleOps returns the page's history ops stamped at or below h, oldest
+// first. The result aliases the underlying slices when possible.
+func visibleOps(e *pageEntry, h wal.LSN) []op {
+	// Both lists are LSN-ascending: binary-search-free prefix scans.
+	d := e.deltaOps
+	for len(d) > 0 && d[len(d)-1].lsn > h {
+		d = d[:len(d)-1]
+	}
+	if len(d) < len(e.deltaOps) {
+		// A delta op is above the horizon; nothing in pending (all newer)
+		// can be visible.
+		return d
+	}
+	p := e.pending
+	for len(p) > 0 && p[len(p)-1].lsn > h {
+		p = p[:len(p)-1]
+	}
+	if len(p) == 0 {
+		return d
+	}
+	out := make([]op, 0, len(d)+len(p))
+	out = append(out, d...)
+	return append(out, p...)
+}
+
+// mergeOpsCopy is mergeOps guaranteed never to mutate entries: the
+// single-op fast path of mergeOps edits the input slice in place, which
+// is fine for freshly decoded content but would corrupt a shared stable
+// image.
+func mergeOpsCopy(entries []kv, ops []op) []kv {
+	if len(ops) == 1 {
+		return applyOp(append([]kv(nil), entries...), ops[0])
+	}
+	return mergeOps(entries, ops)
+}
+
+// clipRangeView returns the sub-slice of sorted entries inside [lo, hi);
+// nil bounds are open. Unlike clipRange it never mutates the input, so it
+// is safe on shared stable images. Snapshot reconstruction merges a
+// page's stable image with its visible history and both may predate a
+// split that narrowed the page, so the merged view must be clipped to the
+// page's current range or a scan would deliver keys the right sibling
+// also owns.
+func clipRangeView(entries []kv, lo, hi []byte) []kv {
+	start := 0
+	if lo != nil {
+		start, _ = searchKV(entries, lo)
+	}
+	end := len(entries)
+	if hi != nil {
+		if n, _ := searchKV(entries[start:], hi); start+n < end {
+			end = start + n
+		}
+	}
+	return entries[start:end]
+}
+
+// stableCopy returns content for use as a page's stable image. With an
+// epoch clock wired it is a private copy: the cached slice is mutated in
+// place by later writes (applyOp rebinds values and shifts entries on
+// delete), so a stable image sharing the cached slice's backing array
+// would silently absorb ops stamped above its fold point — and snapshot
+// reconstruction would leak future versions into pinned reads. Without a
+// clock the stable image is never consulted, so the slice is returned
+// as-is and the pre-MVCC zero-copy behaviour is preserved.
+func (t *Tree) stableCopy(content []kv) []kv {
+	if t.cfg.Epochs == nil {
+		return content
+	}
+	return append([]kv(nil), content...)
+}
+
+// stableLocked returns the page's content at its last base fold point,
+// loading it from the base location on first use. e.mu must be held; the
+// read happens under the latch (GC relocations also take e.mu, so the
+// location cannot move mid-read). The returned slice must not be mutated.
+func (t *Tree) stableLocked(e *pageEntry) ([]kv, error) {
+	if e.stable != nil {
+		return e.stable, nil
+	}
+	if e.baseLoc.IsZero() {
+		e.stable = make([]kv, 0)
+		return e.stable, nil
+	}
+	bufs, err := t.store.ReadBatch([]storage.Loc{e.baseLoc})
+	if err != nil {
+		return nil, fmt.Errorf("bwtree: read stable base of page %d: %w", e.id, err)
+	}
+	entries, err := decodeLeaf(bufs[0])
+	if err != nil {
+		return nil, err
+	}
+	e.stable = entries
+	return entries, nil
+}
+
+// viewShared materializes the page and returns its content as of horizon
+// h. At horizonAll (or when the whole history is at or below h — the
+// common case, since the horizon trails live commits by at most the
+// in-flight pipeline) this is exactly materializeShared. Otherwise the
+// view is rebuilt from the stable image plus the visible history, clipped
+// to the page's current range. e.mu must be held; like materializeShared
+// it may be released during a cold load, so callers must re-validate
+// anything derived from the entry beforehand.
+func (t *Tree) viewShared(e *pageEntry, h wal.LSN) ([]kv, int, error) {
+	entries, reads, err := t.materializeShared(e)
+	if err != nil || h == horizonAll {
+		return entries, reads, err
+	}
+	if histNewestLSN(e) <= h {
+		return entries, reads, nil
+	}
+	stable, err := t.stableLocked(e)
+	if err != nil {
+		return nil, reads, err
+	}
+	view := mergeOpsCopy(stable, visibleOps(e, h))
+	return clipRangeView(view, e.lo, e.hi), reads, nil
+}
+
+// GetAt returns the value stored under key as of horizon h: the effect of
+// every op committed at or below h and nothing newer. h == horizonAll is
+// Get.
+func (t *Tree) GetAt(key []byte, h wal.LSN) ([]byte, bool, error) {
+	t.gets.Add(1)
+	for {
+		e := t.latchLeaf(key)
+		entries, reads, err := t.viewShared(e, h)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, false, err
+		}
+		if !e.covers(key) {
+			// A split narrowed the leaf while the latch was dropped for the
+			// shared load; re-route from the top.
+			e.mu.Unlock()
+			continue
+		}
+		t.m.fanout.Observe(int64(reads))
+		idx, found := searchKV(entries, key)
+		var out []byte
+		if found {
+			out = append([]byte(nil), entries[idx].val...)
+		}
+		e.mu.Unlock()
+		return out, found, nil
+	}
+}
+
+// seedRightHistory carries the parent page's snapshot-relevant state onto
+// the right half of a split: the history ops covering the right range
+// (stamps intact) and the stable image's right portion. Without this, a
+// reader pinned below the split point would reconstruct the right page as
+// empty — its history would have stayed behind on the left sibling.
+// rightContent is the right half's creation content. Caller holds e.mu;
+// right is not yet published.
+func (t *Tree) seedRightHistory(e, right *pageEntry, sep []byte, rightContent []kv) error {
+	if t.cfg.Epochs == nil {
+		return nil
+	}
+	if histNewestLSN(e) <= t.retentionFloor() {
+		// Every history op is already visible to the oldest possible pin, so
+		// none needs to be carried — but the right page's fold point must
+		// still be recorded: its history starts empty and its baseLoc is
+		// zero, so without a stable image a reconstruction forced by a
+		// later in-flight write (stamped above some reader's horizon) would
+		// rebuild the page from nothing and drop every pre-split key.
+		// Copied: the caller installs rightContent as right.cached, which
+		// later writes mutate in place.
+		right.stable = append([]kv(nil), rightContent...)
+		return nil
+	}
+	stable, err := t.stableLocked(e)
+	if err != nil {
+		return err
+	}
+	rs := clipRangeView(stable, sep, nil)
+	right.stable = append([]kv(nil), rs...)
+	for _, o := range e.deltaOps {
+		if bytes.Compare(o.key, sep) >= 0 {
+			right.pending = append(right.pending, o)
+		}
+	}
+	for _, o := range e.pending {
+		if bytes.Compare(o.key, sep) >= 0 {
+			right.pending = append(right.pending, o)
+		}
+	}
+	// The left half keeps its baseLoc, deltaOps and pending untouched:
+	// they cover the full pre-split range, and snapshot reconstruction
+	// clips to the page's narrowed bounds. deltaOps may momentarily hold
+	// ops above the split key that the durable delta records also carry;
+	// both are rewritten at the left page's next flush (splitPending).
+	return nil
+}

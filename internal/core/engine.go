@@ -19,7 +19,9 @@ import (
 	"bg3/internal/gc"
 	"bg3/internal/graph"
 	"bg3/internal/metrics"
+	"bg3/internal/mvcc"
 	"bg3/internal/storage"
+	"bg3/internal/wal"
 )
 
 // vertexPrefix is the reserved edge-type prefix under which a vertex's own
@@ -63,6 +65,13 @@ type Options struct {
 
 	// Logger receives WAL records (set by the replication RW node).
 	Logger bwtree.WALLogger
+
+	// Epochs is the MVCC epoch clock (set by the replication RW node whose
+	// group committer advances it). It is threaded into every Bw-tree (as
+	// the consolidation retention floor and snapshot-read horizon source)
+	// and into the GC reclaimers (as the pinned-extent gate). Nil disables
+	// snapshot reads: views see the latest state, exactly as before.
+	Epochs *mvcc.Source
 
 	// Metrics is the registry every subsystem registers into; nil creates
 	// a fresh one. Replicated setups pass the node-wide registry in so the
@@ -109,6 +118,7 @@ func New(opts Options) (*Engine, error) {
 // NewWithStore creates an engine on an existing shared store (used when
 // RW and RO nodes share one store, and by multi-engine cluster setups).
 func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
+	opts.Tree.Epochs = opts.Epochs
 	m := bwtree.NewMappingShards(opts.Tree.CacheCapacity, opts.Tree.NoCache, opts.Tree.CacheShards)
 	f, err := forest.New(m, st, forest.Config{
 		Tree:              opts.Tree,
@@ -130,6 +140,9 @@ func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
 	for _, stream := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
 		r := gc.NewReclaimer(st, stream, policy, m.Relocate)
 		r.TTL = opts.TTL
+		if opts.Epochs != nil {
+			r.Pins = opts.Epochs
+		}
 		if opts.Now != nil {
 			r.Now = opts.Now
 		}
@@ -155,6 +168,13 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("gc.runs", func() int64 { return e.GCStats().Runs })
 	reg.CounterFunc("gc.extents_expired", func() int64 { return e.GCStats().ExtentsExpired })
 	reg.RatioFunc("gc.write_amp", func() float64 { return e.store.Stats().GCWriteAmp() })
+	if e.opts.Epochs != nil {
+		e.opts.Epochs.RegisterMetrics(reg)
+		reg.CounterFunc("gc.pin_deferred", func() int64 { return e.GCStats().PinDeferred })
+		reg.GaugeFunc("bwtree.retained_bytes", func() int64 {
+			return e.mapping.RetainedBytes(wal.LSN(e.opts.Epochs.Floor()))
+		})
+	}
 	metrics.Faults.Register(reg)
 }
 
@@ -304,6 +324,7 @@ func (e *Engine) GCStats() gc.ReclaimerStats {
 		out.BytesMoved += s.BytesMoved
 		out.Runs += s.Runs
 		out.ExtentsExpired += s.ExtentsExpired
+		out.PinDeferred += s.PinDeferred
 	}
 	return out
 }
@@ -320,6 +341,19 @@ func (e *Engine) Store() *storage.Store { return e.store }
 
 // Mapping exposes the shared mapping table (GC relocation, experiments).
 func (e *Engine) Mapping() *bwtree.Mapping { return e.mapping }
+
+// Epochs exposes the MVCC epoch clock, or nil when the engine runs without
+// snapshot reads.
+func (e *Engine) Epochs() *mvcc.Source { return e.opts.Epochs }
+
+// RetainedBytes reports the delta-chain bytes currently retained above the
+// MVCC floor for pinned snapshots (0 without an epoch clock).
+func (e *Engine) RetainedBytes() int64 {
+	if e.opts.Epochs == nil {
+		return 0
+	}
+	return e.mapping.RetainedBytes(wal.LSN(e.opts.Epochs.Floor()))
+}
 
 // Forest exposes the Bw-tree forest (experiments).
 func (e *Engine) Forest() *forest.Forest { return e.edges }

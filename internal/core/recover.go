@@ -18,6 +18,7 @@ import (
 // the WAL suffix beyond the snapshot with ReplayRecord before attaching a
 // logger and serving writes.
 func RecoverWithStore(st *storage.Store, opts Options, state SnapshotState) (*Engine, error) {
+	opts.Tree.Epochs = opts.Epochs
 	m := bwtree.NewMappingShards(opts.Tree.CacheCapacity, opts.Tree.NoCache, opts.Tree.CacheShards)
 	var maxPage bwtree.PageID
 	var maxTree bwtree.TreeID
@@ -70,6 +71,9 @@ func RecoverWithStore(st *storage.Store, opts Options, state SnapshotState) (*En
 	for _, stream := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
 		r := gc.NewReclaimer(st, stream, policy, m.Relocate)
 		r.TTL = opts.TTL
+		if opts.Epochs != nil {
+			r.Pins = opts.Epochs
+		}
 		if opts.Now != nil {
 			r.Now = opts.Now
 		}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"bg3/internal/forest"
+	"bg3/internal/graph"
+	"bg3/internal/mvcc"
+	"bg3/internal/wal"
+)
+
+// ReadView is a snapshot-isolated read handle over the engine: every read
+// through it observes the graph exactly as of one group-commit boundary
+// (the pinned epoch), no matter how many batches commit, pages split,
+// owners migrate, or extents get reclaimed while it is open. It implements
+// graph.Reader, so traversals (KHop, the pattern matcher) run against it
+// unchanged.
+//
+// On an engine without an epoch clock (no replication / sync flush) the
+// view degrades to unpinned latest-state reads — the exact pre-MVCC
+// behavior.
+//
+// A ReadView holds the MVCC retention floor down while open: close it
+// promptly, or consolidation and GC back up behind the pin.
+type ReadView struct {
+	e   *Engine
+	pin *mvcc.Pin // nil without an epoch clock
+}
+
+var _ graph.Reader = (*ReadView)(nil)
+
+// View pins the current read epoch and returns a snapshot read handle.
+// The caller must Close it.
+func (e *Engine) View() *ReadView {
+	v := &ReadView{e: e}
+	if e.opts.Epochs != nil {
+		v.pin = e.opts.Epochs.Pin()
+	}
+	return v
+}
+
+// Epoch returns the pinned group-commit boundary (0 when the engine has no
+// epoch clock and the view reads latest state).
+func (v *ReadView) Epoch() mvcc.Epoch {
+	if v.pin == nil {
+		return 0
+	}
+	return v.pin.Epoch()
+}
+
+// Close releases the pin, letting the retention floor advance. Idempotent;
+// safe on a nil view.
+func (v *ReadView) Close() {
+	if v == nil {
+		return
+	}
+	v.pin.Close() // nil-safe, idempotent
+}
+
+// horizon is the visibility cutoff forest reads filter by.
+func (v *ReadView) horizon() wal.LSN {
+	return wal.LSN(v.pin.ReadHorizon()) // nil pin → HorizonAll
+}
+
+// GetVertex implements graph.Reader at the pinned epoch.
+func (v *ReadView) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	val, ok, err := v.e.edges.GetAt(forest.OwnerID(id), vertexKey(typ), v.horizon())
+	if err != nil || !ok {
+		return graph.Vertex{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Vertex{}, false, err
+	}
+	return graph.Vertex{ID: id, Type: typ, Props: props}, true, nil
+}
+
+// GetEdge implements graph.Reader at the pinned epoch.
+func (v *ReadView) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	if typ == vertexPrefix {
+		return graph.Edge{}, false, fmt.Errorf("core: edge type %d is reserved", uint16(vertexPrefix))
+	}
+	val, ok, err := v.e.edges.GetAt(forest.OwnerID(src), graph.EdgeKey(typ, dst), v.horizon())
+	if err != nil || !ok {
+		return graph.Edge{}, false, err
+	}
+	props, err := graph.DecodeProps(val)
+	if err != nil {
+		return graph.Edge{}, false, err
+	}
+	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
+}
+
+// Neighbors implements graph.Reader at the pinned epoch.
+func (v *ReadView) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	lo, hi := graph.EdgeTypeBounds(typ)
+	return v.e.edges.ScanAt(forest.OwnerID(src), lo, hi, limit, v.horizon(), func(k, val []byte) bool {
+		_, dst, err := graph.DecodeEdgeKey(k)
+		if err != nil {
+			return true // skip foreign records defensively
+		}
+		props, err := graph.DecodeProps(val)
+		if err != nil {
+			return true
+		}
+		return fn(dst, props)
+	})
+}
+
+// Degree implements graph.Reader at the pinned epoch.
+func (v *ReadView) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	n := 0
+	err := v.Neighbors(src, typ, 0, func(graph.VertexID, graph.Properties) bool { n++; return true })
+	return n, err
+}

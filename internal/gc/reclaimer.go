@@ -22,10 +22,20 @@ type Reclaimer struct {
 	// Now supplies timestamps (tests inject a fake clock). Nil = time.Now.
 	Now func() time.Time
 
-	mu         sync.Mutex
-	bytesMoved int64
-	runs       int64
-	expired    int64
+	// Pins, when set, reports the wall-clock start of the oldest live MVCC
+	// pin (typically *mvcc.Source). Extents whose contents changed after
+	// that instant are skipped: their invalidated records may still back a
+	// pinned snapshot's stable images or retained deltas, and reclaiming
+	// them would drop history a reader at an older horizon needs.
+	Pins interface {
+		OldestPinTime() (time.Time, bool)
+	}
+
+	mu          sync.Mutex
+	bytesMoved  int64
+	runs        int64
+	expired     int64
+	pinDeferred int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -63,6 +73,25 @@ func (r *Reclaimer) RunOnce(n int) (int64, error) {
 		r.mu.Unlock()
 	}
 	usage := r.store.Usage(r.stream)
+	if r.Pins != nil {
+		if oldest, ok := r.Pins.OldestPinTime(); ok {
+			kept := usage[:0]
+			deferred := int64(0)
+			for _, u := range usage {
+				if u.LastUpdate.After(oldest) {
+					deferred++
+					continue
+				}
+				kept = append(kept, u)
+			}
+			usage = kept
+			if deferred > 0 {
+				r.mu.Lock()
+				r.pinDeferred += deferred
+				r.mu.Unlock()
+			}
+		}
+	}
 	ids := r.policy.Pick(usage, n, now)
 	var moved int64
 	for _, id := range ids {
@@ -112,11 +141,12 @@ type ReclaimerStats struct {
 	BytesMoved     int64 // background bytes rewritten by reclamation
 	Runs           int64
 	ExtentsExpired int64 // extents dropped for free by TTL
+	PinDeferred    int64 // extent picks skipped because a pinned snapshot may need them
 }
 
 // Stats returns a snapshot.
 func (r *Reclaimer) Stats() ReclaimerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return ReclaimerStats{BytesMoved: r.bytesMoved, Runs: r.runs, ExtentsExpired: r.expired}
+	return ReclaimerStats{BytesMoved: r.bytesMoved, Runs: r.runs, ExtentsExpired: r.expired, PinDeferred: r.pinDeferred}
 }

@@ -161,24 +161,31 @@ func EdgeTypeBounds(typ EdgeType) (lo, hi []byte) {
 	return lo, hi
 }
 
-// Store is the engine-neutral graph API all workloads run against.
-type Store interface {
-	// AddVertex upserts a vertex and its properties.
-	AddVertex(v Vertex) error
+// Reader is the read-only half of the graph API. Traversals (KHop, the
+// pattern matcher) are written against it so they run equally over a live
+// store and over a pinned snapshot view that has no write methods.
+type Reader interface {
 	// GetVertex fetches a vertex.
 	GetVertex(id VertexID, typ VertexType) (Vertex, bool, error)
-	// AddEdge upserts a directed edge and its properties.
-	AddEdge(e Edge) error
 	// GetEdge fetches one edge.
 	GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error)
-	// DeleteEdge removes one edge.
-	DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error
 	// Neighbors streams the out-neighbors of src over edges of the given
 	// type, in destination order, until fn returns false or limit edges
 	// are delivered (limit <= 0: unlimited).
 	Neighbors(src VertexID, typ EdgeType, limit int, fn func(dst VertexID, props Properties) bool) error
 	// Degree returns the out-degree of src for the given edge type.
 	Degree(src VertexID, typ EdgeType) (int, error)
+}
+
+// Store is the engine-neutral graph API all workloads run against.
+type Store interface {
+	Reader
+	// AddVertex upserts a vertex and its properties.
+	AddVertex(v Vertex) error
+	// AddEdge upserts a directed edge and its properties.
+	AddEdge(e Edge) error
+	// DeleteEdge removes one edge.
+	DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error
 }
 
 // MutationKind discriminates batched graph mutations.
@@ -254,7 +261,7 @@ func ApplyMutations(s Store, muts []Mutation) error {
 // perVertexLimit bounds the neighbors expanded per vertex (<= 0:
 // unlimited) — the multi-hop neighbor query of the Douyin-recommendation
 // workload.
-func KHop(s Store, start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+func KHop(s Reader, start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
 	return KHopBudget(s, start, typ, hops, perVertexLimit, 0)
 }
 
@@ -262,7 +269,7 @@ func KHop(s Store, start VertexID, typ EdgeType, hops, perVertexLimit int) (map[
 // budget vertices have been reached (<= 0: unlimited). The risk-control
 // workload of Table 1 reads "10 hops and 100 edges" — a deep but bounded
 // neighborhood probe.
-func KHopBudget(s Store, start VertexID, typ EdgeType, hops, perVertexLimit, budget int) (map[VertexID]struct{}, error) {
+func KHopBudget(s Reader, start VertexID, typ EdgeType, hops, perVertexLimit, budget int) (map[VertexID]struct{}, error) {
 	visited := map[VertexID]struct{}{start: {}}
 	frontier := []VertexID{start}
 	reached := make(map[VertexID]struct{})

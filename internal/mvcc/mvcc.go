@@ -1,0 +1,246 @@
+// Package mvcc implements the coarse multi-version read epochs that give
+// BG3 snapshot-isolated scans and traversals (ISSUE 7).
+//
+// The design piggybacks on the WAL group committer's ordering guarantee:
+// every mutation is assigned a WAL LSN under its page latch, and commit
+// acks are released strictly in LSN order at group boundaries. The global
+// read epoch is therefore simply the highest *released* LSN — the released
+// set is always a gapless prefix ending exactly at a group-commit
+// boundary. A reader that pins the current epoch H and filters history by
+// "op.lsn <= H" observes every group committed at or before H, no effect
+// of any later group, and never a partial group.
+//
+// A Source is the process-wide epoch clock for one writable engine. The
+// committer calls Advance just before it releases a group's acks (so a
+// writer that saw its ApplyBatch return can immediately pin an epoch that
+// includes its own write). Readers call Pin to take a reference-counted
+// handle; the minimum pinned epoch is the *retention floor* below which
+// Bw-tree consolidation may fold history into page bases and the GC
+// reclaimer may drop invalidated extents.
+//
+// Unreplicated engines run without a Source (all ops are stamped LSN 0
+// and every reader sees the latest state), so the single-node fast path
+// is untouched.
+package mvcc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bg3/internal/metrics"
+)
+
+// Epoch identifies one group-commit boundary: the LSN of the last record
+// in the group. Epoch 0 is "before any commit" and, when used as a pin
+// horizon of an unreplicated engine, means "no filtering".
+type Epoch uint64
+
+// Source is the epoch clock for one writable engine. The zero value is
+// not usable; call NewSource.
+type Source struct {
+	current atomic.Uint64 // highest released epoch
+
+	mu   sync.Mutex
+	pins map[Epoch]*pinState // live pins by epoch
+
+	// metrics
+	pinned    metrics.Gauge // live pin handles
+	oldestLag metrics.Gauge // current - oldest pinned epoch (LSN distance)
+	advances  metrics.Counter
+	pinsTotal metrics.Counter
+}
+
+type pinState struct {
+	refs  int
+	since time.Time // when the oldest reference at this epoch was taken
+}
+
+// NewSource returns a Source whose epoch starts at start (the recovered
+// durable LSN on restart, 0 for a fresh engine).
+func NewSource(start Epoch) *Source {
+	s := &Source{pins: make(map[Epoch]*pinState)}
+	s.current.Store(uint64(start))
+	return s
+}
+
+// Advance moves the released horizon up to e. The committer calls this
+// with the last LSN of each group just before acking the group's writers;
+// epochs only move forward, so late or duplicate calls are no-ops.
+func (s *Source) Advance(e Epoch) {
+	for {
+		cur := s.current.Load()
+		if uint64(e) <= cur {
+			return
+		}
+		if s.current.CompareAndSwap(cur, uint64(e)) {
+			s.advances.Inc()
+			return
+		}
+	}
+}
+
+// Current returns the latest released epoch.
+func (s *Source) Current() Epoch { return Epoch(s.current.Load()) }
+
+// Pin takes a reference on the current epoch and returns a handle. The
+// returned pin keeps history at or below its epoch reachable until Close.
+func (s *Source) Pin() *Pin {
+	s.mu.Lock()
+	e := Epoch(s.current.Load()) // read under mu so Floor can't miss us
+	st := s.pins[e]
+	if st == nil {
+		st = &pinState{since: time.Now()}
+		s.pins[e] = st
+	}
+	st.refs++
+	s.mu.Unlock()
+	s.pinned.Add(1)
+	s.pinsTotal.Inc()
+	s.updateLag()
+	return &Pin{src: s, epoch: e}
+}
+
+// Floor returns the retention floor: the oldest pinned epoch, or the
+// current epoch when nothing is pinned. History with LSN <= Floor may be
+// folded away; history above it must be retained.
+func (s *Source) Floor() Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floorLocked()
+}
+
+func (s *Source) floorLocked() Epoch {
+	floor := Epoch(s.current.Load())
+	for e := range s.pins {
+		if e < floor {
+			floor = e
+		}
+	}
+	return floor
+}
+
+// OldestPinTime returns the wall-clock time at which the oldest live pin
+// was taken, and true, or a zero time and false when nothing is pinned.
+// The GC reclaimer uses it to avoid reclaiming extents invalidated after
+// the oldest snapshot began (such extents may still back pinned reads).
+func (s *Source) OldestPinTime() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	found := false
+	for _, st := range s.pins {
+		if !found || st.since.Before(oldest) {
+			oldest = st.since
+			found = true
+		}
+	}
+	return oldest, found
+}
+
+// PinnedCount returns the number of live pin handles.
+func (s *Source) PinnedCount() int64 { return s.pinned.Load() }
+
+func (s *Source) unpin(e Epoch) {
+	s.mu.Lock()
+	if st := s.pins[e]; st != nil {
+		st.refs--
+		if st.refs <= 0 {
+			delete(s.pins, e)
+		}
+	}
+	s.mu.Unlock()
+	s.pinned.Add(-1)
+	s.updateLag()
+}
+
+func (s *Source) updateLag() {
+	s.mu.Lock()
+	floor := s.floorLocked()
+	s.mu.Unlock()
+	cur := Epoch(s.current.Load())
+	if cur >= floor {
+		s.oldestLag.Set(int64(cur - floor))
+	}
+}
+
+// Stats is a point-in-time summary of the epoch clock.
+type Stats struct {
+	// Current is the latest released epoch (highest group-released LSN).
+	Current Epoch
+	// Pinned is the number of live pin handles.
+	Pinned int64
+	// OldestPinned is the lowest pinned epoch (== Current when none).
+	OldestPinned Epoch
+	// Lag is Current - OldestPinned in LSN distance: how much history the
+	// oldest snapshot is holding back from consolidation and GC.
+	Lag uint64
+	// PinsTotal counts Pin calls over the source's lifetime.
+	PinsTotal int64
+	// Advances counts epoch advances (group releases observed).
+	Advances int64
+}
+
+// Stats returns the current summary.
+func (s *Source) Stats() Stats {
+	s.mu.Lock()
+	floor := s.floorLocked()
+	s.mu.Unlock()
+	cur := Epoch(s.current.Load())
+	lag := uint64(0)
+	if cur > floor {
+		lag = uint64(cur - floor)
+	}
+	return Stats{
+		Current:      cur,
+		Pinned:       s.pinned.Load(),
+		OldestPinned: floor,
+		Lag:          lag,
+		PinsTotal:    s.pinsTotal.Load(),
+		Advances:     s.advances.Load(),
+	}
+}
+
+// RegisterMetrics exposes the epoch clock under the "mvcc." prefix.
+func (s *Source) RegisterMetrics(r *metrics.Registry) {
+	r.GaugeFunc("mvcc.read_epoch", func() int64 { return int64(s.current.Load()) })
+	r.RegisterGauge("mvcc.pinned_epochs", &s.pinned)
+	r.RegisterGauge("mvcc.epoch_lag", &s.oldestLag)
+	r.RegisterCounter("mvcc.pins_total", &s.pinsTotal)
+	r.RegisterCounter("mvcc.advances", &s.advances)
+}
+
+// Pin is a reference on one epoch. It is safe for concurrent use by
+// multiple readers; Close is idempotent.
+type Pin struct {
+	src    *Source
+	epoch  Epoch
+	closed atomic.Bool
+}
+
+// Epoch returns the pinned epoch.
+func (p *Pin) Epoch() Epoch { return p.epoch }
+
+// Close releases the reference. After the last reference at an epoch is
+// closed the retention floor may advance past it.
+func (p *Pin) Close() {
+	if p == nil || !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.src.unpin(p.epoch)
+}
+
+// Horizon is the visibility cutoff a reader carries: ops stamped with an
+// LSN above the horizon are invisible. HorizonAll (the zero Pin / no
+// source case) sees everything.
+const HorizonAll = Epoch(math.MaxUint64)
+
+// ReadHorizon returns the visibility horizon for this pin; a nil pin sees
+// everything (unpinned latest-state read).
+func (p *Pin) ReadHorizon() Epoch {
+	if p == nil {
+		return HorizonAll
+	}
+	return p.epoch
+}

@@ -65,7 +65,7 @@ func (p Pattern) Validate() error {
 // Match finds embeddings of p anchored at each seed, returning up to
 // maxMatches bindings (maxMatches <= 0: unlimited). A binding maps pattern
 // vertex i to binding[i]. Bindings are injective (isomorphic matching).
-func Match(s graph.Store, p Pattern, seeds []graph.VertexID, maxMatches int) ([][]graph.VertexID, error) {
+func Match(s graph.Reader, p Pattern, seeds []graph.VertexID, maxMatches int) ([][]graph.VertexID, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func planOrder(p Pattern) (order []int, parents []PEdge) {
 }
 
 type matcher struct {
-	s       graph.Store
+	s       graph.Reader
 	p       Pattern
 	max     int
 	results [][]graph.VertexID
@@ -175,7 +175,7 @@ func (m *matcher) verify(binding []graph.VertexID) (bool, error) {
 // cycle is reported as the vertex sequence beginning and ending at start
 // (the final element is omitted). maxCycles bounds the result (<= 0:
 // unlimited).
-func FindCycles(s graph.Store, start graph.VertexID, typ graph.EdgeType, maxLen, maxCycles int) ([][]graph.VertexID, error) {
+func FindCycles(s graph.Reader, start graph.VertexID, typ graph.EdgeType, maxLen, maxCycles int) ([][]graph.VertexID, error) {
 	var out [][]graph.VertexID
 	path := []graph.VertexID{start}
 	onPath := map[graph.VertexID]bool{start: true}

@@ -10,6 +10,7 @@ import (
 	"bg3/internal/core"
 	"bg3/internal/graph"
 	"bg3/internal/metrics"
+	"bg3/internal/mvcc"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -83,15 +84,22 @@ type RWNode struct {
 // NewRWNode creates the RW node on a shared store.
 func NewRWNode(st *storage.Store, opts RWOptions) (*RWNode, error) {
 	writer := wal.NewWriter(st)
+	// The epoch clock advances at each group's ack release, so a writer
+	// that saw its commit return can immediately pin an epoch covering its
+	// own write.
+	src := mvcc.NewSource(0)
 	logger := wal.NewGroupCommitter(writer, wal.GroupCommitterOptions{
 		MaxDelay:      opts.CommitWindow,
 		MaxBatch:      opts.MaxBatch,
 		QueueDepth:    opts.QueueDepth,
 		PipelineDepth: opts.PipelineDepth,
 		AdaptiveDepth: opts.AdaptivePipeline,
+		OnRelease:     func(last wal.LSN) { src.Advance(mvcc.Epoch(last)) },
 	})
+	src.Advance(mvcc.Epoch(logger.LastLSN()))
 	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
 	opts.Engine.Logger = logger
+	opts.Engine.Epochs = src
 	engine, err := core.NewWithStore(st, opts.Engine)
 	if err != nil {
 		logger.Stop()

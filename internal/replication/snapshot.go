@@ -11,6 +11,7 @@ import (
 	"bg3/internal/core"
 	"bg3/internal/forest"
 	"bg3/internal/metrics"
+	"bg3/internal/mvcc"
 	"bg3/internal/storage"
 	"bg3/internal/wal"
 )
@@ -480,8 +481,10 @@ func recoverRWNodeAtEpoch(st *storage.Store, opts RWOptions, epoch uint64) (*RWN
 		return nil, fmt.Errorf("replication: recover: no snapshot on store")
 	}
 	opts.Engine.Tree.FlushMode = bwtree.FlushAsync
+	src := mvcc.NewSource(0)
 	engineOpts := opts.Engine
 	engineOpts.Logger = nil
+	engineOpts.Epochs = src
 	engine, err := core.RecoverWithStore(st, engineOpts, state)
 	if err != nil {
 		return nil, err
@@ -515,7 +518,11 @@ func recoverRWNodeAtEpoch(st *storage.Store, opts RWOptions, epoch uint64) (*RWN
 		QueueDepth:    opts.QueueDepth,
 		PipelineDepth: opts.PipelineDepth,
 		AdaptiveDepth: opts.AdaptivePipeline,
+		OnRelease:     func(last wal.LSN) { src.Advance(mvcc.Epoch(last)) },
 	})
+	// Everything replayed is released by definition: seed the clock at the
+	// recovered durable horizon so the first pinned snapshot sees it all.
+	src.Advance(mvcc.Epoch(maxLSN))
 	engine.AttachLogger(logger)
 
 	n := &RWNode{

@@ -38,6 +38,14 @@ type GroupCommitterOptions struct {
 	// accumulation window between 1 and PipelineDepth, widening under
 	// queue-stall pressure and narrowing when groups run near-empty.
 	AdaptiveDepth bool
+	// OnRelease, when set, is invoked with the last LSN of each group just
+	// before that group's writers are acked. Because flights retire from
+	// the FIFO strictly in LSN order, successive calls carry strictly
+	// increasing LSNs and each marks a gapless durable prefix — the MVCC
+	// epoch source hangs off this hook to advance the global read epoch at
+	// group-commit boundaries. The callback runs on the release path and
+	// must not block.
+	OnRelease func(last LSN)
 }
 
 func (o GroupCommitterOptions) withDefaults() GroupCommitterOptions {
@@ -440,6 +448,12 @@ func (c *GroupCommitter) releaseLocked() {
 			return
 		}
 		c.ackReorder.Observe(now.Sub(f.doneAt))
+		if c.opts.OnRelease != nil {
+			// Advance the read epoch before acking: a writer that sees its
+			// commit return can immediately pin a snapshot that includes its
+			// own write.
+			c.opts.OnRelease(f.g.Last)
+		}
 		for _, req := range f.reqs {
 			c.commitLat.Observe(now.Sub(req.at))
 			req.done <- nil
