@@ -17,11 +17,13 @@ race:
 
 # Benchmark trajectory: throughput, p50/p99 latency, read fan-out, cache
 # hit ratio, allocation cost, and GC write amplification per Table-1
-# workload, plus the replicated write-heavy group-commit scenarios (serial,
-# pipelined, and pipelined-with-pinned-snapshot-readers), written to
-# BENCH_PR7.json for diffing across PRs.
+# workload, plus the super-vertex full-adjacency-scan pair (packed CSR
+# edge blocks on/off) and the replicated write-heavy group-commit
+# scenarios (serial, pipelined, and
+# pipelined-with-pinned-snapshot-readers), written to BENCH_PR8.json for
+# diffing across PRs.
 bench:
-	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR8.json
 
 # Reduced scale for CI; writes a separate file so the checked-in
 # full-scale baselines are never clobbered.
@@ -31,7 +33,7 @@ bench-short:
 # Compare the two checked-in full-scale trajectories; fails on a >20%
 # throughput regression.
 benchdiff:
-	$(GO) run ./cmd/bg3-benchdiff BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/bg3-benchdiff BENCH_PR7.json BENCH_PR8.json
 
 # One benchmark per paper table/figure, plus ablations and micro-benches.
 microbench:

@@ -253,7 +253,8 @@ func (db *DB) ApplyBatch(muts []Mutation) error {
 
 // Neighbors streams src's out-neighbors of the given edge type in
 // destination order until fn returns false or limit edges are delivered
-// (limit <= 0: unlimited).
+// (limit <= 0: unlimited). The Properties passed to fn are only valid for
+// the duration of the callback; copy values to retain them.
 func (db *DB) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
 	return db.eng().Neighbors(src, typ, limit, fn)
 }
@@ -303,6 +304,15 @@ func (db *DB) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([
 // per data stream) and returns the bytes moved.
 func (db *DB) RunGC(batch int) (int64, error) { return db.eng().RunGC(batch) }
 
+// BuildEdgeBlocks eagerly packs every dedicated tree that is past the
+// edge-block threshold (Options.EdgeBlockThreshold) into its CSR-style
+// packed block, returning the number of blocks built. Blocks are normally
+// built opportunistically at flush/consolidation time; this forces the
+// work now — useful after a bulk load, before a read-heavy phase.
+func (db *DB) BuildEdgeBlocks() (int, error) {
+	return db.eng().Forest().BuildEdgeBlocks()
+}
+
 // Checkpoint flushes dirty pages and publishes a WAL checkpoint
 // (replicated mode). In non-replicated mode it is a no-op.
 func (db *DB) Checkpoint() error {
@@ -321,6 +331,7 @@ type Stats struct {
 	WAL         WALStats         `json:"wal"`
 	Cache       CacheStats       `json:"cache"`
 	Forest      ForestStats      `json:"forest"`
+	EdgeBlocks  EdgeBlockStats   `json:"edge_blocks"`
 	GC          GCStats          `json:"gc"`
 	MVCC        MVCCStats        `json:"mvcc"`
 	Replication ReplicationStats `json:"replication"`
@@ -400,6 +411,20 @@ type ForestStats struct {
 	Migrations int `json:"migrations"`
 }
 
+// EdgeBlockStats is the packed CSR edge-block accounting (§3.2.1
+// super-vertices): blocks built, scans served from a block (hits) versus
+// forced back to the merged delta path (fallbacks), and the resident
+// footprint of the live blocks.
+type EdgeBlockStats struct {
+	Builds      int64 `json:"builds"`
+	SkippedPins int64 `json:"skipped_pins"`
+	Hits        int64 `json:"hits"`
+	Fallbacks   int64 `json:"fallbacks"`
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Parts       int64 `json:"parts"`
+}
+
 // GCStats is the space-reclamation accounting. WriteAmp is bytes moved per
 // byte freed — the cost metric the workload-aware policy of §3.3 minimizes.
 type GCStats struct {
@@ -412,6 +437,9 @@ type GCStats struct {
 	// PinDeferred counts extent picks the reclaimer skipped because a
 	// pinned snapshot may still read their invalidated records.
 	PinDeferred int64 `json:"pin_deferred"`
+	// BlockPinned counts extent picks the reclaimer skipped because a live
+	// packed edge block is backed by them.
+	BlockPinned int64 `json:"block_pinned"`
 }
 
 // MVCCStats is the read-epoch clock's accounting. All zero on a DB opened
@@ -523,6 +551,18 @@ func (db *DB) Stats() Stats {
 			InitKeys:   fs.InitKeys,
 			Migrations: fs.Migrations,
 		},
+		EdgeBlocks: func() EdgeBlockStats {
+			bs := m.BlockStatsSnapshot()
+			return EdgeBlockStats{
+				Builds:      bs.Builds,
+				SkippedPins: bs.SkippedPins,
+				Hits:        bs.Hits,
+				Fallbacks:   bs.Fallbacks,
+				Entries:     bs.Entries,
+				Bytes:       bs.Bytes,
+				Parts:       bs.Parts,
+			}
+		}(),
 		GC: GCStats{
 			BytesMoved:       ss.GCBytesMoved,
 			BytesReclaimed:   ss.GCBytesReclaimed,
@@ -531,6 +571,7 @@ func (db *DB) Stats() Stats {
 			ExtentsReclaimed: ss.ExtentsReclaimed,
 			ExtentsExpired:   ss.ExtentsExpired,
 			PinDeferred:      gcs.PinDeferred,
+			BlockPinned:      gcs.BlockPinned,
 		},
 	}
 	if src := db.eng().Epochs(); src != nil {

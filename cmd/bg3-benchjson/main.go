@@ -1,5 +1,5 @@
 // bg3-benchjson runs the three Table-1 workloads against a fresh DB each
-// and writes a machine-readable benchmark trajectory (BENCH_PR7.json):
+// and writes a machine-readable benchmark trajectory (BENCH_PR8.json):
 // throughput, p50/p99 latency, per-read storage fan-out, cache hit ratio,
 // allocation cost per op, batch-read/read-ahead effectiveness, and GC write
 // amplification. It then runs the write-heavy scenarios on a replicated DB
@@ -12,7 +12,10 @@
 // groups so the commit pipeline's overlap is part of the trajectory. A
 // pinned-reader variant reruns the pipelined insert stream with concurrent
 // snapshot readers, recording the MVCC interference tax (retained history,
-// epoch lag, GC deferrals) next to the same write metrics.
+// epoch lag, GC deferrals) next to the same write metrics. The
+// full-adjacency-scan pair measures unbounded neighbor scans over a few
+// ~100k-degree super-vertices with packed CSR edge blocks on and off —
+// the block speedup is their throughput ratio.
 // CI runs it in -short mode and archives the JSON so regressions show up as
 // a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
@@ -101,6 +104,16 @@ type workloadJSON struct {
 	ReadEpoch       int64 `json:"read_epoch,omitempty"`
 	RetainedBytes   int64 `json:"retained_bytes,omitempty"`
 	GCPinDeferred   int64 `json:"gc_pin_deferred,omitempty"`
+
+	// Packed edge-block effectiveness: blocks built, scans served from a
+	// block vs forced to the merged delta path, and the per-super-vertex
+	// degree the scenario loaded. Present on the full-adjacency-scan
+	// scenarios; zero elsewhere.
+	BlockBuilds    int64 `json:"block_builds,omitempty"`
+	BlockHits      int64 `json:"block_hits,omitempty"`
+	BlockFallbacks int64 `json:"block_fallbacks,omitempty"`
+	BlockBytes     int64 `json:"block_bytes,omitempty"`
+	SuperDegree    int   `json:"super_degree,omitempty"`
 }
 
 type benchJSON struct {
@@ -115,7 +128,7 @@ type benchJSON struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
@@ -171,6 +184,38 @@ func main() {
 		report.Workloads = append(report.Workloads, w)
 		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus  fanout(p99)=%d  hit=%.2f  alloc=%.0fB/op  amp=%.2f\n",
 			w.Name, w.Throughput, w.P50US, w.P99US, w.ReadFanout.P99, w.CacheHitRatio, w.AllocBytesPerOp, w.GCWriteAmp)
+	}
+
+	// Full-adjacency-scan pair: unbounded neighbor scans over a few very
+	// high degree super-vertices, once with packed CSR edge blocks (the
+	// default) and once with them disabled (the PR 7 merged-leaf path).
+	// Scan ops are orders of magnitude heavier than point reads, so the
+	// scenario runs fewer of them.
+	scanWorkers := 4
+	scanOps, supers, superDegree := 120, 2, 100000
+	if *short {
+		scanOps, superDegree = 40, 8000
+	}
+	var scanBlocks float64
+	for _, sc := range []struct {
+		name   string
+		blocks bool
+	}{
+		{"full-adjacency-scan", true},
+		{"full-adjacency-scan-noblocks", false},
+	} {
+		w, err := runScan(sc.name, sc.blocks, vertices, supers, superDegree, scanWorkers, scanOps, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-28s %8.0f ops/s  p50=%dus p99=%dus  blocks=%d hits=%d fallbacks=%d\n",
+			w.Name, w.Throughput, w.P50US, w.P99US, w.BlockBuilds, w.BlockHits, w.BlockFallbacks)
+		if sc.blocks {
+			scanBlocks = w.Throughput
+		} else if w.Throughput > 0 {
+			fmt.Printf("%-28s %8.2fx with edge blocks\n", "", scanBlocks/w.Throughput)
+		}
 	}
 
 	// Write-heavy scenarios: a replicated DB with simulated storage write
@@ -345,6 +390,96 @@ func runWrite(name string, gen workload.Generator, maxBatch, depth, readers, ver
 		w.GCPinDeferred = after.GC.PinDeferred - before.GC.PinDeferred
 	}
 	return w, nil
+}
+
+// runScan measures the full-adjacency-scan workload: a zipfian base graph
+// plus `supers` designated super-vertices (IDs 1..supers) loaded with
+// superDegree edges each, scanned unbounded. With blocks enabled the
+// super-vertex adjacencies are packed into CSR edge blocks before the
+// measured phase (as a post-bulk-load deployment would); with them
+// disabled every scan walks the merged Bw-tree leaf path. The modest page
+// cache holds the ordinary vertices but not a super-vertex's hundreds of
+// leaf pages — exactly the regime the blocks exist for.
+func runScan(name string, blocks bool, vertices, supers, superDegree, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+	threshold := 0 // default: enabled at 1024 entries
+	if !blocks {
+		threshold = -1
+	}
+	db, err := bg3.Open(&bg3.Options{
+		ForestSplitThreshold: 64,
+		CacheCapacity:        256,
+		EdgeBlockThreshold:   threshold,
+	})
+	if err != nil {
+		return workloadJSON{}, err
+	}
+	defer db.Close()
+
+	if err := workload.Preload(db, workload.PreloadSpec{
+		Vertices: vertices, Edges: vertices, Type: graph.ETypeFollow, Seed: seed,
+	}); err != nil {
+		return workloadJSON{}, err
+	}
+	// Bulk-load the super-vertex adjacencies in mutation batches.
+	const chunk = 1024
+	for s := 1; s <= supers; s++ {
+		src := bg3.VertexID(s)
+		for lo := 0; lo < superDegree; lo += chunk {
+			hi := lo + chunk
+			if hi > superDegree {
+				hi = superDegree
+			}
+			muts := make([]bg3.Mutation, 0, hi-lo)
+			for d := lo; d < hi; d++ {
+				muts = append(muts, bg3.AddEdgeMut(bg3.Edge{
+					Src: src, Dst: bg3.VertexID(vertices + d), Type: graph.ETypeFollow,
+					Props: bg3.Properties{{Name: "ts", Value: []byte{0, 0, 0, 0}}},
+				}))
+			}
+			if err := db.ApplyBatch(muts); err != nil {
+				return workloadJSON{}, err
+			}
+		}
+	}
+	if blocks {
+		if _, err := db.BuildEdgeBlocks(); err != nil {
+			return workloadJSON{}, err
+		}
+	}
+
+	gen := workload.NewFullAdjacencyScan(vertices, supers, seed)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := workload.Run(db, gen, workers, opsPerWorker, seed+300)
+	runtime.ReadMemStats(&after)
+
+	s := db.Stats()
+	var allocBytes, allocs float64
+	if res.Ops > 0 {
+		allocBytes = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+	}
+	return workloadJSON{
+		Name:            name,
+		Workers:         workers,
+		Ops:             res.Ops,
+		Errors:          res.Errors,
+		DurationMS:      res.Duration.Milliseconds(),
+		Throughput:      res.Throughput,
+		P50US:           res.LatencyP50.Microseconds(),
+		P99US:           res.LatencyP99.Microseconds(),
+		CacheHitRatio:   s.Cache.HitRatio,
+		AllocBytesPerOp: allocBytes,
+		AllocsPerOp:     allocs,
+		BytesWritten:    s.Storage.BytesWritten,
+		Trees:           s.Forest.Trees,
+		Migrations:      s.Forest.Migrations,
+		BlockBuilds:     s.EdgeBlocks.Builds,
+		BlockHits:       s.EdgeBlocks.Hits,
+		BlockFallbacks:  s.EdgeBlocks.Fallbacks,
+		BlockBytes:      s.EdgeBlocks.Bytes,
+		SuperDegree:     superDegree,
+	}, nil
 }
 
 // runOne measures a workload on a fresh database. A deliberately small page

@@ -1,0 +1,48 @@
+package bwtree
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeEdgeBlock drives the fail-stop decoder with arbitrary bytes:
+// every input either decodes to a well-formed, sorted part that re-encodes
+// byte-for-byte (the framing is canonical: no padding, derived count, no
+// trailing slack), or fails with ErrCorruptBlock. Any other outcome —
+// a panic, a foreign error, an unsorted result — means a bit flip could
+// turn into a wrong scan instead of a clean fallback to the delta path.
+func FuzzDecodeEdgeBlock(f *testing.F) {
+	valid := encodeEdgeBlockPart([]kv{
+		{key: []byte("k000001"), val: []byte("alpha")},
+		{key: []byte("k000002"), val: []byte("beta")},
+		{key: []byte("k000003"), val: []byte("")},
+	}, 42, 0, 1)
+	f.Add(valid)
+	f.Add(encodeEdgeBlockPart(nil, 0, 0, 1))
+	f.Add(valid[:len(valid)-3]) // truncated tail
+	f.Add(valid[:edgeBlockHeaderSize])
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x40 // seal bit flip: caught by the CRC
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("EBK2 but nothing like a real part"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, seal, part, nparts, err := decodeEdgeBlockPart(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptBlock) {
+				t.Fatalf("decode error %v is not ErrCorruptBlock", err)
+			}
+			return
+		}
+		for i := 1; i < len(entries); i++ {
+			if bytes.Compare(entries[i-1].key, entries[i].key) >= 0 {
+				t.Fatalf("decoded entries unsorted at %d", i)
+			}
+		}
+		if again := encodeEdgeBlockPart(entries, seal, part, nparts); !bytes.Equal(again, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(again))
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package bwtree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"bg3/internal/gc"
+	"bg3/internal/storage"
+	"bg3/internal/wal"
+)
+
+func blockEntries(n int) []kv {
+	out := make([]kv, n)
+	for i := range out {
+		out[i] = kv{
+			key: []byte(fmt.Sprintf("k%06d", i)),
+			val: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	return out
+}
+
+func TestEdgeBlockEncodeDecodeRoundTrip(t *testing.T) {
+	entries := blockEntries(100)
+	buf := encodeEdgeBlockPart(entries, 42, 3, 7)
+	got, seal, part, nparts, err := decodeEdgeBlockPart(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seal != 42 || part != 3 || nparts != 7 {
+		t.Fatalf("header = (%d, %d, %d), want (42, 3, 7)", seal, part, nparts)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].key, entries[i].key) || !bytes.Equal(got[i].val, entries[i].val) {
+			t.Fatalf("entry %d = %q=%q, want %q=%q", i, got[i].key, got[i].val, entries[i].key, entries[i].val)
+		}
+	}
+
+	// An empty part (a block over an empty tree) round-trips too.
+	buf = encodeEdgeBlockPart(nil, 0, 0, 1)
+	if got, _, _, _, err = decodeEdgeBlockPart(buf); err != nil || len(got) != 0 {
+		t.Fatalf("empty part decode = %v entries, err %v", len(got), err)
+	}
+}
+
+func TestEdgeBlockSplitParts(t *testing.T) {
+	entries := blockEntries(200)
+	parts, err := splitEdgeBlockParts(entries, 9, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("got %d parts, want a multi-part split", len(parts))
+	}
+	var all []kv
+	for i, p := range parts {
+		if len(p) > 512 {
+			t.Fatalf("part %d is %d bytes, exceeds the 512-byte cap", i, len(p))
+		}
+		got, seal, part, nparts, err := decodeEdgeBlockPart(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seal != 9 || part != uint32(i) || nparts != uint32(len(parts)) {
+			t.Fatalf("part %d header = (%d, %d, %d)", i, seal, part, nparts)
+		}
+		all = append(all, got...)
+	}
+	if len(all) != len(entries) {
+		t.Fatalf("parts union has %d entries, want %d", len(all), len(entries))
+	}
+	for i := range all {
+		if !bytes.Equal(all[i].key, entries[i].key) {
+			t.Fatalf("entry %d out of order after split", i)
+		}
+	}
+
+	// An entry too large for any part is a hard error, not silent truncation.
+	huge := []kv{{key: []byte("k"), val: make([]byte, 1024)}}
+	if _, err := splitEdgeBlockParts(huge, 0, 512); err == nil {
+		t.Fatal("oversized entry should fail the split")
+	}
+}
+
+func TestEdgeBlockDecodeCorrupt(t *testing.T) {
+	valid := encodeEdgeBlockPart(blockEntries(10), 5, 0, 1)
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": valid[:edgeBlockHeaderSize-1],
+		"truncated":    valid[:len(valid)-4],
+		"trailing":     append(append([]byte(nil), valid...), 0xAA),
+	}
+	// One bit flip in every byte position class: magic, crc, seal, counts,
+	// entry header, key, value.
+	for _, pos := range []int{0, 5, 9, 17, 21, 25, edgeBlockHeaderSize + 1, edgeBlockHeaderSize + 9, len(valid) - 1} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x10
+		cases[fmt.Sprintf("bitflip@%d", pos)] = flipped
+	}
+	for name, buf := range cases {
+		if _, _, _, _, err := decodeEdgeBlockPart(buf); !errors.Is(err, ErrCorruptBlock) {
+			t.Fatalf("%s: err = %v, want ErrCorruptBlock", name, err)
+		}
+	}
+	if _, _, _, _, err := decodeEdgeBlockPart(valid); err != nil {
+		t.Fatalf("pristine part failed to decode: %v", err)
+	}
+}
+
+// collectScan gathers a ranged scan through whatever path the tree picks.
+func collectScan(t *testing.T, tr *Tree, from, to []byte, limit int) []string {
+	t.Helper()
+	var out []string
+	if err := tr.Scan(from, to, limit, func(k, v []byte) bool {
+		out = append(out, string(k)+"="+string(v))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEdgeBlockSyncTreeScanEquality builds a block on a sync-flushed tree
+// and checks every scan shape (full, ranged, limited) against a twin tree
+// with blocks disabled, through overlay writes, deletes, and a rebuild.
+func TestEdgeBlockSyncTreeScanEquality(t *testing.T) {
+	blocked, _ := newTestTree(t, Config{EdgeBlockMinEntries: 16, EdgeBlockRebuildOps: 8})
+	control, _ := newTestTree(t, Config{})
+	put := func(k, v string) {
+		t.Helper()
+		if err := blocked.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del := func(k string) {
+		t.Helper()
+		if err := blocked.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		put(fmt.Sprintf("k%06d", i), fmt.Sprintf("v%d", i))
+	}
+	if built, err := blocked.TryBuildEdgeBlock(); err != nil || !built {
+		t.Fatalf("build = %v, %v", built, err)
+	}
+	info, ok := blocked.EdgeBlock()
+	if !ok || info.Entries != 200 {
+		t.Fatalf("block info = %+v ok=%v, want 200 entries", info, ok)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		shapes := []struct {
+			from, to []byte
+			limit    int
+		}{
+			{nil, nil, 0},
+			{nil, nil, 17},
+			{[]byte("k000050"), nil, 0},
+			{nil, []byte("k000100"), 0},
+			{[]byte("k000050"), []byte("k000150"), 0},
+			{[]byte("k000050"), []byte("k000150"), 13},
+			{[]byte("zz"), nil, 0}, // past the end
+		}
+		for i, s := range shapes {
+			got := collectScan(t, blocked, s.from, s.to, s.limit)
+			want := collectScan(t, control, s.from, s.to, s.limit)
+			if len(got) != len(want) {
+				t.Fatalf("%s shape %d: %d results, want %d", stage, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s shape %d result %d: %q, want %q", stage, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	check("sealed")
+
+	// Overlay: overwrites, inserts, deletes patched over the block.
+	put("k000050", "patched")
+	put("a-before-all", "front")
+	put("k999999", "tail")
+	del("k000100")
+	del("a-before-all")
+	check("overlaid")
+
+	// Rebuild folds the overlay into a fresh block.
+	if built, err := blocked.TryBuildEdgeBlock(); err != nil || !built {
+		t.Fatalf("rebuild = %v, %v", built, err)
+	}
+	if info, ok = blocked.EdgeBlock(); !ok || info.Entries != 200 {
+		t.Fatalf("rebuilt block info = %+v ok=%v, want 200 entries", info, ok)
+	}
+	check("rebuilt")
+}
+
+// TestEdgeBlockMVCCSnapshot pins an epoch before the block is built and
+// checks the pinned view reads the pre-block history exactly, while the
+// head sees the latest state through the overlay.
+func TestEdgeBlockMVCCSnapshot(t *testing.T) {
+	tr, src, _ := newEpochTree(t, Config{EdgeBlockMinEntries: 4, EdgeBlockRebuildOps: 64})
+	for i := 0; i < 20; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := src.Pin()
+	defer p.Close()
+	h := wal.LSN(p.Epoch())
+	want := collectAt(t, tr, h)
+
+	// Mutations past the pin: they must stay above the block's seal.
+	if err := tr.Put([]byte("k05"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete([]byte("k10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("k99"), []byte("added")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pin holds the floor at h, so the build seals there and the three
+	// mutations land in the overlay.
+	if built, err := tr.TryBuildEdgeBlock(); err != nil || !built {
+		t.Fatalf("build = %v, %v", built, err)
+	}
+	info, ok := tr.EdgeBlock()
+	if !ok {
+		t.Fatal("no block after build")
+	}
+	if info.Seal != h {
+		t.Fatalf("seal = %d, want the pinned floor %d", info.Seal, h)
+	}
+	if info.Overlay != 3 {
+		t.Fatalf("overlay = %d ops, want the 3 post-pin mutations", info.Overlay)
+	}
+
+	got := collectAt(t, tr, h)
+	if len(got) != len(want) {
+		t.Fatalf("pinned view has %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("pinned view[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+
+	head := collectAt(t, tr, horizonAll)
+	if head["k05"] != "new" || head["k99"] != "added" {
+		t.Fatalf("head view = %v, missing post-pin writes", head)
+	}
+	if _, present := head["k10"]; present {
+		t.Fatal("head view still has the deleted k10")
+	}
+}
+
+// TestEdgeBlockSkipOnOldPins holds a pin while many ops accumulate above
+// it: the build must refuse (the overlay would immediately exceed the
+// rebuild threshold) and record the skip.
+func TestEdgeBlockSkipOnOldPins(t *testing.T) {
+	tr, src, _ := newEpochTree(t, Config{EdgeBlockMinEntries: 4, EdgeBlockRebuildOps: 8})
+	for i := 0; i < 10; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := src.Pin()
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("x%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if built, err := tr.TryBuildEdgeBlock(); err != nil || built {
+		t.Fatalf("build = %v, %v; want a pin skip", built, err)
+	}
+	if _, ok := tr.EdgeBlock(); ok {
+		t.Fatal("a block was installed despite the skip")
+	}
+	if got := tr.m.BlockStatsSnapshot().SkippedPins; got == 0 {
+		t.Fatal("skip was not recorded in block stats")
+	}
+	// The skip also suppresses retries until the floor advances.
+	if tr.edgeBlockWanted() {
+		t.Fatal("build still wanted at the same floor after a skip")
+	}
+	// Release the pin and advance the floor: the build goes through.
+	p.Close()
+	if err := tr.Put([]byte("zz"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if built, err := tr.TryBuildEdgeBlock(); err != nil || !built {
+		t.Fatalf("post-release build = %v, %v", built, err)
+	}
+}
+
+// TestEdgeBlockGCPinning checks GC treats the block's extents as pinned
+// until the block is superseded.
+func TestEdgeBlockGCPinning(t *testing.T) {
+	tr, st := newTestTree(t, Config{EdgeBlockMinEntries: 16, EdgeBlockRebuildOps: 8})
+	for i := 0; i < 200; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte("v"), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if built, err := tr.TryBuildEdgeBlock(); err != nil || !built {
+		t.Fatalf("build = %v, %v", built, err)
+	}
+	pinned := tr.m.BlockExtents(storage.StreamBase)
+	if len(pinned) == 0 {
+		t.Fatal("no pinned extents for a live block")
+	}
+	r := gc.NewReclaimer(st, storage.StreamBase, gc.FIFO{}, tr.m.Relocate)
+	r.Blocks = tr.m
+	if _, err := r.RunOnce(4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().BlockPinned == 0 {
+		t.Fatal("reclaimer did not defer the block's extents")
+	}
+}

@@ -110,6 +110,19 @@ type Config struct {
 	// reader sees the latest state and consolidation folds everything,
 	// today's single-node behaviour.
 	Epochs *mvcc.Source
+
+	// EdgeBlockMinEntries, when positive, enables the packed edge-block
+	// layout (block.go): once the tree's live-entry estimate crosses it,
+	// the whole tree is materialized into an immutable sorted array sealed
+	// at the retention floor and scans iterate it branch-free, with writes
+	// since the seal patched from a small overlay. 0 disables blocks (the
+	// forest keeps them off for the shared INIT tree; dedicated
+	// super-vertex trees are the target).
+	EdgeBlockMinEntries int
+
+	// EdgeBlockRebuildOps is the overlay size that triggers rebuilding the
+	// block at a newer seal. Default max(64, EdgeBlockMinEntries/4).
+	EdgeBlockRebuildOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +137,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadaheadLimit <= 0 {
 		c.ReadaheadLimit = 4
+	}
+	if c.EdgeBlockMinEntries > 0 && c.EdgeBlockRebuildOps <= 0 {
+		c.EdgeBlockRebuildOps = c.EdgeBlockMinEntries / 4
+		if c.EdgeBlockRebuildOps < 64 {
+			c.EdgeBlockRebuildOps = 64
+		}
 	}
 	return c
 }

@@ -91,6 +91,10 @@ func (t *Tree) FlushDirty() ([]MappingUpdate, error) {
 			updates = append(updates, *up)
 		}
 	}
+	// Consolidation time is also edge-block time: a dedicated tree that
+	// outgrew the block threshold (or whose overlay outgrew the rebuild
+	// threshold) is packed here, on the flusher's goroutine.
+	t.maybeBuildEdgeBlock()
 	return updates, nil
 }
 

@@ -67,6 +67,10 @@ type Tree struct {
 	// tree (cap = cfg.ReadaheadLimit); launches that would exceed it are
 	// dropped and counted in readahead_rejected.
 	prefetchSem chan struct{}
+
+	// blocks is the packed edge-block state (block.go); inert unless
+	// cfg.EdgeBlockMinEntries is set.
+	blocks blockState
 }
 
 // New creates an empty tree registered in m, persisting to store.
@@ -505,8 +509,11 @@ func (t *Tree) writeWith(o op, track bool, waits *[]func() error) (existed bool,
 		}
 	}
 	if needSplit {
-		return existed, t.splitPage(id)
+		if err := t.splitPage(id); err != nil {
+			return existed, err
+		}
 	}
+	t.maybeSpawnEdgeBlockBuild()
 	return existed, nil
 }
 
@@ -529,6 +536,11 @@ func opsExistence(ops []op, key []byte) (exists, known bool) {
 // set — resolution can cost a page materialization), plus a non-nil
 // durability wait when the logger commits asynchronously.
 func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bool, wait func() error, err error) {
+	// Edge-block capture gate: must open before the LSN is assigned so a
+	// block reader seeing no writer in flight knows every released op has
+	// reached the overlay (block.go).
+	gate := t.blockWriteEnter()
+
 	// Write-ahead: the record enters the WAL (and receives its LSN) before
 	// any page state changes (§3.4 step 2).
 	if t.logger != nil {
@@ -547,6 +559,7 @@ func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bo
 		} else {
 			lsn, err := t.logger.Log(rec)
 			if err != nil {
+				t.blockWriteExit(gate, o, false)
 				return false, false, nil, err
 			}
 			e.lsn = lsn
@@ -559,6 +572,9 @@ func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bo
 	} else {
 		needSplit, existed, err = t.applyWriteSync(e, o, track)
 	}
+	// Still under the page latch: the overlay append (when capturing)
+	// keeps per-key LSN order, and the gate closes only after it.
+	t.blockWriteExit(gate, o, err == nil)
 	return needSplit, existed, wait, err
 }
 
@@ -719,6 +735,11 @@ func (t *Tree) Scan(from, to []byte, limit int, fn func(key, value []byte) bool)
 func (t *Tree) ScanAt(from, to []byte, limit int, h wal.LSN, fn func(key, value []byte) bool) error {
 	if from == nil {
 		from = []byte{}
+	}
+	// Block fast path: a packed super-vertex tree serves the whole scan
+	// from its immutable sorted array plus the overlay patch (block.go).
+	if blk, ov, ok := t.blockView(h); ok {
+		return t.scanEdgeBlock(blk, ov, from, to, limit, h, fn)
 	}
 	// cursor is the resume point: the first key still owed to the caller
 	// is the first key >= cursor (> cursor once started, because cursor

@@ -16,12 +16,18 @@ const horizonAll = wal.LSN(math.MaxUint64)
 
 // retentionFloor returns the LSN at or below which history may be folded
 // into page bases: the oldest pinned epoch of the tree's clock, or
-// everything when no clock is wired (single-node / sync trees).
+// everything when no clock is wired (single-node / sync trees). An edge
+// block build in flight clamps the floor to its seal so the content scan
+// at the seal stays reconstructible even if every pin closes mid-build.
 func (t *Tree) retentionFloor() wal.LSN {
 	if t.cfg.Epochs == nil {
 		return horizonAll
 	}
-	return wal.LSN(t.cfg.Epochs.Floor())
+	f := wal.LSN(t.cfg.Epochs.Floor())
+	if c := t.blocks.buildClamp.Load(); c != 0 && wal.LSN(c-1) < f {
+		f = wal.LSN(c - 1)
+	}
+	return f
 }
 
 // histNewestLSN returns the stamp of the page's newest history op (0 when

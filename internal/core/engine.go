@@ -140,6 +140,7 @@ func NewWithStore(st *storage.Store, opts Options) (*Engine, error) {
 	for _, stream := range []storage.StreamID{storage.StreamBase, storage.StreamDelta} {
 		r := gc.NewReclaimer(st, stream, policy, m.Relocate)
 		r.TTL = opts.TTL
+		r.Blocks = m
 		if opts.Epochs != nil {
 			r.Pins = opts.Epochs
 		}
@@ -279,15 +280,18 @@ func (e *Engine) ApplyBatch(muts []graph.Mutation) error {
 	return err
 }
 
-// Neighbors implements graph.Store.
+// Neighbors implements graph.Store. The Properties passed to fn are valid
+// only for the duration of the callback (one decoder is reused across the
+// scan); copy values to retain them.
 func (e *Engine) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
 	lo, hi := graph.EdgeTypeBounds(typ)
+	var dec graph.PropDecoder
 	return e.edges.Scan(forest.OwnerID(src), lo, hi, limit, func(k, v []byte) bool {
 		_, dst, err := graph.DecodeEdgeKey(k)
 		if err != nil {
 			return true // skip foreign records defensively
 		}
-		props, err := graph.DecodeProps(v)
+		props, err := dec.Decode(v)
 		if err != nil {
 			return true
 		}
@@ -325,6 +329,7 @@ func (e *Engine) GCStats() gc.ReclaimerStats {
 		out.Runs += s.Runs
 		out.ExtentsExpired += s.ExtentsExpired
 		out.PinDeferred += s.PinDeferred
+		out.BlockPinned += s.BlockPinned
 	}
 	return out
 }

@@ -62,15 +62,17 @@ func (r *Replica) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.Vert
 	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
 }
 
-// Neighbors mirrors Engine.Neighbors.
+// Neighbors mirrors Engine.Neighbors, including its callback-scoped
+// Properties validity.
 func (r *Replica) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
 	lo, hi := graph.EdgeTypeBounds(typ)
+	var dec graph.PropDecoder
 	return r.rep.Scan(forest.OwnerID(src), lo, hi, limit, func(k, v []byte) bool {
 		_, dst, err := graph.DecodeEdgeKey(k)
 		if err != nil {
 			return true
 		}
-		props, err := graph.DecodeProps(v)
+		props, err := dec.Decode(v)
 		if err != nil {
 			return true
 		}

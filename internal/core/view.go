@@ -91,15 +91,18 @@ func (v *ReadView) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.Ver
 	return graph.Edge{Src: src, Dst: dst, Type: typ, Props: props}, true, nil
 }
 
-// Neighbors implements graph.Reader at the pinned epoch.
+// Neighbors implements graph.Reader at the pinned epoch. The Properties
+// passed to fn are valid only for the duration of the callback (one
+// decoder is reused across the scan); copy values to retain them.
 func (v *ReadView) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
 	lo, hi := graph.EdgeTypeBounds(typ)
+	var dec graph.PropDecoder
 	return v.e.edges.ScanAt(forest.OwnerID(src), lo, hi, limit, v.horizon(), func(k, val []byte) bool {
 		_, dst, err := graph.DecodeEdgeKey(k)
 		if err != nil {
 			return true // skip foreign records defensively
 		}
-		props, err := graph.DecodeProps(val)
+		props, err := dec.Decode(val)
 		if err != nil {
 			return true
 		}

@@ -90,13 +90,43 @@ func New(m *bwtree.Mapping, store *storage.Store, cfg Config, logger bwtree.WALL
 		owners: make(map[OwnerID]*ownerState),
 		trees:  make(map[bwtree.TreeID]*bwtree.Tree),
 	}
-	init, err := bwtree.New(m, store, cfg.Tree, logger)
+	// The shared INIT tree never gets a packed edge block: it holds many
+	// owners' composite keys and churns through migrations, while blocks
+	// target large single-owner dedicated trees.
+	initCfg := cfg.Tree
+	initCfg.EdgeBlockMinEntries = 0
+	initCfg.EdgeBlockRebuildOps = 0
+	init, err := bwtree.New(m, store, initCfg, logger)
 	if err != nil {
 		return nil, err
 	}
 	f.init = init
 	f.trees[init.ID()] = init
 	return f, nil
+}
+
+// BuildEdgeBlocks synchronously builds (or rebuilds) the packed edge
+// block of every dedicated tree that has blocks enabled — the operator
+// path benchmarks and bulk loads use to pack super-vertices without
+// waiting for the background triggers. It returns how many blocks were
+// installed.
+func (f *Forest) BuildEdgeBlocks() (int, error) {
+	built := 0
+	var firstErr error
+	f.Trees(func(t *bwtree.Tree) bool {
+		if t == f.init {
+			return true
+		}
+		ok, err := t.TryBuildEdgeBlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ok {
+			built++
+		}
+		return true
+	})
+	return built, firstErr
 }
 
 // InitTreeID returns the ID of the shared INIT tree.

@@ -82,9 +82,12 @@ func (f *Forest) ScanAt(owner OwnerID, from, to []byte, limit int, h wal.LSN, fn
 	// Dedicated tree: merge with whatever of the owner's keys is still
 	// visible in INIT at h (a migration after h deleted them above the
 	// horizon). Bounded by the owner's pre-migration size.
+	// Each side needs at most the caller's limit: the merge delivers the
+	// first `limit` keys of the union, which can only come from the first
+	// `limit` of either side — bounded hops stop decoding past the limit.
 	type pair struct{ k, v []byte }
 	var residue []pair
-	err := f.init.ScanAt(lo, hi, 0, h, func(k, v []byte) bool {
+	err := f.init.ScanAt(lo, hi, limit, h, func(k, v []byte) bool {
 		residue = append(residue, pair{
 			k: append([]byte(nil), k[8:]...),
 			v: append([]byte(nil), v...),
@@ -115,7 +118,7 @@ func (f *Forest) ScanAt(owner OwnerID, from, to []byte, limit int, h wal.LSN, fn
 		return true
 	}
 	i := 0
-	err = tree.ScanAt(from, to, 0, h, func(k, v []byte) bool {
+	err = tree.ScanAt(from, to, limit, h, func(k, v []byte) bool {
 		for i < len(residue) && bytes.Compare(residue[i].k, k) < 0 {
 			if !deliver(residue[i].k, residue[i].v) {
 				return false

@@ -31,11 +31,20 @@ type Reclaimer struct {
 		OldestPinTime() (time.Time, bool)
 	}
 
+	// Blocks, when set, reports the extents currently backing packed edge
+	// blocks (typically *bwtree.Mapping). Those extents are treated as
+	// pinned until the block is superseded: the parts are immutable and
+	// invalidated wholesale on rebuild, so relocating them buys nothing.
+	Blocks interface {
+		BlockExtents(stream storage.StreamID) map[storage.ExtentID]struct{}
+	}
+
 	mu          sync.Mutex
 	bytesMoved  int64
 	runs        int64
 	expired     int64
 	pinDeferred int64
+	blockPinned int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -92,6 +101,25 @@ func (r *Reclaimer) RunOnce(n int) (int64, error) {
 			}
 		}
 	}
+	if r.Blocks != nil {
+		if pinned := r.Blocks.BlockExtents(r.stream); len(pinned) > 0 {
+			kept := usage[:0]
+			deferred := int64(0)
+			for _, u := range usage {
+				if _, ok := pinned[u.Extent]; ok {
+					deferred++
+					continue
+				}
+				kept = append(kept, u)
+			}
+			usage = kept
+			if deferred > 0 {
+				r.mu.Lock()
+				r.blockPinned += deferred
+				r.mu.Unlock()
+			}
+		}
+	}
 	ids := r.policy.Pick(usage, n, now)
 	var moved int64
 	for _, id := range ids {
@@ -142,11 +170,12 @@ type ReclaimerStats struct {
 	Runs           int64
 	ExtentsExpired int64 // extents dropped for free by TTL
 	PinDeferred    int64 // extent picks skipped because a pinned snapshot may need them
+	BlockPinned    int64 // extent picks skipped because a live edge block backs them
 }
 
 // Stats returns a snapshot.
 func (r *Reclaimer) Stats() ReclaimerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return ReclaimerStats{BytesMoved: r.bytesMoved, Runs: r.runs, ExtentsExpired: r.expired, PinDeferred: r.pinDeferred}
+	return ReclaimerStats{BytesMoved: r.bytesMoved, Runs: r.runs, ExtentsExpired: r.expired, PinDeferred: r.pinDeferred, BlockPinned: r.blockPinned}
 }

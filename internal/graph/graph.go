@@ -121,6 +121,68 @@ func DecodeProps(buf []byte) (Properties, error) {
 	return ps, nil
 }
 
+// PropDecoder decodes property lists for a scan without per-record
+// allocation: the Properties slice, the value bytes (copied into an
+// internal arena), and the interned name strings are all reused across
+// Decode calls. The returned Properties are valid only until the next
+// Decode — scan paths hand them to a callback and must document that the
+// callback copies anything it retains. The zero value is ready to use.
+type PropDecoder struct {
+	scratch Properties
+	arena   []byte
+	names   map[string]string
+}
+
+// Decode parses a property list with the same validation as DecodeProps.
+// The result aliases the decoder's internal buffers and is invalidated by
+// the next Decode call.
+func (d *PropDecoder) Decode(buf []byte) (Properties, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("%w: short property list", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint16(buf)
+	buf = buf[2:]
+	if n == 0 {
+		return nil, nil
+	}
+	ps := d.scratch[:0]
+	d.arena = d.arena[:0]
+	for i := uint16(0); i < n; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("%w: truncated property %d", ErrCorrupt, i)
+		}
+		nlen := int(buf[0])
+		buf = buf[1:]
+		if len(buf) < nlen+4 {
+			return nil, fmt.Errorf("%w: truncated property name %d", ErrCorrupt, i)
+		}
+		name, ok := d.names[string(buf[:nlen])]
+		if !ok {
+			name = string(buf[:nlen])
+			if d.names == nil {
+				d.names = make(map[string]string, 4)
+			}
+			d.names[name] = name
+		}
+		buf = buf[nlen:]
+		vlen := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		if uint32(len(buf)) < vlen {
+			return nil, fmt.Errorf("%w: truncated property value %d", ErrCorrupt, i)
+		}
+		// Copy the value into the arena rather than aliasing buf: the
+		// source may be a latched page image whose lifetime ends with the
+		// scan step, while the arena stays valid until the next Decode.
+		// Growth mid-loop is fine — earlier values keep the old array.
+		off := len(d.arena)
+		d.arena = append(d.arena, buf[:vlen]...)
+		ps = append(ps, Property{Name: name, Value: d.arena[off:len(d.arena):len(d.arena)]})
+		buf = buf[vlen:]
+	}
+	d.scratch = ps
+	return ps, nil
+}
+
 // VertexKey encodes the KV key of a vertex: 'v' id[8] type[2].
 func VertexKey(id VertexID, typ VertexType) []byte {
 	buf := make([]byte, 11)

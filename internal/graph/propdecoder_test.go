@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestPropDecoderMatchesDecodeProps checks the reusable scan decoder
+// against the allocating one on a spread of shapes, including every
+// corruption DecodeProps rejects.
+func TestPropDecoderMatchesDecodeProps(t *testing.T) {
+	cases := []Properties{
+		nil,
+		{{Name: "a", Value: []byte("x")}},
+		{{Name: "a", Value: nil}, {Name: "bb", Value: []byte("yy")}},
+		{{Name: "name", Value: bytes.Repeat([]byte("v"), 300)}},
+		{{Name: "", Value: []byte("empty-name")}},
+	}
+	var dec PropDecoder
+	for i, ps := range cases {
+		buf := EncodeProps(ps)
+		want, err := DecodeProps(buf)
+		if err != nil {
+			t.Fatalf("case %d: DecodeProps: %v", i, err)
+		}
+		got, err := dec.Decode(buf)
+		if err != nil {
+			t.Fatalf("case %d: PropDecoder: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d props, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].Name != want[j].Name || !bytes.Equal(got[j].Value, want[j].Value) {
+				t.Fatalf("case %d prop %d: got %q=%q want %q=%q",
+					i, j, got[j].Name, got[j].Value, want[j].Name, want[j].Value)
+			}
+		}
+	}
+
+	corrupt := [][]byte{
+		nil,
+		{1},
+		{1, 0, 5},                  // count 1, truncated name
+		{1, 0, 1, 'a'},             // name present, no value length
+		{1, 0, 1, 'a', 9, 0, 0, 0}, // value length overruns
+	}
+	for i, buf := range corrupt {
+		if _, err := dec.Decode(buf); err == nil {
+			t.Fatalf("corrupt case %d decoded", i)
+		}
+		if _, err := DecodeProps(buf); err == nil {
+			t.Fatalf("corrupt case %d decoded by DecodeProps", i)
+		}
+	}
+}
+
+// TestPropDecoderReuse proves the documented contract: a Decode call
+// invalidates the previous result (same backing arrays), and names are
+// interned to a single string across records.
+func TestPropDecoderReuse(t *testing.T) {
+	var dec PropDecoder
+	a := EncodeProps(Properties{{Name: "p", Value: []byte("first")}})
+	b := EncodeProps(Properties{{Name: "p", Value: []byte("secnd")}})
+
+	got1, err := dec.Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val1 := got1[0].Value
+	got2, err := dec.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2[0].Value) != "secnd" {
+		t.Fatalf("second decode: %q", got2[0].Value)
+	}
+	// Same arena: the first result's value bytes were overwritten.
+	if string(val1) == "first" {
+		t.Fatal("decoder allocated a fresh value buffer; arena reuse broken")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := dec.Decode(a); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Decode allocates %.1f times per call", allocs)
+	}
+}
+
+func BenchmarkDecodeProps(b *testing.B) {
+	buf := EncodeProps(Properties{{Name: "ts", Value: []byte{0, 0, 0, 0}}})
+	b.Run("alloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeProps(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		var dec PropDecoder
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.Decode(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = fmt.Sprint()
+}

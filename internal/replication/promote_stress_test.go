@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -144,7 +145,7 @@ func TestStressPromotionFencesConcurrentWriters(t *testing.T) {
 		seen := make(map[string][]byte)
 		err := engine.Neighbors(src, graph.ETypeFollow, 0, func(dst graph.VertexID, ps graph.Properties) bool {
 			v, _ := ps.Get("p")
-			seen[edgeKey(src, dst)] = v
+			seen[edgeKey(src, dst)] = bytes.Clone(v)
 			return true
 		})
 		if err != nil {
@@ -220,7 +221,7 @@ func TestStressPromotionFencesConcurrentWriters(t *testing.T) {
 		fromReplica := make(map[string][]byte)
 		err := replica.Neighbors(src, graph.ETypeFollow, 0, func(dst graph.VertexID, ps graph.Properties) bool {
 			v, _ := ps.Get("p")
-			fromReplica[edgeKey(src, dst)] = v
+			fromReplica[edgeKey(src, dst)] = bytes.Clone(v)
 			return true
 		})
 		if err != nil {
@@ -229,7 +230,7 @@ func TestStressPromotionFencesConcurrentWriters(t *testing.T) {
 		fromLeader := make(map[string][]byte)
 		err = engine.Neighbors(src, graph.ETypeFollow, 0, func(dst graph.VertexID, ps graph.Properties) bool {
 			v, _ := ps.Get("p")
-			fromLeader[edgeKey(src, dst)] = v
+			fromLeader[edgeKey(src, dst)] = bytes.Clone(v)
 			return true
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -230,7 +231,7 @@ func TestConcurrentWritersGroupCommitStress(t *testing.T) {
 		src := graph.VertexID(100 + w)
 		err := replica.Neighbors(src, graph.ETypeFollow, 0, func(dst graph.VertexID, ps graph.Properties) bool {
 			v, _ := ps.Get("p")
-			got[edgeKey(src, dst)] = v
+			got[edgeKey(src, dst)] = bytes.Clone(v)
 			return true
 		})
 		if err != nil {

@@ -265,6 +265,47 @@ func (w *MixedReadWrite) Next() Op {
 	return Op{Kind: OpNeighbors, Src: w.zipf.draw(), Type: graph.ETypeFollow, Limit: 64}
 }
 
+// FullAdjacencyScan is the super-vertex serving workload: unbounded
+// full-adjacency neighbor scans, with slightly over half the queries
+// aimed at a handful of designated super-vertices (IDs 1..Supers, loaded
+// with ~100k edges each by the bench harness) and the rest zipfian over
+// the ordinary user universe. It isolates the sequential-scan path the
+// packed CSR edge blocks accelerate.
+type FullAdjacencyScan struct {
+	rng    *rand.Rand
+	users  int
+	supers int
+	zipf   zipfSource
+}
+
+// NewFullAdjacencyScan creates the workload; supers is the count of
+// designated super-vertices (default 2 when <= 0), occupying vertex IDs
+// 1..supers.
+func NewFullAdjacencyScan(users, supers int, seed int64) *FullAdjacencyScan {
+	if supers <= 0 {
+		supers = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &FullAdjacencyScan{rng: rng, users: users, supers: supers, zipf: newZipfSource(rng, users, 1.2)}
+}
+
+// Name implements Generator.
+func (w *FullAdjacencyScan) Name() string { return "full-adjacency-scan" }
+
+// Clone implements Generator.
+func (w *FullAdjacencyScan) Clone(seed int64) Generator {
+	return NewFullAdjacencyScan(w.users, w.supers, seed)
+}
+
+// Next implements Generator.
+func (w *FullAdjacencyScan) Next() Op {
+	if w.rng.Intn(100) < 55 {
+		// Full scan of one super-vertex's adjacency (limit 0: unbounded).
+		return Op{Kind: OpNeighbors, Src: graph.VertexID(1 + w.rng.Intn(w.supers)), Type: graph.ETypeFollow}
+	}
+	return Op{Kind: OpNeighbors, Src: w.zipf.draw(), Type: graph.ETypeFollow}
+}
+
 // PreloadSpec describes the initial graph built before measurement.
 type PreloadSpec struct {
 	Vertices int

@@ -67,6 +67,12 @@ type Options struct {
 	// evicting the largest vertex beyond it. 0 disables.
 	ForestInitSizeThreshold int
 
+	// EdgeBlockThreshold packs a dedicated tree's adjacency into a
+	// contiguous CSR-style edge block once its live entry count exceeds
+	// this value (§3.2.1 super-vertices). 0 uses the default (1024);
+	// negative disables edge blocks entirely.
+	EdgeBlockThreshold int
+
 	// GC selects the reclamation policy. Default GCWorkloadAware.
 	GC GCPolicy
 
@@ -144,12 +150,20 @@ func (o Options) treeConfig() bwtree.Config {
 	if o.DeltaPolicy == Traditional {
 		policy = bwtree.Traditional
 	}
+	blockMin := o.EdgeBlockThreshold
+	if blockMin == 0 {
+		blockMin = 1024
+	}
+	if blockMin < 0 {
+		blockMin = 0 // disabled
+	}
 	return bwtree.Config{
-		Policy:         policy,
-		ConsolidateNum: o.ConsolidateNum,
-		MaxPageEntries: o.MaxPageEntries,
-		CacheCapacity:  o.CacheCapacity,
-		CacheShards:    o.CacheShards,
+		Policy:              policy,
+		ConsolidateNum:      o.ConsolidateNum,
+		MaxPageEntries:      o.MaxPageEntries,
+		CacheCapacity:       o.CacheCapacity,
+		CacheShards:         o.CacheShards,
+		EdgeBlockMinEntries: blockMin,
 	}
 }
 

@@ -51,7 +51,8 @@ func (s *Snapshot) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool
 	return s.view.GetEdge(src, typ, dst)
 }
 
-// Neighbors streams src's out-neighbors as of the snapshot.
+// Neighbors streams src's out-neighbors as of the snapshot, with
+// DB.Neighbors' callback-scoped Properties validity.
 func (s *Snapshot) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
 	return s.view.Neighbors(src, typ, limit, fn)
 }
