@@ -20,10 +20,12 @@ race:
 # workload, plus the super-vertex full-adjacency-scan pair (packed CSR
 # edge blocks on/off) and the replicated write-heavy group-commit
 # scenarios (serial, pipelined, and
-# pipelined-with-pinned-snapshot-readers), written to BENCH_PR8.json for
-# diffing across PRs.
+# pipelined-with-pinned-snapshot-readers), and the sharded-insert write
+# scaling series (1/4/16 hash-partitioned shards, one WAL stream and
+# group committer each), written to BENCH_PR9.json for diffing across
+# PRs.
 bench:
-	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR9.json
 
 # Reduced scale for CI; writes a separate file so the checked-in
 # full-scale baselines are never clobbered.
@@ -33,7 +35,7 @@ bench-short:
 # Compare the two checked-in full-scale trajectories; fails on a >20%
 # throughput regression.
 benchdiff:
-	$(GO) run ./cmd/bg3-benchdiff BENCH_PR7.json BENCH_PR8.json
+	$(GO) run ./cmd/bg3-benchdiff BENCH_PR8.json BENCH_PR9.json
 
 # One benchmark per paper table/figure, plus ablations and micro-benches.
 microbench:

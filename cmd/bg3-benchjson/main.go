@@ -15,7 +15,11 @@
 // epoch lag, GC deferrals) next to the same write metrics. The
 // full-adjacency-scan pair measures unbounded neighbor scans over a few
 // ~100k-degree super-vertices with packed CSR edge blocks on and off —
-// the block speedup is their throughput ratio.
+// the block speedup is their throughput ratio. The sharded-insert series
+// runs the same latency-bound insert stream against a hash-partitioned
+// shard group at 1, 4, and 16 shards — each shard its own WAL stream and
+// group committer — so the per-shard commit-pipeline parallelism shows up
+// as near-linear write scaling.
 // CI runs it in -short mode and archives the JSON so regressions show up as
 // a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
@@ -28,12 +32,17 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bg3"
+	"bg3/internal/core"
 	"bg3/internal/graph"
+	"bg3/internal/replication"
+	"bg3/internal/shard"
+	"bg3/internal/storage"
 	"bg3/internal/workload"
 )
 
@@ -105,6 +114,11 @@ type workloadJSON struct {
 	RetainedBytes   int64 `json:"retained_bytes,omitempty"`
 	GCPinDeferred   int64 `json:"gc_pin_deferred,omitempty"`
 
+	// Shard-group scaling: shard count of the partitioned write scenario
+	// (each shard has its own WAL stream, group committer, and epoch
+	// clock). Present on the sharded-insert series; zero elsewhere.
+	Shards int `json:"shards,omitempty"`
+
 	// Packed edge-block effectiveness: blocks built, scans served from a
 	// block vs forced to the merged delta path, and the per-super-vertex
 	// degree the scenario loaded. Present on the full-adjacency-scan
@@ -128,7 +142,7 @@ type benchJSON struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	short := flag.Bool("short", false, "reduced scale for CI")
 	workers := flag.Int("workers", 4, "concurrent clients per workload")
 	ops := flag.Int("ops", 0, "operations per worker (0: 2000, or 400 with -short)")
@@ -274,6 +288,26 @@ func main() {
 		}
 	}
 
+	// Shard-group write scaling: the same latency-bound insert stream
+	// against 1, 4, and 16 shards. Throughput is commit-round-trip bound
+	// (500us simulated append latency), so the scaling factor measures how
+	// well the partitioned WAL streams and per-shard committers overlap.
+	var shardBase float64
+	for _, n := range []int{1, 4, 16} {
+		w, err := runSharded(n, *writeWorkers*2, writeOpsPerWorker, *seed)
+		if err != nil {
+			log.Fatalf("sharded-insert-%d: %v", n, err)
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus\n",
+			w.Name, w.Throughput, w.P50US, w.P99US)
+		if n == 1 {
+			shardBase = w.Throughput
+		} else if shardBase > 0 {
+			fmt.Printf("%-24s %8.2fx vs 1 shard\n", "", w.Throughput/shardBase)
+		}
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -388,6 +422,90 @@ func runWrite(name string, gen workload.Generator, maxBatch, depth, readers, ver
 		w.ReadEpoch = int64(after.MVCC.ReadEpoch)
 		w.RetainedBytes = retainedMax.Load()
 		w.GCPinDeferred = after.GC.PinDeferred - before.GC.PinDeferred
+	}
+	return w, nil
+}
+
+// runSharded measures the partitioned-forest write path: `workers`
+// writers stream single-shard edge batches into a shard group whose
+// storage charges the same 500us append latency as the replicated
+// write scenarios. Every batch pays a commit round trip on its owner
+// shard, so aggregate throughput is bounded by how many WAL streams can
+// be in a commit round trip at once — the quantity sharding multiplies.
+func runSharded(shards, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+	const batchSize = 8
+	g, err := shard.Open(shards,
+		&storage.Options{ExtentSize: 256 << 10, WriteLatency: 500 * time.Microsecond},
+		replication.RWOptions{
+			Engine:        core.Options{},
+			CommitWindow:  200 * time.Microsecond,
+			MaxBatch:      8,
+			PipelineDepth: 8,
+		})
+	if err != nil {
+		return workloadJSON{}, err
+	}
+	defer g.Close()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    []time.Duration
+		ops     atomic.Int64
+		errs    atomic.Int64
+		started = time.Now()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := graph.VertexID(w + 1)
+			local := make([]time.Duration, 0, opsPerWorker)
+			for n := 0; n < opsPerWorker; n++ {
+				muts := make([]graph.Mutation, 0, batchSize)
+				for d := 0; d < batchSize; d++ {
+					muts = append(muts, graph.AddEdgeMut(graph.Edge{
+						Src: src, Dst: graph.VertexID(1_000_000 + n*batchSize + d),
+						Type:  graph.ETypeFollow,
+						Props: graph.Properties{{Name: "w", Value: []byte{byte(n)}}},
+					}))
+				}
+				t0 := time.Now()
+				if err := g.ApplyBatch(muts); err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+				ops.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	w := workloadJSON{
+		Name:       fmt.Sprintf("sharded-insert-%d", shards),
+		Workers:    workers,
+		Ops:        ops.Load(),
+		Errors:     errs.Load(),
+		DurationMS: elapsed.Milliseconds(),
+		P50US:      pct(0.50).Microseconds(),
+		P99US:      pct(0.99).Microseconds(),
+		Shards:     shards,
+	}
+	if elapsed > 0 {
+		w.Throughput = float64(ops.Load()) / elapsed.Seconds()
 	}
 	return w, nil
 }

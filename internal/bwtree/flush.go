@@ -115,7 +115,15 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 	}
 	floor := t.retentionFloor()
 	histLen := len(e.deltaOps) + len(e.pending)
-	retained := histRetained(e, floor)
+	// After a split the left half's history still covers the full
+	// pre-split range; the right sibling carries its own copies
+	// (seedRightHistory / rightContent). The durable delta written here
+	// must hold only in-range ops: an out-of-range op that reaches
+	// storage would be resurrected as a phantom key beyond e.hi by a
+	// cache reload or a snapshot rebuild, and a later split of that
+	// content could pick a separator at or past e.hi — an empty-range
+	// sibling that corrupts the leaf chain.
+	retained := opsInRange(histRetained(e, floor), e.lo, e.hi)
 	rewriteBase := e.splitPending ||
 		e.baseLoc.IsZero() ||
 		(histLen > t.cfg.ConsolidateNum && len(retained) < histLen)
@@ -185,6 +193,7 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		merged := make([]op, 0, len(e.deltaOps)+len(e.pending))
 		merged = append(merged, e.deltaOps...)
 		merged = append(merged, e.pending...)
+		merged = opsInRange(merged, e.lo, e.hi) // see retained above
 		loc, err := t.flushAppend(storage.StreamDelta, uint64(e.id), encodeOps(merged))
 		if err != nil {
 			return nil, err
@@ -201,6 +210,10 @@ func (t *Tree) flushPageLocked(e *pageEntry) (*MappingUpdate, error) {
 		// mid-loop failure leaves exactly the unflushed suffix for retry.
 		for len(e.pending) > 0 {
 			o := e.pending[0]
+			if !keyInRange(o.key, e.lo, e.hi) {
+				e.pending = e.pending[1:] // split debris; see retained above
+				continue
+			}
 			loc, err := t.flushAppend(storage.StreamDelta, uint64(e.id), encodeOps([]op{o}))
 			if err != nil {
 				return nil, err

@@ -69,7 +69,10 @@ func Rebuild(m *Mapping, store *storage.Store, cfg Config, logger WALLogger, id 
 			e.hi = nil
 		}
 		// Restore the in-memory delta mirror; Algorithm 1's merge path
-		// depends on it.
+		// depends on it. Clip to the leaf's directory range: a delta
+		// record written by a pre-clip flush may carry ops beyond hi
+		// (keys a split moved to the right sibling), and replaying them
+		// here would plant phantom out-of-range keys in the rebuilt tree.
 		for _, dl := range lf.Deltas {
 			data, err := store.Read(dl)
 			if err != nil {
@@ -80,7 +83,7 @@ func Rebuild(m *Mapping, store *storage.Store, cfg Config, logger WALLogger, id 
 				return nil, err
 			}
 			e.deltaLocs = append(e.deltaLocs, dl)
-			e.deltaOps = append(e.deltaOps, ops...)
+			e.deltaOps = append(e.deltaOps, opsInRange(ops, e.lo, e.hi)...)
 		}
 		m.register(e)
 		entries[i] = e

@@ -338,7 +338,11 @@ func (t *Tree) materialize(e *pageEntry) ([]kv, int, error) {
 	if err != nil {
 		return nil, reads, err
 	}
-	entries = mergeOps(entries, e.pending)
+	// Clip to the page's range: durable deltas written before a split can
+	// carry ops beyond a since-narrowed hi (the right sibling owns those
+	// keys), and resurrecting them here would hand phantom out-of-range
+	// keys to scans and the split separator choice.
+	entries = clipRangeView(mergeOps(entries, e.pending), e.lo, e.hi)
 	e.cached = entries
 	t.m.noteCached(e) // clears e.cached again when the cache is disabled
 	return entries, reads, nil
@@ -397,7 +401,7 @@ func (t *Tree) materializeShared(e *pageEntry) ([]kv, int, error) {
 			if e.baseLoc != f.base || !locsEqual(e.deltaLocs, f.deltas) {
 				continue // durable state moved on; the flight's content is stale
 			}
-			entries := mergeOps(f.entries, e.pending)
+			entries := clipRangeView(mergeOps(f.entries, e.pending), e.lo, e.hi)
 			e.cached = entries
 			t.m.noteCached(e)
 			t.m.materializeLat.Observe(time.Since(start))
@@ -415,7 +419,7 @@ func (t *Tree) materializeShared(e *pageEntry) ([]kv, int, error) {
 	if err != nil {
 		return nil, reads, err
 	}
-	entries = mergeOps(entries, e.pending)
+	entries = clipRangeView(mergeOps(entries, e.pending), e.lo, e.hi)
 	e.cached = entries
 	t.m.noteCached(e)
 	t.m.materializeLat.Observe(time.Since(start))
@@ -553,6 +557,15 @@ func (t *Tree) applyWrite(e *pageEntry, o op, track bool) (needSplit, existed bo
 		}
 		if async, ok := t.logger.(AsyncWALLogger); ok {
 			lsn, w := async.LogAsync(rec)
+			if lsn == 0 {
+				// Admission failed (stopped or poisoned committer, or an
+				// oversized record): no LSN exists and nothing was enqueued,
+				// so the write must fail before any page state changes. An
+				// op stamped 0 would otherwise sit below every snapshot
+				// horizon and leak an unlogged write into pinned reads.
+				t.blockWriteExit(gate, o, false)
+				return false, false, nil, w()
+			}
 			e.lsn = lsn
 			o.lsn = lsn
 			wait = w
@@ -861,7 +874,7 @@ func (t *Tree) prefetch(id PageID) {
 	if err != nil {
 		return
 	}
-	e.cached = mergeOps(entries, e.pending)
+	e.cached = clipRangeView(mergeOps(entries, e.pending), e.lo, e.hi)
 	e.prefetched = true
 	t.m.noteCached(e)
 }
@@ -873,6 +886,11 @@ func (t *Tree) prefetch(id PageID) {
 func (t *Tree) logStructural(rec *wal.Record, waits *[]func() error) (wal.LSN, error) {
 	if async, ok := t.logger.(AsyncWALLogger); ok {
 		lsn, w := async.LogAsync(rec)
+		if lsn == 0 {
+			// Admission failed: surface the rejection now, before the
+			// structural change mutates any in-memory state.
+			return 0, w()
+		}
 		*waits = append(*waits, w)
 		return lsn, nil
 	}
@@ -907,6 +925,13 @@ func (t *Tree) splitPageLocked(id PageID, waits *[]func() error) error {
 	if err != nil {
 		return err
 	}
+	// Clip to the page's current range before choosing a separator.
+	// Content is normally in-range, but a phantom key resurrected from a
+	// stale durable delta (written before the flush path clipped retained
+	// history) would sit at or beyond e.hi — and a separator chosen among
+	// phantoms would create an empty-range sibling, permanently breaking
+	// range scans over the leaf chain.
+	content = clipRangeView(content, e.lo, e.hi)
 	if len(content) <= t.cfg.MaxPageEntries {
 		return nil // a concurrent split already handled it
 	}

@@ -65,6 +65,34 @@ func histRetained(e *pageEntry, floor wal.LSN) []op {
 	return out
 }
 
+// keyInRange reports whether k lies inside [lo, hi); nil bounds are open.
+func keyInRange(k, lo, hi []byte) bool {
+	return (lo == nil || bytes.Compare(k, lo) >= 0) &&
+		(hi == nil || bytes.Compare(k, hi) < 0)
+}
+
+// opsInRange filters ops to those whose key lies inside [lo, hi),
+// preserving order. Returns the input slice unchanged (no allocation)
+// when nothing is dropped — the common case: history ops stray outside a
+// page's range only between a split (which narrows hi but leaves the
+// left sibling's history covering the full pre-split range) and that
+// page's next flush.
+func opsInRange(ops []op, lo, hi []byte) []op {
+	for i, o := range ops {
+		if keyInRange(o.key, lo, hi) {
+			continue
+		}
+		out := append([]op(nil), ops[:i]...)
+		for _, o := range ops[i+1:] {
+			if keyInRange(o.key, lo, hi) {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	return ops
+}
+
 // visibleOps returns the page's history ops stamped at or below h, oldest
 // first. The result aliases the underlying slices when possible.
 func visibleOps(e *pageEntry, h wal.LSN) []op {

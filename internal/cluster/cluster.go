@@ -7,12 +7,14 @@ package cluster
 
 import (
 	"bg3/internal/graph"
+	"bg3/internal/shard"
 )
 
 // Cluster shards a graph across member stores by source-vertex hash. It
 // implements graph.Store, so workloads run unchanged against 1..N nodes.
 type Cluster struct {
-	nodes []graph.Store
+	nodes  []graph.Store
+	router *shard.Router
 }
 
 // New builds a cluster over the given member stores.
@@ -20,17 +22,17 @@ func New(nodes ...graph.Store) *Cluster {
 	if len(nodes) == 0 {
 		panic("cluster: need at least one node")
 	}
-	return &Cluster{nodes: nodes}
+	return &Cluster{nodes: nodes, router: shard.NewRouter(len(nodes))}
 }
 
 // Nodes returns the member count.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
-// route picks the node owning a vertex. Fibonacci hashing spreads
-// consecutive IDs.
+// route picks the node owning a vertex — the same Fibonacci-hash router
+// the sharded engine uses, so the simulation places vertices exactly
+// where a real shard group would.
 func (c *Cluster) route(id graph.VertexID) graph.Store {
-	h := uint64(id) * 0x9E3779B97F4A7C15
-	return c.nodes[h%uint64(len(c.nodes))]
+	return c.nodes[c.router.Owner(id)]
 }
 
 // AddVertex implements graph.Store.

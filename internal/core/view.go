@@ -39,6 +39,35 @@ func (e *Engine) View() *ReadView {
 	return v
 }
 
+// ReadEpoch returns the engine's current released read epoch (0 without
+// an epoch clock). It is the component a cross-shard coordinator samples
+// into a consistent-cut vector.
+func (e *Engine) ReadEpoch() mvcc.Epoch {
+	if e.opts.Epochs == nil {
+		return 0
+	}
+	return e.opts.Epochs.Current()
+}
+
+// ViewAt pins a specific past epoch and returns a snapshot read handle —
+// the re-attach half of a cross-shard consistent cut. It fails closed
+// with mvcc.ErrFutureEpoch / ErrRetiredEpoch / ErrNotBoundary when the
+// epoch cannot be pinned exactly. On an engine without an epoch clock
+// only epoch 0 (latest state) is accepted.
+func (e *Engine) ViewAt(epoch mvcc.Epoch) (*ReadView, error) {
+	if e.opts.Epochs == nil {
+		if epoch != 0 {
+			return nil, mvcc.ErrFutureEpoch
+		}
+		return &ReadView{e: e}, nil
+	}
+	pin, err := e.opts.Epochs.PinAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadView{e: e, pin: pin}, nil
+}
+
 // Epoch returns the pinned group-commit boundary (0 when the engine has no
 // epoch clock and the view reads latest state).
 func (v *ReadView) Epoch() mvcc.Epoch {
@@ -107,6 +136,32 @@ func (v *ReadView) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, 
 			return true
 		}
 		return fn(dst, props)
+	})
+}
+
+// NeighborsMany streams the out-neighbors of each src in order, all at
+// the pinned epoch, sharing one property decoder across the whole
+// frontier — the per-shard read unit of a scatter-gather hop. limit
+// applies per source vertex (perVertexLimit pushdown); fn returning false
+// stops the entire multi-scan. Properties are callback-scoped, exactly as
+// in Neighbors.
+func (v *ReadView) NeighborsMany(srcs []graph.VertexID, typ graph.EdgeType, limit int, fn func(src, dst graph.VertexID, props graph.Properties) bool) error {
+	lo, hi := graph.EdgeTypeBounds(typ)
+	owners := make([]forest.OwnerID, len(srcs))
+	for i, s := range srcs {
+		owners[i] = forest.OwnerID(s)
+	}
+	var dec graph.PropDecoder
+	return v.e.edges.ScanManyAt(owners, lo, hi, limit, v.horizon(), func(owner forest.OwnerID, k, val []byte) bool {
+		_, dst, err := graph.DecodeEdgeKey(k)
+		if err != nil {
+			return true // skip foreign records defensively
+		}
+		props, err := dec.Decode(val)
+		if err != nil {
+			return true
+		}
+		return fn(graph.VertexID(owner), dst, props)
 	})
 }
 

@@ -140,3 +140,29 @@ func (f *Forest) ScanAt(owner OwnerID, from, to []byte, limit int, h wal.LSN, fn
 	}
 	return nil
 }
+
+// ScanManyAt runs ScanAt for each owner in order at one horizon — the
+// batched frontier read behind scatter-gather traversal. limit applies
+// per owner (perVertexLimit pushdown into each owner's scan); fn
+// returning false stops the whole multi-scan. Owner latching, dedicated
+// tree lookup, and INIT-residue merging are exactly ScanAt's, per owner.
+func (f *Forest) ScanManyAt(owners []OwnerID, from, to []byte, limit int, h wal.LSN, fn func(owner OwnerID, key, value []byte) bool) error {
+	stopped := false
+	for _, owner := range owners {
+		o := owner
+		err := f.ScanAt(o, from, to, limit, h, func(k, v []byte) bool {
+			if !fn(o, k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}

@@ -24,12 +24,29 @@
 package mvcc
 
 import (
+	"errors"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bg3/internal/metrics"
+)
+
+// PinAt failure modes. Cross-shard snapshot vectors are re-attached with
+// PinAt, so each rejection must fail closed: a vector that cannot be
+// pinned exactly is refused rather than approximated.
+var (
+	// ErrFutureEpoch: the requested epoch is above the released horizon —
+	// it names a group that has not committed (or a forged LSN).
+	ErrFutureEpoch = errors.New("mvcc: epoch not yet released")
+	// ErrRetiredEpoch: the requested epoch is below the retention floor —
+	// history at it may already be folded into page bases or reclaimed.
+	ErrRetiredEpoch = errors.New("mvcc: epoch below retention floor")
+	// ErrNotBoundary: the requested epoch is inside a commit group — a
+	// read at it could observe a partial group, so it is never pinnable.
+	ErrNotBoundary = errors.New("mvcc: epoch is not a group-commit boundary")
 )
 
 // Epoch identifies one group-commit boundary: the LSN of the last record
@@ -42,8 +59,9 @@ type Epoch uint64
 type Source struct {
 	current atomic.Uint64 // highest released epoch
 
-	mu   sync.Mutex
-	pins map[Epoch]*pinState // live pins by epoch
+	mu     sync.Mutex
+	pins   map[Epoch]*pinState // live pins by epoch
+	bounds []Epoch             // released group boundaries >= floor, ascending
 
 	// metrics
 	pinned    metrics.Gauge // live pin handles
@@ -62,8 +80,15 @@ type pinState struct {
 func NewSource(start Epoch) *Source {
 	s := &Source{pins: make(map[Epoch]*pinState)}
 	s.current.Store(uint64(start))
+	s.bounds = []Epoch{start}
 	return s
 }
+
+// maxTrackedBoundaries caps the boundary history kept for PinAt
+// validation. When a pin lags the writer by more than this many groups,
+// the oldest tracked boundaries are dropped and PinAt for them fails
+// closed with ErrNotBoundary — never the other way around.
+const maxTrackedBoundaries = 1 << 16
 
 // Advance moves the released horizon up to e. The committer calls this
 // with the last LSN of each group just before acking the group's writers;
@@ -76,9 +101,40 @@ func (s *Source) Advance(e Epoch) {
 		}
 		if s.current.CompareAndSwap(cur, uint64(e)) {
 			s.advances.Inc()
+			s.recordBoundary(e)
 			return
 		}
 	}
+}
+
+// recordBoundary remembers e as a released group boundary so PinAt can
+// later re-pin it. The committer releases acks (and therefore calls
+// Advance) strictly in LSN order, so appends stay sorted.
+func (s *Source) recordBoundary(e Epoch) {
+	s.mu.Lock()
+	if n := len(s.bounds); n == 0 || s.bounds[n-1] < e {
+		s.bounds = append(s.bounds, e)
+	}
+	s.pruneBoundsLocked()
+	s.mu.Unlock()
+}
+
+// pruneBoundsLocked drops boundaries below the retention floor (no pin
+// can ever land there again) and enforces the memory cap.
+func (s *Source) pruneBoundsLocked() {
+	floor := s.floorLocked()
+	i := sort.Search(len(s.bounds), func(i int) bool { return s.bounds[i] >= floor })
+	if over := len(s.bounds) - i - maxTrackedBoundaries; over > 0 {
+		i += over // cap blown: sacrifice the oldest, PinAt on them fails closed
+	}
+	if i > 0 {
+		s.bounds = append(s.bounds[:0], s.bounds[i:]...)
+	}
+}
+
+func (s *Source) isBoundaryLocked(e Epoch) bool {
+	i := sort.Search(len(s.bounds), func(i int) bool { return s.bounds[i] >= e })
+	return i < len(s.bounds) && s.bounds[i] == e
 }
 
 // Current returns the latest released epoch.
@@ -100,6 +156,48 @@ func (s *Source) Pin() *Pin {
 	s.pinsTotal.Inc()
 	s.updateLag()
 	return &Pin{src: s, epoch: e}
+}
+
+// PinAt takes a reference on a specific past epoch — the re-attach half
+// of a cross-shard consistent cut: a coordinator samples each shard's
+// epoch with Pin, ships the vector, and every participant PinAts the
+// component for its shard. It fails closed:
+//
+//   - e above the released horizon → ErrFutureEpoch
+//   - e below the retention floor (history may be folded) → ErrRetiredEpoch
+//   - e inside a commit group (a read there would tear) → ErrNotBoundary
+//
+// Note the floor rule: once the last pin at or below e closes, the floor
+// advances and e is no longer re-pinnable. Holders transferring a cut
+// must keep the original pin open until the transfer lands.
+func (s *Source) PinAt(e Epoch) (*Pin, error) {
+	s.mu.Lock()
+	cur := Epoch(s.current.Load())
+	if e > cur {
+		s.mu.Unlock()
+		return nil, ErrFutureEpoch
+	}
+	if e < s.floorLocked() {
+		s.mu.Unlock()
+		return nil, ErrRetiredEpoch
+	}
+	// cur itself is always a boundary (Advance only ever publishes group
+	// boundaries); check the history ring for anything older.
+	if e != cur && !s.isBoundaryLocked(e) {
+		s.mu.Unlock()
+		return nil, ErrNotBoundary
+	}
+	st := s.pins[e]
+	if st == nil {
+		st = &pinState{since: time.Now()}
+		s.pins[e] = st
+	}
+	st.refs++
+	s.mu.Unlock()
+	s.pinned.Add(1)
+	s.pinsTotal.Inc()
+	s.updateLag()
+	return &Pin{src: s, epoch: e}, nil
 }
 
 // Floor returns the retention floor: the oldest pinned epoch, or the

@@ -77,6 +77,32 @@ func (c *Cluster) shardAt(i int) *RWNode {
 	return c.shards[i]
 }
 
+// Leader returns the current leader of shard i. Failover may replace it
+// at any moment; callers that need a stable leader for a sequence of
+// operations should take it once and accept ErrFenced from a deposed one.
+func (c *Cluster) Leader(i int) *RWNode { return c.shardAt(i) }
+
+// Store returns shard i's shared-storage volume. Stores are immutable
+// across failovers (a promoted leader reopens the same volume), so this
+// is the stable handle for WAL replay and chaos oracles.
+func (c *Cluster) Store(i int) *storage.Store {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stores[i]
+}
+
+// ReadEpochs samples every shard's released read epoch, index-aligned
+// with the shard order. The components are sampled one shard at a time —
+// consistency of the vector comes from each component being a released
+// group boundary of its own WAL stream, not from cross-shard atomicity.
+func (c *Cluster) ReadEpochs() []uint64 {
+	out := make([]uint64, c.Shards())
+	for i := range out {
+		out[i] = uint64(c.shardAt(i).Engine().ReadEpoch())
+	}
+	return out
+}
+
 // shard routes a vertex to its owning RW node (Fibonacci hashing).
 func (c *Cluster) shard(id graph.VertexID) *RWNode {
 	c.mu.RLock()

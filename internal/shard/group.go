@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"bg3/internal/core"
+	"bg3/internal/graph"
+	"bg3/internal/metrics"
+	"bg3/internal/mvcc"
+	"bg3/internal/replication"
+	"bg3/internal/storage"
+)
+
+// Group is N shard groups behind one Router: each shard is a full
+// single-leader deployment (its own shared-storage volume, WAL stream,
+// group committer, MVCC epoch clock, and failover machinery from the
+// replication package), and the Group fans writes out by vertex hash.
+//
+// Reads through the Group's graph.Store methods are latest-state reads
+// on the owning shard's leader; consistent cross-shard reads go through
+// Snapshot / SnapshotAt.
+type Group struct {
+	router  *Router
+	cluster *replication.Cluster
+	reg     *metrics.Registry
+
+	batches     metrics.Counter // ApplyBatch calls routed
+	fanout      metrics.IntHistogram
+	scatterHops metrics.Counter // scatter-gather hop rounds issued
+	shardReads  metrics.Counter // per-shard parallel reads issued
+	snapshots   metrics.Counter // consistent cuts taken
+	pinRejects  metrics.Counter // SnapshotAt vectors refused (fail closed)
+}
+
+// Open creates a group of n shards with identical options. storageOpts
+// may be nil for defaults; each shard opens its own store.
+func Open(n int, storageOpts *storage.Options, rw replication.RWOptions) (*Group, error) {
+	c, err := replication.NewCluster(n, storageOpts, rw)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{router: NewRouter(n), cluster: c, reg: metrics.NewRegistry()}
+	g.registerMetrics()
+	return g, nil
+}
+
+func (g *Group) registerMetrics() {
+	r := g.reg
+	r.RegisterCounter("shard.batches_routed", &g.batches)
+	r.RegisterIntHistogram("shard.batch_fanout", &g.fanout)
+	r.RegisterCounter("shard.scatter_hops", &g.scatterHops)
+	r.RegisterCounter("shard.scatter_shard_reads", &g.shardReads)
+	r.RegisterCounter("shard.snapshots", &g.snapshots)
+	r.RegisterCounter("shard.snapshot_rejects", &g.pinRejects)
+	r.CounterFunc("shard.failovers", g.cluster.Failovers)
+	r.GaugeFunc("shard.shards", func() int64 { return int64(g.router.Shards()) })
+}
+
+// Metrics returns the group-level registry (per-shard engines and
+// committers keep their own registries, reachable via Leader).
+func (g *Group) Metrics() *metrics.Registry { return g.reg }
+
+// Router returns the vertex → shard mapping.
+func (g *Group) Router() *Router { return g.router }
+
+// Cluster returns the underlying replication cluster (per-shard leaders,
+// stores, and failover).
+func (g *Group) Cluster() *replication.Cluster { return g.cluster }
+
+// Shards returns the shard count.
+func (g *Group) Shards() int { return g.router.Shards() }
+
+// Leader returns shard i's current leader.
+func (g *Group) Leader(i int) *replication.RWNode { return g.cluster.Leader(i) }
+
+// Store returns shard i's shared-storage volume.
+func (g *Group) Store(i int) *storage.Store { return g.cluster.Store(i) }
+
+// Failover fences shard i's leader and promotes a replacement built
+// from the shard's durable state; other shards are untouched.
+func (g *Group) Failover(i int) error { return g.cluster.Failover(i) }
+
+// Close stops every shard.
+func (g *Group) Close() { g.cluster.Stop() }
+
+// owner returns the leader currently owning id.
+func (g *Group) owner(id graph.VertexID) *replication.RWNode {
+	return g.cluster.Leader(g.router.Owner(id))
+}
+
+// AddVertex implements graph.Store on the owning shard.
+func (g *Group) AddVertex(v graph.Vertex) error { return g.owner(v.ID).AddVertex(v) }
+
+// GetVertex implements graph.Store on the owning shard.
+func (g *Group) GetVertex(id graph.VertexID, typ graph.VertexType) (graph.Vertex, bool, error) {
+	return g.owner(id).GetVertex(id, typ)
+}
+
+// AddEdge implements graph.Store on the source's owning shard.
+func (g *Group) AddEdge(e graph.Edge) error { return g.owner(e.Src).AddEdge(e) }
+
+// GetEdge implements graph.Store on the source's owning shard.
+func (g *Group) GetEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) (graph.Edge, bool, error) {
+	return g.owner(src).GetEdge(src, typ, dst)
+}
+
+// DeleteEdge implements graph.Store on the source's owning shard.
+func (g *Group) DeleteEdge(src graph.VertexID, typ graph.EdgeType, dst graph.VertexID) error {
+	return g.owner(src).DeleteEdge(src, typ, dst)
+}
+
+// Neighbors implements graph.Store on the source's owning shard.
+func (g *Group) Neighbors(src graph.VertexID, typ graph.EdgeType, limit int, fn func(graph.VertexID, graph.Properties) bool) error {
+	return g.owner(src).Neighbors(src, typ, limit, fn)
+}
+
+// Degree implements graph.Store on the source's owning shard.
+func (g *Group) Degree(src graph.VertexID, typ graph.EdgeType) (int, error) {
+	return g.owner(src).Degree(src, typ)
+}
+
+var (
+	_ graph.Store      = (*Group)(nil)
+	_ graph.BatchStore = (*Group)(nil)
+)
+
+// ApplyBatch fans the batch out as per-shard commit groups: mutations
+// are decomposed by owner (SplitBatch) and each non-empty group commits
+// on its shard in parallel as one atomic, durable WAL group. The union
+// of the groups is exactly the input, but the batch is NOT atomic across
+// shards — a shard mid-failover can fence its group while the others
+// land; the error names the first failed shard and the caller may retry
+// the whole batch (replays are idempotent upserts/deletes).
+func (g *Group) ApplyBatch(muts []graph.Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	g.batches.Inc()
+	parts := g.router.SplitBatch(muts)
+	touched := 0
+	last := -1
+	for i, part := range parts {
+		if len(part) > 0 {
+			touched++
+			last = i
+		}
+	}
+	g.fanout.Observe(int64(touched))
+	if touched == 1 {
+		return g.applyShard(last, parts[last])
+	}
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []graph.Mutation) {
+			defer wg.Done()
+			errs[i] = g.applyShard(i, part)
+		}(i, part)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (g *Group) applyShard(i int, part []graph.Mutation) error {
+	return g.cluster.Leader(i).ApplyBatch(part)
+}
+
+// ObserveScatter folds one traversal's scatter-gather counts into the
+// group's metrics.
+func (g *Group) ObserveScatter(st ScatterStats) {
+	g.scatterHops.Add(int64(st.Hops))
+	g.shardReads.Add(int64(st.ShardReads))
+}
+
+// ReadEpochs samples every shard's released read epoch as a Vector.
+func (g *Group) ReadEpochs() Vector {
+	raw := g.cluster.ReadEpochs()
+	v := make(Vector, len(raw))
+	for i, e := range raw {
+		v[i] = mvcc.Epoch(e)
+	}
+	return v
+}
+
+// Snapshot takes a consistent cut: it samples each shard's released
+// read epoch and pins that boundary on the shard, one shard at a time.
+// Component i is a gapless prefix of shard i's WAL ending at a group
+// boundary; the vector as a whole is the cut every subsequent hop routes
+// at. A failover racing the cut is harmless: a view pinned on a deposed
+// leader still reads its shard's released prefix exactly (fenced
+// in-flight writes were never released, so the pinned horizon excludes
+// them).
+func (g *Group) Snapshot() *Snapshot {
+	views := make([]*core.ReadView, g.Shards())
+	for i := range views {
+		views[i] = g.cluster.Leader(i).Engine().View()
+	}
+	g.snapshots.Inc()
+	return &Snapshot{router: g.router, views: views}
+}
+
+// SnapshotAt re-attaches a previously sampled cut, pinning each shard at
+// the vector's component. It fails closed — a structurally invalid
+// vector, a component ahead of its shard's released horizon, one whose
+// history has been folded past the retention floor, or one naming a
+// mid-group LSN all reject the whole cut with no pins leaked.
+func (g *Group) SnapshotAt(v Vector) (*Snapshot, error) {
+	if err := v.ValidateAgainst(g.cluster.ReadEpochs()); err != nil {
+		g.pinRejects.Inc()
+		return nil, err
+	}
+	views := make([]*core.ReadView, len(v))
+	for i, e := range v {
+		view, err := g.cluster.Leader(i).Engine().ViewAt(e)
+		if err != nil {
+			for _, pinned := range views[:i] {
+				pinned.Close()
+			}
+			g.pinRejects.Inc()
+			return nil, fmt.Errorf("shard %d epoch %d: %w", i, e, err)
+		}
+		views[i] = view
+	}
+	g.snapshots.Inc()
+	return &Snapshot{router: g.router, views: views}, nil
+}

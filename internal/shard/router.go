@@ -1,0 +1,102 @@
+// Package shard partitions the vertex space across N shard groups, each
+// with its own WAL stream, group committer, MVCC epoch clock, and
+// leader/follower set (BG3 §3.1 multi-RW deployments). A Router maps
+// every vertex to exactly one shard; a Group fans batched writes out as
+// per-shard commit groups; a Snapshot pins one released read epoch per
+// shard (a consistent cut) and runs KHop/MatchPattern/FindCycles as
+// scatter-gather over the pinned vector — each hop resolves the
+// frontier's owners, issues per-shard reads in parallel, and merges
+// results with perVertexLimit pushdown intact.
+package shard
+
+import "bg3/internal/graph"
+
+// fibMul is the 64-bit Fibonacci-hashing multiplier (2^64 / φ, odd). The
+// same constant routes writes in the replication cluster and the Fig. 8
+// simulation cluster, so a vertex written through any path lands on the
+// same shard.
+const fibMul = 0x9E3779B97F4A7C15
+
+// Router maps vertices to shards by Fibonacci hashing. Routing is total
+// (every VertexID has exactly one owner) and stable (a pure function of
+// the ID and the shard count). The zero value routes everything to shard
+// 0; use NewRouter.
+type Router struct {
+	n int
+}
+
+// NewRouter returns a router over n shards (n < 1 is clamped to 1).
+func NewRouter(n int) *Router {
+	if n < 1 {
+		n = 1
+	}
+	return &Router{n: n}
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int {
+	if r.n < 1 {
+		return 1
+	}
+	return r.n
+}
+
+// Owner returns the shard owning id.
+func (r *Router) Owner(id graph.VertexID) int {
+	return int((uint64(id) * fibMul) % uint64(r.Shards()))
+}
+
+// routeKey returns the vertex whose owner decides where a mutation
+// lives: vertices route by their own ID, edges by their source (edges
+// are stored in the source vertex's adjacency, so the edge and its
+// endpoint stay colocated).
+func routeKey(m graph.Mutation) graph.VertexID {
+	if m.Kind == graph.MutAddVertex {
+		return m.Vertex.ID
+	}
+	return m.Edge.Src
+}
+
+// SplitBatch decomposes a batch into per-shard groups, index-aligned
+// with the shard order; shards the batch does not touch get a nil slice.
+// Relative order within each group is the input order, and the
+// concatenation of the groups is a permutation of the input — no
+// mutation is duplicated or dropped (the router property test pins this
+// down). Each group commits as one atomic, durable WAL group on its
+// shard; the batch as a whole is NOT atomic across shards.
+func (r *Router) SplitBatch(muts []graph.Mutation) [][]graph.Mutation {
+	parts := make([][]graph.Mutation, r.Shards())
+	if len(muts) == 0 {
+		return parts
+	}
+	// Fast path: single-shard batches (the common case for workloads that
+	// batch around one entity) avoid any per-shard allocation.
+	first := r.Owner(routeKey(muts[0]))
+	single := true
+	for _, m := range muts[1:] {
+		if r.Owner(routeKey(m)) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		parts[first] = muts
+		return parts
+	}
+	for _, m := range muts {
+		s := r.Owner(routeKey(m))
+		parts[s] = append(parts[s], m)
+	}
+	return parts
+}
+
+// SplitFrontier groups a traversal frontier by owning shard, preserving
+// the input order within each group — the scatter half of one hop.
+func (r *Router) SplitFrontier(ids []graph.VertexID) [][]graph.VertexID {
+	parts := make([][]graph.VertexID, r.Shards())
+	for _, id := range ids {
+		s := r.Owner(id)
+		parts[s] = append(parts[s], id)
+	}
+	return parts
+}

@@ -98,6 +98,14 @@ type Options struct {
 	// and pages are flushed in the background.
 	Replicated bool
 
+	// Shards partitions the vertex space across this many independent
+	// shard groups when the database is opened with OpenSharded — each
+	// shard gets its own shared-storage volume, WAL stream, group
+	// committer, MVCC epoch clock, and leader. 0 or 1 means a single
+	// shard. Ignored by Open. Sharded mode is always replicated (the WAL
+	// pipeline is what gives each shard its epoch clock).
+	Shards int
+
 	// CommitWindow is the WAL group-commit accumulation window
 	// (replicated mode; 0: commit as soon as the queue drains).
 	CommitWindow time.Duration

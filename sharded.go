@@ -1,0 +1,281 @@
+package bg3
+
+import (
+	"fmt"
+
+	"bg3/internal/graph"
+	"bg3/internal/metrics"
+	"bg3/internal/shard"
+)
+
+// ShardedDB is a horizontally partitioned BG3 deployment (§3.1): the
+// vertex space is split by hash across Options.Shards shard groups, each
+// a full single-leader engine with its own shared-storage volume, WAL
+// stream, group committer, MVCC epoch clock, and failover machinery.
+// Writes route to the owning shard (batches fan out as per-shard commit
+// groups); consistent cross-shard reads pin a per-shard epoch vector (a
+// consistent cut) and traversals run scatter-gather over it.
+//
+// All methods are safe for concurrent use.
+type ShardedDB struct {
+	opts  Options
+	group *shard.Group
+}
+
+var (
+	_ graph.Store      = (*ShardedDB)(nil)
+	_ graph.BatchStore = (*ShardedDB)(nil)
+)
+
+// OpenSharded creates an in-process sharded BG3 database with
+// opts.Shards shard groups (nil opts or Shards <= 1: one shard). Sharded
+// mode always runs the replicated write path — each shard needs a WAL
+// stream to own an epoch clock.
+func OpenSharded(opts *Options) (*ShardedDB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Replicated = true
+	g, err := shard.Open(o.Shards, o.storageOptions(), o.rwOptions())
+	if err != nil {
+		return nil, fmt.Errorf("bg3: open sharded: %w", err)
+	}
+	return &ShardedDB{opts: o, group: g}, nil
+}
+
+// Close stops every shard's committer, flusher, and engine.
+func (db *ShardedDB) Close() { db.group.Close() }
+
+// Shards returns the shard count.
+func (db *ShardedDB) Shards() int { return db.group.Shards() }
+
+// Group exposes the shard group for tests and tooling.
+func (db *ShardedDB) Group() *shard.Group { return db.group }
+
+// Metrics returns the group-level metrics registry (routing fan-out,
+// scatter-gather counters, snapshot accounting, failovers).
+func (db *ShardedDB) Metrics() *metrics.Registry { return db.group.Metrics() }
+
+// AddVertex writes the vertex on its owning shard.
+func (db *ShardedDB) AddVertex(v Vertex) error { return db.group.AddVertex(v) }
+
+// GetVertex reads the vertex from its owning shard (latest state).
+func (db *ShardedDB) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return db.group.GetVertex(id, typ)
+}
+
+// AddEdge writes the edge on its source's owning shard.
+func (db *ShardedDB) AddEdge(e Edge) error { return db.group.AddEdge(e) }
+
+// GetEdge reads one edge from its source's owning shard (latest state).
+func (db *ShardedDB) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return db.group.GetEdge(src, typ, dst)
+}
+
+// DeleteEdge removes the edge on its source's owning shard.
+func (db *ShardedDB) DeleteEdge(src VertexID, typ EdgeType, dst VertexID) error {
+	return db.group.DeleteEdge(src, typ, dst)
+}
+
+// Neighbors streams src's out-neighbors from its owning shard (latest
+// state), with callback-scoped Properties validity.
+func (db *ShardedDB) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return db.group.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns src's out-degree on its owning shard.
+func (db *ShardedDB) Degree(src VertexID, typ EdgeType) (int, error) {
+	return db.group.Degree(src, typ)
+}
+
+// ApplyBatch decomposes the batch by owner and commits each per-shard
+// group in parallel, each as one atomic durable WAL group on its shard.
+// The union of the groups is exactly the input; atomicity is per shard,
+// not across shards (a retry after a partial failure is safe — all
+// mutations are idempotent upserts/deletes).
+func (db *ShardedDB) ApplyBatch(muts []Mutation) error { return db.group.ApplyBatch(muts) }
+
+// ShardSnapshot is a consistent cross-shard cut: one pinned read epoch
+// per shard. Every read through it observes each shard exactly at that
+// shard's pinned group-commit boundary — a scatter-gather traversal
+// never sees a torn cross-shard state, no matter how many writes commit
+// or which leaders fail over while it is open.
+//
+// It holds every shard's MVCC retention floor down until closed; close
+// it promptly. Safe for concurrent readers; Close is idempotent.
+type ShardSnapshot struct {
+	snap *shard.Snapshot
+	db   *ShardedDB
+}
+
+var _ graph.Reader = (*ShardSnapshot)(nil)
+
+// Snapshot pins each shard's current released read epoch and returns the
+// cut. The caller must Close it.
+func (db *ShardedDB) Snapshot() *ShardSnapshot {
+	return &ShardSnapshot{snap: db.group.Snapshot(), db: db}
+}
+
+// SnapshotAt re-attaches a cut from an encoded epoch vector (see
+// ShardSnapshot.Vector). It fails closed: truncated or corrupt vectors,
+// wrong shard counts, components ahead of a shard's released horizon,
+// retired below its retention floor, or naming mid-group LSNs are all
+// rejected with no pins leaked. The original snapshot must stay open
+// until the re-attach returns, or its epochs may retire.
+func (db *ShardedDB) SnapshotAt(vector []byte) (*ShardSnapshot, error) {
+	v, err := shard.DecodeVector(vector)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := db.group.SnapshotAt(v)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardSnapshot{snap: snap, db: db}, nil
+}
+
+// Epochs returns the pinned epoch vector: component i is shard i's
+// group-commit boundary.
+func (s *ShardSnapshot) Epochs() []uint64 {
+	v := s.snap.Epochs()
+	out := make([]uint64, len(v))
+	for i, e := range v {
+		out[i] = uint64(e)
+	}
+	return out
+}
+
+// Vector returns the cut as a checksummed wire-format vector that
+// SnapshotAt on another handle over the same shards can re-pin.
+func (s *ShardSnapshot) Vector() []byte { return s.snap.Epochs().Encode() }
+
+// Close releases every shard's pin. Idempotent.
+func (s *ShardSnapshot) Close() { s.snap.Close() }
+
+// GetVertex reads the vertex at its owner's pinned horizon.
+func (s *ShardSnapshot) GetVertex(id VertexID, typ VertexType) (Vertex, bool, error) {
+	return s.snap.GetVertex(id, typ)
+}
+
+// GetEdge reads one edge at its source owner's pinned horizon.
+func (s *ShardSnapshot) GetEdge(src VertexID, typ EdgeType, dst VertexID) (Edge, bool, error) {
+	return s.snap.GetEdge(src, typ, dst)
+}
+
+// Neighbors streams src's out-neighbors at its owner's pinned horizon.
+func (s *ShardSnapshot) Neighbors(src VertexID, typ EdgeType, limit int, fn func(VertexID, Properties) bool) error {
+	return s.snap.Neighbors(src, typ, limit, fn)
+}
+
+// Degree returns src's out-degree at its owner's pinned horizon.
+func (s *ShardSnapshot) Degree(src VertexID, typ EdgeType) (int, error) {
+	return s.snap.Degree(src, typ)
+}
+
+// KHop expands hops levels from start over the cut, scatter-gather: each
+// hop splits the frontier by owner, issues batched per-shard reads in
+// parallel (perVertexLimit pushed down into each shard's scan), and
+// merges. The reached set is exactly what the serial traversal over this
+// snapshot would return.
+func (s *ShardSnapshot) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	var st shard.ScatterStats
+	reached, err := s.snap.KHopScatter(start, typ, hops, perVertexLimit, &st)
+	s.db.group.ObserveScatter(st)
+	return reached, err
+}
+
+// MatchPattern finds embeddings of p anchored at the seeds over the cut,
+// scattering independent seeds across workers.
+func (s *ShardSnapshot) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
+	return s.snap.MatchPattern(p, seeds, maxMatches)
+}
+
+// FindCycles enumerates simple cycles through start over the cut,
+// scattering independent first-hop branches across workers.
+func (s *ShardSnapshot) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
+	return s.snap.FindCycles(start, typ, maxLen, maxCycles)
+}
+
+// KHop is the one-shot traversal: it pins a cut, runs the scatter-gather
+// expansion, and releases the cut — one traversal, one consistent
+// cross-shard boundary vector.
+func (db *ShardedDB) KHop(start VertexID, typ EdgeType, hops, perVertexLimit int) (map[VertexID]struct{}, error) {
+	s := db.Snapshot()
+	defer s.Close()
+	return s.KHop(start, typ, hops, perVertexLimit)
+}
+
+// MatchPattern pins a cut and matches over it.
+func (db *ShardedDB) MatchPattern(p Pattern, seeds []VertexID, maxMatches int) ([][]VertexID, error) {
+	s := db.Snapshot()
+	defer s.Close()
+	return s.MatchPattern(p, seeds, maxMatches)
+}
+
+// FindCycles pins a cut and enumerates cycles over it.
+func (db *ShardedDB) FindCycles(start VertexID, typ EdgeType, maxLen, maxCycles int) ([][]VertexID, error) {
+	s := db.Snapshot()
+	defer s.Close()
+	return s.FindCycles(start, typ, maxLen, maxCycles)
+}
+
+// Failover fences shard i's leader and promotes a replacement rebuilt
+// from the shard's durable state. Other shards keep serving; snapshots
+// pinned on the deposed leader stay exact (their horizons exclude
+// anything the fence cut off).
+func (db *ShardedDB) Failover(i int) error {
+	if i < 0 || i >= db.group.Shards() {
+		return fmt.Errorf("bg3: failover: shard %d out of range [0,%d)", i, db.group.Shards())
+	}
+	return db.group.Failover(i)
+}
+
+// ShardedStats is a point-in-time summary of a sharded deployment.
+type ShardedStats struct {
+	// Shards is the shard-group count.
+	Shards int `json:"shards"`
+	// Epochs is each shard's released read epoch (its consistent-cut
+	// component at sampling time).
+	Epochs []uint64 `json:"epochs"`
+	// LastLSNs is each shard's assigned-LSN horizon.
+	LastLSNs []uint64 `json:"last_lsns"`
+	// Failovers counts leader replacements across all shards.
+	Failovers int64 `json:"failovers"`
+	// BatchesRouted counts ApplyBatch calls fanned out by the router.
+	BatchesRouted int64 `json:"batches_routed"`
+	// BatchFanoutMean is the mean number of shards touched per batch.
+	BatchFanoutMean float64 `json:"batch_fanout_mean"`
+	// ScatterHops / ScatterShardReads count scatter-gather hop rounds and
+	// the parallel per-shard reads they issued.
+	ScatterHops       int64 `json:"scatter_hops"`
+	ScatterShardReads int64 `json:"scatter_shard_reads"`
+	// Snapshots counts consistent cuts taken; SnapshotRejects counts
+	// vectors refused fail-closed by SnapshotAt.
+	Snapshots       int64 `json:"snapshots"`
+	SnapshotRejects int64 `json:"snapshot_rejects"`
+}
+
+// Stats samples the sharded deployment.
+func (db *ShardedDB) Stats() ShardedStats {
+	g := db.group
+	snap := g.Metrics().Snapshot()
+	st := ShardedStats{
+		Shards:   g.Shards(),
+		Epochs:   make([]uint64, 0, g.Shards()),
+		LastLSNs: g.Cluster().LastLSNs(),
+	}
+	for _, e := range g.ReadEpochs() {
+		st.Epochs = append(st.Epochs, uint64(e))
+	}
+	st.Failovers = snap["shard.failovers"].Value
+	st.BatchesRouted = snap["shard.batches_routed"].Value
+	st.ScatterHops = snap["shard.scatter_hops"].Value
+	st.ScatterShardReads = snap["shard.scatter_shard_reads"].Value
+	st.Snapshots = snap["shard.snapshots"].Value
+	st.SnapshotRejects = snap["shard.snapshot_rejects"].Value
+	if h := snap["shard.batch_fanout"].IntHistogram; h != nil {
+		st.BatchFanoutMean = h.Mean
+	}
+	return st
+}
