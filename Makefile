@@ -20,12 +20,13 @@ race:
 # workload, plus the super-vertex full-adjacency-scan pair (packed CSR
 # edge blocks on/off) and the replicated write-heavy group-commit
 # scenarios (serial, pipelined, and
-# pipelined-with-pinned-snapshot-readers), and the sharded-insert write
+# pipelined-with-pinned-snapshot-readers), the sharded-insert write
 # scaling series (1/4/16 hash-partitioned shards, one WAL stream and
-# group committer each), written to BENCH_PR9.json for diffing across
-# PRs.
+# group committer each), and the sharded-txn series (the same stream as
+# two-shard 2PC batches, quantifying the cross-shard transaction
+# premium), written to BENCH_PR10.json for diffing across PRs.
 bench:
-	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/bg3-benchjson -out BENCH_PR10.json
 
 # Reduced scale for CI; writes a separate file so the checked-in
 # full-scale baselines are never clobbered.
@@ -35,7 +36,7 @@ bench-short:
 # Compare the two checked-in full-scale trajectories; fails on a >20%
 # throughput regression.
 benchdiff:
-	$(GO) run ./cmd/bg3-benchdiff BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/bg3-benchdiff BENCH_PR9.json BENCH_PR10.json
 
 # One benchmark per paper table/figure, plus ablations and micro-benches.
 microbench:

@@ -19,7 +19,10 @@
 // runs the same latency-bound insert stream against a hash-partitioned
 // shard group at 1, 4, and 16 shards — each shard its own WAL stream and
 // group committer — so the per-shard commit-pipeline parallelism shows up
-// as near-linear write scaling.
+// as near-linear write scaling. The sharded-txn series reruns that stream
+// with every batch split across two shards, so each batch pays the 2PC
+// prepare/decide round trips; its ratio to sharded-insert at the same
+// shard count is the multi-shard transaction premium.
 // CI runs it in -short mode and archives the JSON so regressions show up as
 // a diffable artifact over time; bg3-benchdiff compares two such files.
 package main
@@ -293,18 +296,40 @@ func main() {
 	// (500us simulated append latency), so the scaling factor measures how
 	// well the partitioned WAL streams and per-shard committers overlap.
 	var shardBase float64
+	insertThr := make(map[int]float64)
 	for _, n := range []int{1, 4, 16} {
 		w, err := runSharded(n, *writeWorkers*2, writeOpsPerWorker, *seed)
 		if err != nil {
 			log.Fatalf("sharded-insert-%d: %v", n, err)
 		}
 		report.Workloads = append(report.Workloads, w)
+		insertThr[n] = w.Throughput
 		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus\n",
 			w.Name, w.Throughput, w.P50US, w.P99US)
 		if n == 1 {
 			shardBase = w.Throughput
 		} else if shardBase > 0 {
 			fmt.Printf("%-24s %8.2fx vs 1 shard\n", "", w.Throughput/shardBase)
+		}
+	}
+
+	// Cross-shard transaction premium: the same latency-bound stream but
+	// with every batch split across two shards, so each one runs the 2PC
+	// path (parallel prepares + one commit decision + parallel applies)
+	// instead of one shard's plain group-commit. At 1 shard the batch is
+	// single-shard by construction and takes the fast path — that ratio
+	// isolates what the prepare/decide round trips cost.
+	for _, n := range []int{1, 4, 16} {
+		w, err := runShardedTxn(n, *writeWorkers*2, writeOpsPerWorker, *seed)
+		if err != nil {
+			log.Fatalf("sharded-txn-%d: %v", n, err)
+		}
+		report.Workloads = append(report.Workloads, w)
+		fmt.Printf("%-24s %8.0f ops/s  p50=%dus p99=%dus\n",
+			w.Name, w.Throughput, w.P50US, w.P99US)
+		if base := insertThr[n]; base > 0 && n > 1 {
+			fmt.Printf("%-24s %8.2fx vs sharded-insert-%d (multi-shard txn premium)\n",
+				"", w.Throughput/base, n)
 		}
 	}
 
@@ -496,6 +521,112 @@ func runSharded(shards, workers, opsPerWorker int, seed int64) (workloadJSON, er
 	}
 	w := workloadJSON{
 		Name:       fmt.Sprintf("sharded-insert-%d", shards),
+		Workers:    workers,
+		Ops:        ops.Load(),
+		Errors:     errs.Load(),
+		DurationMS: elapsed.Milliseconds(),
+		P50US:      pct(0.50).Microseconds(),
+		P99US:      pct(0.99).Microseconds(),
+		Shards:     shards,
+	}
+	if elapsed > 0 {
+		w.Throughput = float64(ops.Load()) / elapsed.Seconds()
+	}
+	return w, nil
+}
+
+// runShardedTxn measures the cross-shard transaction path: the same
+// latency-bound insert stream as runSharded, but each batch's edges come
+// from two source vertices on different shards (when shards > 1), so
+// every batch is a two-participant 2PC — prepare intents on both WAL
+// streams, the commit decision on the coordinator's, then the applies.
+// At shards == 1 both sources land on the one shard and the batch takes
+// the single-shard fast path, making that run the no-premium baseline.
+func runShardedTxn(shards, workers, opsPerWorker int, seed int64) (workloadJSON, error) {
+	const batchSize = 8
+	g, err := shard.Open(shards,
+		&storage.Options{ExtentSize: 256 << 10, WriteLatency: 500 * time.Microsecond},
+		replication.RWOptions{
+			Engine:        core.Options{},
+			CommitWindow:  200 * time.Microsecond,
+			MaxBatch:      8,
+			PipelineDepth: 8,
+		})
+	if err != nil {
+		return workloadJSON{}, err
+	}
+	defer g.Close()
+
+	// Per-writer source pair on two different shards (any pair works at
+	// one shard — everything is shard 0).
+	r := g.Router()
+	srcA := make([]graph.VertexID, workers)
+	srcB := make([]graph.VertexID, workers)
+	for w := 0; w < workers; w++ {
+		srcA[w] = graph.VertexID(1000*w + 1)
+		srcB[w] = srcA[w] + 1
+		if shards > 1 {
+			for id := srcA[w] + 1; ; id++ {
+				if r.Owner(id) != r.Owner(srcA[w]) {
+					srcB[w] = id
+					break
+				}
+			}
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    []time.Duration
+		ops     atomic.Int64
+		errs    atomic.Int64
+		started = time.Now()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, opsPerWorker)
+			for n := 0; n < opsPerWorker; n++ {
+				muts := make([]graph.Mutation, 0, batchSize)
+				for d := 0; d < batchSize; d++ {
+					src := srcA[w]
+					if d%2 == 1 {
+						src = srcB[w]
+					}
+					muts = append(muts, graph.AddEdgeMut(graph.Edge{
+						Src: src, Dst: graph.VertexID(1_000_000 + n*batchSize + d),
+						Type:  graph.ETypeFollow,
+						Props: graph.Properties{{Name: "w", Value: []byte{byte(n)}}},
+					}))
+				}
+				t0 := time.Now()
+				if err := g.ApplyBatch(muts); err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+				ops.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	w := workloadJSON{
+		Name:       fmt.Sprintf("sharded-txn-%d", shards),
 		Workers:    workers,
 		Ops:        ops.Load(),
 		Errors:     errs.Load(),

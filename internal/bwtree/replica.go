@@ -139,6 +139,10 @@ func (r *Replica) applyRecord(rec *wal.Record) error {
 		return nil // routing is directory-based; inner structure not mirrored
 	case wal.RecordOwnerAssign:
 		return nil // consumed by the forest-level replica wrapper
+	case wal.RecordTxnPrepare, wal.RecordTxnCommit, wal.RecordTxnAbort, wal.RecordTxnApplied:
+		// Cross-shard transaction control records: decided payloads are
+		// re-logged as ordinary data records, so replicas track nothing here.
+		return nil
 	case wal.RecordCheckpoint:
 		return r.applyCheckpoint(rec)
 	default:

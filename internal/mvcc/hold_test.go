@@ -1,0 +1,124 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+)
+
+// A hold freezes the published horizon: advances during the window are
+// deferred, and the highest one is published when the hold releases.
+func TestHoldDefersAdvance(t *testing.T) {
+	s := NewSource(10)
+	h := s.Hold()
+	s.Advance(20)
+	s.Advance(30)
+	if got := s.Current(); got != 10 {
+		t.Fatalf("Current during hold = %d, want 10", got)
+	}
+	if p := s.Pin(); p.Epoch() != 10 {
+		t.Fatalf("Pin during hold = %d, want 10", p.Epoch())
+	}
+	h.Release()
+	if got := s.Current(); got != 30 {
+		t.Fatalf("Current after release = %d, want 30", got)
+	}
+}
+
+// Boundaries released inside a hold window stay re-pinnable once the
+// window closes — PinAt must accept them like any other boundary.
+func TestHoldKeepsBoundariesPinnable(t *testing.T) {
+	s := NewSource(10)
+	floorPin := s.Pin() // keeps the retention floor at 10
+	defer floorPin.Close()
+	h := s.Hold()
+	s.Advance(20)
+	s.Advance(30)
+	h.Release()
+	for _, e := range []Epoch{10, 20, 30} {
+		p, err := s.PinAt(e)
+		if err != nil {
+			t.Fatalf("PinAt(%d) after hold: %v", e, err)
+		}
+		p.Close()
+	}
+	if _, err := s.PinAt(25); err == nil {
+		t.Fatal("PinAt(25) pinned a non-boundary")
+	}
+}
+
+// Nested holds release the horizon only when the last one closes.
+func TestHoldNesting(t *testing.T) {
+	s := NewSource(0)
+	h1 := s.Hold()
+	h2 := s.Hold()
+	s.Advance(5)
+	h1.Release()
+	if got := s.Current(); got != 0 {
+		t.Fatalf("Current with one hold live = %d, want 0", got)
+	}
+	s.Advance(7)
+	h2.Release()
+	if got := s.Current(); got != 7 {
+		t.Fatalf("Current after last release = %d, want 7", got)
+	}
+	// Release is idempotent and a released hold stays inert.
+	h2.Release()
+	s.Advance(9)
+	if got := s.Current(); got != 9 {
+		t.Fatalf("Current after idempotent release = %d, want 9", got)
+	}
+}
+
+// A release with nothing deferred publishes nothing.
+func TestHoldNoDeferredAdvance(t *testing.T) {
+	s := NewSource(42)
+	h := s.Hold()
+	h.Release()
+	if got := s.Current(); got != 42 {
+		t.Fatalf("Current = %d, want 42", got)
+	}
+}
+
+// Concurrent hold/advance/release traffic keeps the horizon monotonic.
+// Run with -race.
+func TestHoldConcurrent(t *testing.T) {
+	s := NewSource(0)
+	stop := make(chan struct{})
+	obsDone := make(chan struct{})
+	go func() {
+		defer close(obsDone)
+		prev := Epoch(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := s.Current()
+			if cur < prev {
+				t.Errorf("horizon moved backwards: %d -> %d", prev, cur)
+				return
+			}
+			prev = cur
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				h := s.Hold()
+				s.Advance(Epoch(w*1000 + i))
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-obsDone
+	// Every hold released, so the highest advance must be published.
+	if got := s.Current(); got != 3200 {
+		t.Fatalf("final horizon %d, want 3200", got)
+	}
+}

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bg3/internal/graph"
+)
+
+// TestGenPrepareCorpus regenerates the checked-in fuzz corpus. Guarded.
+func TestGenPrepareCorpus(t *testing.T) {
+	if os.Getenv("BG3_GEN_CORPUS") == "" {
+		t.Skip("set BG3_GEN_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodePrepareRecord")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid := EncodePrepare(&TxnPayload{
+		Txn: 7, Fence: 3, Coord: 0, Shard: 2, Parts: []int{0, 2},
+		Muts: []graph.Mutation{
+			{Kind: graph.MutAddEdge, Edge: graph.Edge{
+				Src: 11, Dst: 22, Type: 1,
+				Props: graph.Properties{{Name: "w", Value: []byte("x")}},
+			}},
+			{Kind: graph.MutAddVertex, Vertex: graph.Vertex{
+				ID: 11, Type: 4,
+				Props: graph.Properties{{Name: "name", Value: []byte("a")}},
+			}},
+		},
+	})
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x40
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-2] ^= 0x01
+	dup := EncodePrepare(&TxnPayload{
+		Txn: 9, Fence: 1, Coord: 1, Shard: 1, Parts: []int{1, 1},
+		Muts: []graph.Mutation{
+			{Kind: graph.MutDeleteEdge, Edge: graph.Edge{Src: 5, Dst: 6, Type: 2}},
+		},
+	})
+	cases := []struct {
+		name       string
+		data       []byte
+		txn, epoch uint64
+	}{
+		{"valid", valid, 7, 3},
+		{"wrong-epoch", valid, 7, 4},
+		{"wrong-txn-id", valid, 8, 3},
+		{"torn-tail", valid[:len(valid)-6], 7, 3},
+		{"torn-header", valid[:txnHeaderLen], 7, 3},
+		{"bit-flip-txn", flipped, 7, 3},
+		{"bit-flip-crc", crcFlip, 7, 3},
+		{"duplicate-participant", dup, 9, 1},
+		{"empty", nil, 7, 3},
+	}
+	for _, c := range cases {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\nuint64(%d)\nuint64(%d)\n", c.data, c.txn, c.epoch)
+		if err := os.WriteFile(filepath.Join(dir, c.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -90,6 +90,20 @@ func (r *Router) SplitBatch(muts []graph.Mutation) [][]graph.Mutation {
 	return parts
 }
 
+// Coordinator elects the coordinator shard for a split batch: the
+// lowest-index touched shard. The election is deterministic — any node
+// replaying the same split picks the same coordinator — and the
+// coordinator is always a participant, so its commit decision rides the
+// same stream as its own prepare.
+func (r *Router) Coordinator(parts [][]graph.Mutation) int {
+	for i, part := range parts {
+		if len(part) > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
 // SplitFrontier groups a traversal frontier by owning shard, preserving
 // the input order within each group — the scatter half of one hop.
 func (r *Router) SplitFrontier(ids []graph.VertexID) [][]graph.VertexID {

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bg3/internal/graph"
+	"bg3/internal/wal"
+)
+
+// FuzzDecodePrepareRecord fuzzes the TPC1 prepare-record decoder — the
+// bytes recovery trusts when resolving in-doubt transactions. The record
+// metadata (txn id, stamped epoch) fuzzes alongside the payload so the
+// cross-checks are exercised too. Properties:
+//
+//   - DecodePrepareRecord never panics, whatever the bytes;
+//   - every rejection wraps ErrBadPrepare (callers resolve fail-closed
+//     as abort, never guess);
+//   - anything accepted is canonical — re-encoding the decoded payload
+//     reproduces the input byte for byte — and structurally sound: the
+//     payload's txn/fence match the carrying record, the participant
+//     list is strictly ascending with the coordinator and owning shard
+//     present, and the sub-batch is non-empty with known mutation kinds.
+//
+// The checked-in corpus under testdata/fuzz covers the interesting
+// shapes: a valid prepare, torn/truncated payloads, single-bit flips,
+// wrong-epoch and wrong-txn-id cross-check mismatches, and a duplicate
+// participant entry.
+func FuzzDecodePrepareRecord(f *testing.F) {
+	valid := EncodePrepare(&TxnPayload{
+		Txn: 7, Fence: 3, Coord: 0, Shard: 2, Parts: []int{0, 2},
+		Muts: []graph.Mutation{
+			{Kind: graph.MutAddEdge, Edge: graph.Edge{
+				Src: 11, Dst: 22, Type: 1,
+				Props: graph.Properties{{Name: "w", Value: []byte("x")}},
+			}},
+		},
+	})
+	f.Add([]byte{}, uint64(7), uint64(3))
+	f.Add(valid, uint64(7), uint64(3))
+	f.Add(valid, uint64(7), uint64(4))                // wrong stamped epoch
+	f.Add(valid, uint64(8), uint64(3))                // wrong record txn id
+	f.Add(valid[:len(valid)-6], uint64(7), uint64(3)) // torn tail
+	f.Add(valid[:txnHeaderLen], uint64(7), uint64(3))
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x40 // bit flip inside the txn id
+	f.Add(flipped, uint64(7), uint64(3))
+	dup := EncodePrepare(&TxnPayload{
+		Txn: 9, Fence: 1, Coord: 1, Shard: 1, Parts: []int{1, 1},
+		Muts: []graph.Mutation{
+			{Kind: graph.MutDeleteEdge, Edge: graph.Edge{Src: 5, Dst: 6, Type: 2}},
+		},
+	})
+	f.Add(dup, uint64(9), uint64(1)) // duplicate participant (not ascending)
+
+	f.Fuzz(func(t *testing.T, data []byte, recTxn, recEpoch uint64) {
+		rec := &wal.Record{
+			Type:   wal.RecordTxnPrepare,
+			TreeID: recTxn,
+			Epoch:  recEpoch,
+			Value:  data,
+		}
+		p, err := DecodePrepareRecord(rec)
+		if err != nil {
+			if !errors.Is(err, ErrBadPrepare) {
+				t.Fatalf("decode error %v does not wrap ErrBadPrepare", err)
+			}
+			return
+		}
+		if p.Txn == 0 || p.Txn != recTxn || p.Fence != recEpoch {
+			t.Fatalf("accepted payload fails cross-checks: txn=%d (rec %d) fence=%d (rec %d)",
+				p.Txn, recTxn, p.Fence, recEpoch)
+		}
+		if len(p.Parts) == 0 || len(p.Parts) > MaxVectorShards {
+			t.Fatalf("accepted payload with %d participants", len(p.Parts))
+		}
+		coordOK, shardOK := false, false
+		for i, s := range p.Parts {
+			if i > 0 && s <= p.Parts[i-1] {
+				t.Fatalf("accepted participants not strictly ascending: %v", p.Parts)
+			}
+			coordOK = coordOK || s == p.Coord
+			shardOK = shardOK || s == p.Shard
+		}
+		if !coordOK || !shardOK {
+			t.Fatalf("accepted payload with coord/shard outside membership: coord=%d shard=%d parts=%v",
+				p.Coord, p.Shard, p.Parts)
+		}
+		if len(p.Muts) == 0 {
+			t.Fatal("accepted payload with empty sub-batch")
+		}
+		for i, m := range p.Muts {
+			switch m.Kind {
+			case graph.MutAddVertex, graph.MutAddEdge, graph.MutDeleteEdge:
+			default:
+				t.Fatalf("accepted unknown mutation kind %d at %d", m.Kind, i)
+			}
+		}
+		if re := EncodePrepare(p); !bytes.Equal(re, data) {
+			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", data, re)
+		}
+
+		// The same bytes under a wrong stamp must reject: a spliced
+		// payload never resolves.
+		wrong := &wal.Record{Type: wal.RecordTxnPrepare, TreeID: recTxn + 1, Epoch: recEpoch, Value: data}
+		if _, err := DecodePrepareRecord(wrong); !errors.Is(err, ErrBadPrepare) {
+			t.Fatalf("txn-id mismatch accepted: %v", err)
+		}
+		wrong = &wal.Record{Type: wal.RecordTxnPrepare, TreeID: recTxn, Epoch: recEpoch + 1, Value: data}
+		if _, err := DecodePrepareRecord(wrong); !errors.Is(err, ErrBadPrepare) {
+			t.Fatalf("epoch mismatch accepted: %v", err)
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"bg3/internal/mvcc"
+)
+
+// 2PC state-machine property test (ISSUE 10): random interleavings of
+// prepare / decide / failover / recover over a fake storage, driving the
+// real mvcc.Source epoch clocks and the real txnManager, and asserting
+// after every step that no shard's released epoch exposes an undecided
+// prepare — visible transaction data always belongs to a committed
+// transaction and is visible completely or not at all per shard.
+//
+// The fake mirrors the real protocol's moving parts: one epoch clock and
+// append-only log per shard (every append is durable and releases a
+// group boundary), epoch holds spanning prepare → apply, a coordinator
+// commit record as the durable decision, and failovers that replace the
+// shard's clock with a fresh one at the durable horizon (old holds die
+// with the deposed leader) followed by an in-doubt resolution pass.
+
+type fakeKind uint8
+
+const (
+	fkPrepare fakeKind = iota + 1
+	fkCommit
+	fkAbort
+	fkApplied
+	fkData
+)
+
+type fakeRec struct {
+	lsn  uint64
+	kind fakeKind
+	txn  uint64
+	idx  int // data slot within the sub-batch
+}
+
+type fakeShard struct {
+	src     *mvcc.Source
+	nextLSN uint64
+	log     []fakeRec
+}
+
+// append durably logs one record and releases it as a group boundary
+// (the committer's OnRelease). While a hold is live the release defers.
+func (s *fakeShard) append(k fakeKind, txn uint64, idx int) uint64 {
+	s.nextLSN++
+	s.log = append(s.log, fakeRec{lsn: s.nextLSN, kind: k, txn: txn, idx: idx})
+	s.src.Advance(mvcc.Epoch(s.nextLSN))
+	return s.nextLSN
+}
+
+// subSize is the number of data slots each participant applies per
+// transaction — two, so a torn apply is detectable.
+const subSize = 2
+
+type ptxn struct {
+	id        uint64
+	parts     []int
+	coord     int
+	prepOrder int // next parts index to prepare
+	holds     map[int]*mvcc.Hold
+	decided   bool
+	committed bool
+	appliedBy map[int]bool // participant fully applied (driver or resolution)
+	done      bool
+}
+
+type pharness struct {
+	t      *testing.T
+	rng    *rand.Rand
+	shards []*fakeShard
+	mgr    *txnManager
+	txns   map[uint64]*ptxn
+	active []*ptxn
+	nextID uint64
+
+	// decisions records every settled transaction (true = commit); a
+	// transaction absent here is undecided.
+	decisions map[uint64]bool
+
+	// coverage counters (aggregated across seeds by the caller)
+	commits, aborts, forceAborts, resolveApplies int
+}
+
+func newPHarness(t *testing.T, rng *rand.Rand, nShards int) *pharness {
+	h := &pharness{
+		t: t, rng: rng, mgr: newTxnManager(),
+		txns: make(map[uint64]*ptxn), decisions: make(map[uint64]bool),
+	}
+	for i := 0; i < nShards; i++ {
+		h.shards = append(h.shards, &fakeShard{src: mvcc.NewSource(0)})
+	}
+	return h
+}
+
+func (h *pharness) startTxn() {
+	n := 2 + h.rng.Intn(len(h.shards)-1)
+	perm := h.rng.Perm(len(h.shards))[:n]
+	parts := append([]int(nil), perm...)
+	for i := range parts { // ascending, like SplitBatch's output
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	h.nextID++
+	t := &ptxn{
+		id: h.nextID, parts: parts, coord: parts[0],
+		holds: make(map[int]*mvcc.Hold), appliedBy: make(map[int]bool),
+	}
+	h.mgr.begin(t.id)
+	h.txns[t.id] = t
+	h.active = append(h.active, t)
+}
+
+// stepTxn advances one transaction by one protocol step.
+func (h *pharness) stepTxn(t *ptxn) {
+	switch {
+	case t.prepOrder < len(t.parts):
+		// Prepare the next participant: hold its clock, log the intent.
+		s := t.parts[t.prepOrder]
+		t.prepOrder++
+		t.holds[s] = h.shards[s].src.Hold()
+		h.shards[s].append(fkPrepare, t.id, 0)
+	case !t.decided:
+		t.decided = true
+		if !h.mgr.tryDecide(t.id) {
+			// Force-aborted by a failover's resolution pass.
+			t.committed = false
+			h.decisions[t.id] = false
+			h.forceAborts++
+			h.abortTxn(t)
+			return
+		}
+		if h.rng.Intn(4) == 0 { // coordinator chooses abort
+			t.committed = false
+			h.decisions[t.id] = false
+			h.mgr.decide(t.id, false)
+			h.aborts++
+			h.abortTxn(t)
+			return
+		}
+		h.shards[t.coord].append(fkCommit, t.id, 0)
+		h.decisions[t.id] = true
+		h.mgr.decide(t.id, true)
+		t.committed = true
+		h.commits++
+	default:
+		// Apply the next pending participant, or finish.
+		for _, s := range t.parts {
+			if t.appliedBy[s] {
+				continue
+			}
+			sh := h.shards[s]
+			hold := sh.src.Hold() // fresh hold: the leader may have changed
+			for idx := 0; idx < subSize; idx++ {
+				sh.append(fkData, t.id, idx)
+			}
+			sh.append(fkApplied, t.id, 0)
+			hold.Release()
+			if ph := t.holds[s]; ph != nil {
+				ph.Release()
+			}
+			t.appliedBy[s] = true
+			return
+		}
+		h.finishTxn(t)
+	}
+}
+
+// abortTxn logs abort markers on every prepared participant and settles.
+func (h *pharness) abortTxn(t *ptxn) {
+	for i := 0; i < t.prepOrder; i++ {
+		h.shards[t.parts[i]].append(fkAbort, t.id, 0)
+	}
+	h.finishTxn(t)
+}
+
+func (h *pharness) finishTxn(t *ptxn) {
+	for _, hold := range t.holds {
+		hold.Release()
+	}
+	h.mgr.end(t.id)
+	t.done = true
+	for i, a := range h.active {
+		if a == t {
+			h.active = append(h.active[:i], h.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// failover replaces shard s's epoch clock with a fresh one at the
+// durable horizon (the promoted leader's recovery point) and runs the
+// in-doubt resolution pass, exactly like Group.Failover.
+func (h *pharness) failover(s int) {
+	sh := h.shards[s]
+	sh.src = mvcc.NewSource(mvcc.Epoch(sh.nextLSN))
+	// In-doubt scan: durable prepares with no local outcome marker.
+	resolved := make(map[uint64]bool)
+	var indoubt []uint64
+	for _, r := range sh.log {
+		switch r.kind {
+		case fkAbort, fkApplied:
+			resolved[r.txn] = true
+		}
+	}
+	for _, r := range sh.log {
+		if r.kind == fkPrepare && !resolved[r.txn] {
+			indoubt = append(indoubt, r.txn)
+			resolved[r.txn] = true // dedup
+		}
+	}
+	for _, id := range indoubt {
+		committed, known := h.mgr.resolveLive(id)
+		if !known {
+			// Consult the coordinator's durable prefix.
+			t := h.txns[id]
+			for _, r := range h.shards[t.coord].log {
+				if r.kind == fkCommit && r.txn == id {
+					committed = true
+				}
+			}
+		} else if !committed {
+			h.decisions[id] = false
+		}
+		if committed {
+			hold := sh.src.Hold()
+			for idx := 0; idx < subSize; idx++ {
+				sh.append(fkData, id, idx)
+			}
+			sh.append(fkApplied, id, 0)
+			hold.Release()
+			h.resolveApplies++
+			if t := h.txns[id]; t != nil && !t.done {
+				t.appliedBy[s] = true
+			}
+		} else {
+			sh.append(fkAbort, id, 0)
+		}
+	}
+}
+
+// checkInvariant asserts, for every shard at its currently released
+// epoch: any visible transaction data belongs to a committed
+// transaction, and per (transaction, shard) the data slots are visible
+// completely or not at all.
+func (h *pharness) checkInvariant(when string) {
+	h.t.Helper()
+	for s, sh := range h.shards {
+		e := uint64(sh.src.Current())
+		visible := make(map[uint64]map[int]bool)
+		for _, r := range sh.log {
+			if r.kind == fkData && r.lsn <= e {
+				if visible[r.txn] == nil {
+					visible[r.txn] = make(map[int]bool)
+				}
+				visible[r.txn][r.idx] = true
+			}
+		}
+		for id, idxs := range visible {
+			committed, decided := h.decisions[id]
+			if !decided {
+				h.t.Fatalf("%s: shard %d epoch %d exposes data of undecided txn %d", when, s, e, id)
+			}
+			if !committed {
+				h.t.Fatalf("%s: shard %d epoch %d exposes data of aborted txn %d", when, s, e, id)
+			}
+			if len(idxs) != subSize {
+				h.t.Fatalf("%s: shard %d epoch %d exposes torn txn %d: %d of %d slots",
+					when, s, e, id, len(idxs), subSize)
+			}
+		}
+	}
+}
+
+func TestTxnStateMachineProperty(t *testing.T) {
+	seeds := 40
+	actions := 300
+	if testing.Short() {
+		seeds, actions = 10, 150
+	}
+	var commits, aborts, forceAborts, resolveApplies int
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		h := newPHarness(t, rng, 4)
+		for a := 0; a < actions; a++ {
+			switch {
+			case len(h.active) == 0 || (len(h.active) < 3 && rng.Intn(3) == 0):
+				h.startTxn()
+			case rng.Intn(10) == 0:
+				h.failover(rng.Intn(len(h.shards)))
+			default:
+				h.stepTxn(h.active[rng.Intn(len(h.active))])
+			}
+			h.checkInvariant("mid-run")
+		}
+		// Drain: finish every active transaction, then recover every
+		// shard once more so nothing stays in doubt.
+		for len(h.active) > 0 {
+			h.stepTxn(h.active[0])
+			h.checkInvariant("drain")
+		}
+		for s := range h.shards {
+			h.failover(s)
+			h.checkInvariant("final recover")
+		}
+		// Durable completeness: every committed transaction has all its
+		// slots on every participant; aborted ones have none anywhere.
+		for id, txn := range h.txns {
+			committed := h.decisions[id]
+			for _, s := range txn.parts {
+				got := make(map[int]bool)
+				for _, r := range h.shards[s].log {
+					if r.kind == fkData && r.txn == id {
+						got[r.idx] = true
+					}
+				}
+				if committed && len(got) != subSize {
+					t.Fatalf("seed %d: committed txn %d incomplete on shard %d: %d slots", seed, id, s, len(got))
+				}
+				if !committed && len(got) != 0 {
+					t.Fatalf("seed %d: aborted txn %d left %d data slots on shard %d", seed, id, len(got), s)
+				}
+			}
+		}
+		commits += h.commits
+		aborts += h.aborts
+		forceAborts += h.forceAborts
+		resolveApplies += h.resolveApplies
+	}
+	// The interleavings must actually exercise every protocol path.
+	if commits == 0 || aborts == 0 || forceAborts == 0 || resolveApplies == 0 {
+		t.Fatalf("coverage too thin: commits=%d aborts=%d forceAborts=%d resolveApplies=%d",
+			commits, aborts, forceAborts, resolveApplies)
+	}
+}

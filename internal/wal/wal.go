@@ -55,6 +55,28 @@ const (
 	// it is deleted from INIT, so replicas that switch routing at this
 	// record always observe a complete copy.
 	RecordOwnerAssign
+	// RecordTxnPrepare logs a cross-shard transaction prepare on a
+	// participant shard's stream: TreeID is the transaction id and Value the
+	// TPC1 payload (coordinator shard, participant set, and the sub-batch's
+	// mutations as a logical redo intent). The payload is applied only once
+	// the coordinator's decision is known; an undecided prepare has no
+	// memory effect and is invisible at every released epoch.
+	RecordTxnPrepare
+	// RecordTxnCommit logs a cross-shard commit decision on the coordinator
+	// shard's stream (TreeID = transaction id). Once durable, every
+	// participant's prepared sub-batch must be applied; recovery treats a
+	// prepare whose coordinator holds a durable commit as committed.
+	RecordTxnCommit
+	// RecordTxnAbort logs an abort: on the coordinator's stream it is the
+	// decision, on a participant's stream a local resolution marker (the
+	// prepared payload was discarded). Absence of a durable commit on the
+	// coordinator also means abort (presumed abort).
+	RecordTxnAbort
+	// RecordTxnApplied logs a participant-local completion marker: the
+	// prepared sub-batch of transaction TreeID was applied through the
+	// normal data path, whose records all precede this one in the LSN
+	// sequence. Recovery treats such prepares as resolved.
+	RecordTxnApplied
 )
 
 // String returns the record type's name.
@@ -76,6 +98,14 @@ func (t RecordType) String() string {
 		return "new-tree"
 	case RecordOwnerAssign:
 		return "owner-assign"
+	case RecordTxnPrepare:
+		return "txn-prepare"
+	case RecordTxnCommit:
+		return "txn-commit"
+	case RecordTxnAbort:
+		return "txn-abort"
+	case RecordTxnApplied:
+		return "txn-applied"
 	default:
 		return fmt.Sprintf("record(%d)", uint8(t))
 	}
@@ -144,7 +174,7 @@ func Decode(buf []byte) (*Record, error) {
 	if vlen > 0 {
 		r.Value = append([]byte(nil), buf[recFixed+klen:]...)
 	}
-	if r.Type == 0 || r.Type > RecordOwnerAssign {
+	if r.Type == 0 || r.Type > RecordTxnApplied {
 		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, buf[0])
 	}
 	return r, nil

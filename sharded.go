@@ -89,12 +89,28 @@ func (db *ShardedDB) Degree(src VertexID, typ EdgeType) (int, error) {
 	return db.group.Degree(src, typ)
 }
 
-// ApplyBatch decomposes the batch by owner and commits each per-shard
-// group in parallel, each as one atomic durable WAL group on its shard.
-// The union of the groups is exactly the input; atomicity is per shard,
-// not across shards (a retry after a partial failure is safe — all
-// mutations are idempotent upserts/deletes).
+// ApplyBatch commits the batch atomically — across shards. A batch
+// touching one shard commits as that shard's ordinary group-commit; a
+// multi-shard batch runs a lightweight two-phase commit over the
+// per-shard group committers (prepare intents on every participant,
+// commit decision on the coordinator's stream, then apply), so readers
+// never observe half a batch at any pinned cut and recovery resolves
+// in-doubt prepares from the coordinator's durable prefix. An error
+// wrapping shard.ErrTxnAborted means the transaction aborted cleanly
+// (nothing applied anywhere) and the batch can simply be retried.
 func (db *ShardedDB) ApplyBatch(muts []Mutation) error { return db.group.ApplyBatch(muts) }
+
+// ShardOutcome reports one shard's fate in a batch: committed, aborted,
+// fenced by a concurrent failover, skipped (not touched), or unknown.
+type ShardOutcome = shard.ShardOutcome
+
+// ApplyBatchEx is ApplyBatch with per-shard outcomes: one entry per
+// shard, index-aligned with the shard order, covering the fate of every
+// participant even when the batch fails partway (no silent partial
+// fan-out). The error is nil only when every touched shard committed.
+func (db *ShardedDB) ApplyBatchEx(muts []Mutation) ([]ShardOutcome, error) {
+	return db.group.ApplyBatchEx(muts)
+}
 
 // ShardSnapshot is a consistent cross-shard cut: one pinned read epoch
 // per shard. Every read through it observes each shard exactly at that
@@ -254,6 +270,15 @@ type ShardedStats struct {
 	// vectors refused fail-closed by SnapshotAt.
 	Snapshots       int64 `json:"snapshots"`
 	SnapshotRejects int64 `json:"snapshot_rejects"`
+	// Txns counts multi-shard transactions started (2PC path);
+	// TxnCommits and TxnAborts their decisions. TxnResolved counts
+	// in-doubt prepares settled by a failover's resolution pass, and
+	// TxnReapplied how many of those re-applied a committed payload.
+	Txns         int64 `json:"txns"`
+	TxnCommits   int64 `json:"txn_commits"`
+	TxnAborts    int64 `json:"txn_aborts"`
+	TxnResolved  int64 `json:"txn_resolved"`
+	TxnReapplied int64 `json:"txn_reapplied"`
 }
 
 // Stats samples the sharded deployment.
@@ -274,6 +299,11 @@ func (db *ShardedDB) Stats() ShardedStats {
 	st.ScatterShardReads = snap["shard.scatter_shard_reads"].Value
 	st.Snapshots = snap["shard.snapshots"].Value
 	st.SnapshotRejects = snap["shard.snapshot_rejects"].Value
+	st.Txns = snap["shard.txns"].Value
+	st.TxnCommits = snap["shard.txn_commits"].Value
+	st.TxnAborts = snap["shard.txn_aborts"].Value
+	st.TxnResolved = snap["shard.txn_indoubt_resolved"].Value
+	st.TxnReapplied = snap["shard.txn_resolve_reapplied"].Value
 	if h := snap["shard.batch_fanout"].IntHistogram; h != nil {
 		st.BatchFanoutMean = h.Mean
 	}
